@@ -1,0 +1,82 @@
+// Command spreport regenerates the sp-system's status web pages from a
+// storage snapshot (produced with `spsys campaign -save FILE`) and
+// writes them to a directory — the paper's "script-based web pages",
+// rebuildable at any time from the bookkeeping alone.
+//
+// Usage:
+//
+//	spreport -snapshot campaign.json -out ./site
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bookkeep"
+	"repro/internal/report"
+	"repro/internal/storage"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "", "storage snapshot file (required)")
+	out := flag.String("out", "site", "output directory for HTML pages")
+	title := flag.String("title", "sp-system validation status", "page title")
+	flag.Parse()
+
+	if err := run(*snapshot, *out, *title); err != nil {
+		fmt.Fprintln(os.Stderr, "spreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(snapshotPath, outDir, title string) error {
+	if snapshotPath == "" {
+		return fmt.Errorf("-snapshot is required")
+	}
+	data, err := os.ReadFile(snapshotPath)
+	if err != nil {
+		return err
+	}
+	store, err := storage.Restore(data)
+	if err != nil {
+		return err
+	}
+
+	if _, err := report.PublishSite(store, title); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for _, key := range store.List(report.WebNS) {
+		page, err := store.Get(report.WebNS, key)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, filepath.FromSlash(key))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, page, 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+
+	// Also print the text matrix for terminal use.
+	book := bookkeep.New(store)
+	cells, err := book.Matrix()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.TextMatrix(cells))
+	fmt.Printf("\n%d pages written to %s\n", written, outDir)
+	if !strings.HasSuffix(outDir, "/") {
+		fmt.Printf("open %s/index.html to browse\n", outDir)
+	}
+	return nil
+}

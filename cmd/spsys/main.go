@@ -1,0 +1,357 @@
+// Command spsys drives the sp-system validation framework from the
+// command line: register the HERA experiments, run validation campaigns
+// over the paper's configuration matrix, migrate experiments to new
+// platforms, and inspect the bookkeeping.
+//
+// Usage:
+//
+//	spsys campaign  [-quick] [-save FILE]    run the full Figure 3 campaign
+//	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
+//	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
+//	spsys matrix    [-save FILE]             print the status matrix
+//	spsys runs                               list recorded runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bookkeep"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "campaign":
+		err = runCampaign(args)
+	case "validate":
+		err = runValidate(args)
+	case "migrate":
+		err = runMigrate(args)
+	case "matrix":
+		err = runMatrix(args)
+	case "runs":
+		err = runRuns(args)
+	case "history":
+		err = runHistory(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spsys:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: spsys <command> [flags]
+
+commands:
+  campaign   run the full HERA campaign over the paper's configurations
+  validate   one validation run of an experiment on a configuration
+  migrate    adapt-and-validate migration campaign
+  matrix     print the Figure 3 status matrix
+  runs       list recorded validation runs
+  history    show one test's outcomes across a quick campaign`)
+}
+
+// newSystem builds an SPSystem with all three HERA experiments
+// registered, optionally scaled down for quick runs.
+func newSystem(quick bool) (*core.SPSystem, error) {
+	sys := core.New()
+	for _, def := range experiments.All() {
+		if quick {
+			def.RepoSpec.Packages = min(def.RepoSpec.Packages, 20)
+			def.ChainEvents = 300
+			def.StandaloneTests = min(def.StandaloneTests, 20)
+		}
+		if err := sys.RegisterExperiment(def); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func externalSet(sys *core.SPSystem, rootVersion string) (*externals.Set, error) {
+	root, err := sys.Catalogue.Get(externals.ROOT, rootVersion)
+	if err != nil {
+		return nil, err
+	}
+	cern, err := sys.Catalogue.Get(externals.CERNLIB, "2006")
+	if err != nil {
+		return nil, err
+	}
+	mc, err := sys.Catalogue.Get(externals.MCGen, "1.4")
+	if err != nil {
+		return nil, err
+	}
+	return externals.NewSet(root, cern, mc)
+}
+
+func saveSnapshot(sys *core.SPSystem, path string) error {
+	if path == "" {
+		return nil
+	}
+	data, err := sys.Store.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("storage snapshot written to %s (%d bytes)\n", path, len(data))
+	return nil
+}
+
+func runCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "scale workloads down for a fast demonstration")
+	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := newSystem(*quick)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, "5.34")
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: baseline capture on the experiments' original platform.
+	for _, exp := range sys.Experiments() {
+		rec, err := sys.Validate(exp, platform.OriginalConfig(), exts, "baseline capture")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7s baseline %s: passed=%t jobs=%d\n", exp, rec.RunID, rec.Passed(), len(rec.Jobs))
+	}
+
+	// Phase 2: adapt-and-validate across the remaining paper configs.
+	for _, cfg := range platform.PaperConfigs() {
+		if cfg == platform.OriginalConfig() {
+			continue
+		}
+		for _, exp := range sys.Experiments() {
+			rep, err := sys.MigrateExperiment(exp, cfg, exts, fmt.Sprintf("campaign %v", cfg))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7s %v: converged=%t iterations=%d interventions=%d\n",
+				exp, cfg, rep.Succeeded, len(rep.Iterations), rep.TotalInterventions())
+		}
+	}
+
+	cells, err := sys.Matrix()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.TextMatrix(cells))
+	fmt.Printf("\ntotal validation runs: %d\n", sys.Book.TotalRuns())
+
+	if _, err := sys.PublishReports("sp-system validation status"); err != nil {
+		return err
+	}
+	return saveSnapshot(sys, *save)
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	exp := fs.String("experiment", "H1", "experiment name (H1, ZEUS, HERMES)")
+	cfgStr := fs.String("config", "SL5/64bit gcc4.1", "platform configuration")
+	rootV := fs.String("root", "5.34", "ROOT version")
+	quick := fs.Bool("quick", false, "scale workloads down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := newSystem(*quick)
+	if err != nil {
+		return err
+	}
+	cfg, err := platform.ParseConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, *rootV)
+	if err != nil {
+		return err
+	}
+	rec, err := sys.Validate(*exp, cfg, exts, fmt.Sprintf("cli validate %v", cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.TextRun(rec))
+	if !rec.Passed() {
+		if diff, attr, err := sys.Diagnose(rec); err == nil {
+			fmt.Println()
+			fmt.Print(report.TextDiff(diff))
+			fmt.Printf("responsible party: %s\n", attr.Responsible())
+		}
+	}
+	return nil
+}
+
+func runMigrate(args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	exp := fs.String("experiment", "H1", "experiment name")
+	cfgStr := fs.String("config", "SL6/64bit gcc4.4", "target configuration")
+	rootV := fs.String("root", "5.34", "ROOT version")
+	quick := fs.Bool("quick", false, "scale workloads down")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := newSystem(*quick)
+	if err != nil {
+		return err
+	}
+	cfg, err := platform.ParseConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, *rootV)
+	if err != nil {
+		return err
+	}
+	// Baseline first, so migration has a reference to validate against.
+	if _, err := sys.Validate(*exp, platform.OriginalConfig(), exts, "baseline capture"); err != nil {
+		return err
+	}
+	rep, err := sys.MigrateExperiment(*exp, cfg, exts, fmt.Sprintf("cli migrate %v", cfg))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migration of %s to %v: converged=%t\n", *exp, cfg, rep.Succeeded)
+	for i, it := range rep.Iterations {
+		fmt.Printf("  iteration %d: run=%s passed=%t regressions=%d interventions=%d (%v)\n",
+			i+1, it.RunID, it.Passed, it.Regressions, len(it.Interventions), it.Attribution)
+	}
+	if rep.Succeeded {
+		fmt.Println()
+		fmt.Print(rep.Recipe())
+	}
+	return nil
+}
+
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A fresh system has an empty matrix; run a quick campaign to have
+	// something to show.
+	fmt.Println("(running quick campaign to populate the matrix)")
+	sys, err := newSystem(true)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, "5.34")
+	if err != nil {
+		return err
+	}
+	for _, exp := range sys.Experiments() {
+		if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "matrix baseline"); err != nil {
+			return err
+		}
+	}
+	cells, err := sys.Matrix()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.TextMatrix(cells))
+	return saveSnapshot(sys, *save)
+}
+
+func runHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	exp := fs.String("experiment", "H1", "experiment name")
+	test := fs.String("test", "", "test name (defaults to the first chain's validate stage)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Build history by running a quick two-config campaign.
+	sys, err := newSystem(true)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, "5.34")
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Validate(*exp, platform.OriginalConfig(), exts, "baseline"); err != nil {
+		return err
+	}
+	sl6, err := platform.ParseConfig("SL6/64bit gcc4.4")
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Validate(*exp, sl6, exts, "raw SL6 attempt"); err != nil {
+		return err
+	}
+	if _, err := sys.MigrateExperiment(*exp, sl6, exts, "SL6 campaign"); err != nil {
+		return err
+	}
+
+	name := *test
+	if name == "" {
+		name = "chain01/validate"
+	}
+	entries, err := sys.Book.History(*exp, name)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bookkeep.RenderHistory(name, entries))
+	if first, ok := bookkeep.FirstFailure(entries); ok {
+		fmt.Printf("\nfirst failure: %s on %s\n", first.RunID, first.Config)
+	}
+	flaky, err := sys.Book.FlakyTests(*exp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flaky tests (outcome changed with no input change): %d\n", len(flaky))
+	return nil
+}
+
+func runRuns(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := newSystem(true)
+	if err != nil {
+		return err
+	}
+	exts, err := externalSet(sys, "5.34")
+	if err != nil {
+		return err
+	}
+	for _, exp := range sys.Experiments() {
+		if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "demo run"); err != nil {
+			return err
+		}
+	}
+	runs, err := sys.Book.Runs()
+	if err != nil {
+		return err
+	}
+	for _, rec := range runs {
+		counts := rec.Counts()
+		fmt.Printf("%s  %-7s %-20s pass=%d fail=%d  %q\n",
+			rec.RunID, rec.Experiment, rec.Config, counts[0], counts[1], rec.Description)
+	}
+	return nil
+}

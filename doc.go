@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "A Validation Framework for the
+// Long Term Preservation of High Energy Physics Data" (Ozerov & South,
+// DPHEP/DESY, arXiv:1310.7814): the sp-system, which builds experiment
+// software across a matrix of computing environments, runs the
+// experiments' validation suites, keeps complete bookkeeping, and powers
+// the adapt-and-validate preservation strategy.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and bench_test.go for the harnesses that
+// regenerate every table and figure.
+package repro

@@ -1,0 +1,76 @@
+// freezevsmigrate compares the two preservation strategies of the
+// paper's §2 over a simulated 2013–2028 horizon: freezing the last
+// working environment versus actively migrating and validating. Real
+// migration campaigns run at every platform release; the frozen stack
+// decays once its OS leaves vendor support.
+//
+//	go run ./examples/freezevsmigrate
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lifetime"
+	"repro/internal/swrepo"
+)
+
+func main() {
+	reg := lifetime.ExtendedRegistry()
+	sys := core.NewWithRegistry(reg)
+
+	spec := swrepo.DefaultSpec("h1")
+	spec.Packages = 15
+	spec.LegacyFraction = 0.4
+	spec.DefectRate = 0.05
+	def := experiments.Definition{
+		Name:            "H1",
+		Level:           experiments.Level4,
+		Seed:            13,
+		RepoSpec:        spec,
+		Chains:          1,
+		ChainEvents:     500,
+		StandaloneTests: 10,
+	}
+	if err := sys.RegisterExperiment(def); err != nil {
+		log.Fatal(err)
+	}
+	exts, err := experiments.StandardSet(sys.Catalogue)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := lifetime.DefaultParams(exts)
+	params.End = time.Date(2028, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	planner, err := sys.Planner("H1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frozen, migrated, err := lifetime.Compare(params, reg, planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("year   freeze               migrate")
+	for i := range frozen.Points {
+		f, m := frozen.Points[i], migrated.Points[i]
+		fmt.Printf("%d   %-4s %s%-10s   %-4s %s\n",
+			f.Year, f.OS, gauge(f.Usability), "", m.OS, gauge(m.Usability))
+	}
+	fmt.Printf("\nusable years over the horizon: freeze=%.1f, migrate=%.1f\n",
+		frozen.UsableYears, migrated.UsableYears)
+	fmt.Printf("the migrating stack performed %d migrations costing %d interventions\n",
+		migrated.TotalMigrations, migrated.TotalInterventions)
+	fmt.Println("\nthe paper's conclusion, quantified: freezing works for the medium")
+	fmt.Println("term; adapting and validating substantially extends the lifetime.")
+}
+
+func gauge(u float64) string {
+	n := int(u*10 + 0.5)
+	return fmt.Sprintf("%4.2f %-10s", u, strings.Repeat("#", n))
+}

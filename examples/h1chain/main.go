@@ -1,0 +1,94 @@
+// h1chain runs the full H1-style level-4 analysis chain by hand — MC
+// generation, detector simulation, reconstruction, multi-level file
+// production (GEN → SIM → DST → ODS → HAT) and physics analysis — and
+// renders the resulting distributions, showing what the chain stages of
+// the validation suite actually exercise.
+//
+//	go run ./examples/h1chain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hepfile"
+	"repro/internal/hepsim"
+)
+
+func main() {
+	const events = 20000
+
+	// MC generation: a 30 GeV resonance over soft background.
+	gen, err := hepsim.NewGenerator(hepsim.DefaultGenConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	genEvents := gen.GenerateN(events)
+	genFile, err := hepfile.WriteEvents(hepfile.GEN, genEvents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GEN : %d events, %d bytes\n", len(genEvents), len(genFile))
+
+	// Detector simulation (no platform effects: the reference config).
+	det := hepsim.DefaultDetector(8)
+	simEvents, err := det.SimulateAll(genEvents, hepsim.Effects{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simFile, err := hepfile.WriteEvents(hepfile.SIM, simEvents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIM : %d events, %d bytes\n", len(simEvents), len(simFile))
+
+	// Reconstruction to DST.
+	recs, err := hepsim.ReconstructAll(simEvents, hepsim.Effects{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dstFile, err := hepfile.WriteReco(hepfile.DST, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DST : %d events, %d bytes\n", len(recs), len(dstFile))
+
+	// ODS selection: leading pT above 2 GeV, at least two particles.
+	var selected []hepsim.RecoEvent
+	for _, r := range recs {
+		if r.LeadPt >= 2 && r.Multiplicity >= 2 {
+			selected = append(selected, r)
+		}
+	}
+	odsFile, err := hepfile.WriteReco(hepfile.ODS, selected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ODS : %d events selected, %d bytes\n", len(selected), len(odsFile))
+
+	// HAT ntuple.
+	sums := make([]hepsim.Summary, len(selected))
+	for i, r := range selected {
+		sums[i] = hepsim.Summarize(r)
+	}
+	hatFile, err := hepfile.WriteSummaries(sums)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HAT : %d summaries, %d bytes\n\n", len(sums), len(hatFile))
+
+	// Physics analysis: the distributions validation compares.
+	res := hepsim.Analyze(sums, gen.Config().ResonanceMass)
+	fmt.Println(res.Mass.Render(50))
+	fmt.Printf("mass peak: mean=%.2f GeV stddev=%.2f GeV over %d entries\n",
+		res.Mass.Mean(), res.Mass.StdDev(), res.Mass.Entries())
+
+	// Integrity: every file level carries a CRC; corrupting one byte is
+	// detected at read time.
+	bad := make([]byte, len(hatFile))
+	copy(bad, hatFile)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := hepfile.ReadSummaries(bad); err != nil {
+		fmt.Printf("\ncorrupted HAT file rejected as expected: %v\n", err)
+	}
+}

@@ -1,0 +1,110 @@
+// migration reproduces the paper's SL6/64-bit migration story: the
+// experiment's software validates cleanly on its home platform, fails
+// on the migration target — including a silent physics-level failure
+// from a long-standing bug that only data validation can catch — and
+// the adapt-and-validate loop diagnoses, fixes and revalidates it.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/swrepo"
+)
+
+func main() {
+	sys := core.New()
+
+	// A repository with HERA-era hazards: legacy idioms (K&R C) that new
+	// compilers reject, and latent defects (uninitialized reads,
+	// 64-bit-unsafe casts) that silently change physics on new platforms.
+	spec := swrepo.DefaultSpec("h1")
+	spec.Packages = 25
+	spec.LegacyFraction = 0.5
+	spec.DefectRate = 0.08
+	def := experiments.Definition{
+		Name:            "H1",
+		Level:           experiments.Level4,
+		Seed:            77,
+		RepoSpec:        spec,
+		Chains:          1,
+		ChainEvents:     1500,
+		StandaloneTests: 20,
+	}
+	if err := sys.RegisterExperiment(def); err != nil {
+		log.Fatal(err)
+	}
+	exts, err := experiments.StandardSet(sys.Catalogue)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 — baseline on the home platform (SL5/32bit gcc4.1, where
+	// the latent 64-bit defects are still dormant).
+	baseline, err := sys.Validate("H1", platform.OriginalConfig(), exts, "baseline capture")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline %s on %s: passed=%t (%d jobs)\n",
+		baseline.RunID, baseline.Config, baseline.Passed(), len(baseline.Jobs))
+
+	// Step 2 — raw attempt on the migration target, no fixes.
+	sl6 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	attempt, err := sys.Validate("H1", sl6, exts, "raw SL6 attempt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw attempt %s on %s: passed=%t\n\n", attempt.RunID, attempt.Config, attempt.Passed())
+
+	// Step 3 — the paper's prescribed examination: diff against the last
+	// successful run, attribute the regressions.
+	diff, attr, err := sys.Diagnose(attempt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.TextDiff(diff))
+	fmt.Printf("\n=> intervention by: %s\n\n", attr.Responsible())
+
+	// Step 4 — adapt and validate: the migration campaign applies the
+	// interventions and reruns until green.
+	rep, err := sys.MigrateExperiment("H1", sl6, exts, "SL6/64bit migration")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign converged=%t in %d iterations, %d interventions\n",
+		rep.Succeeded, len(rep.Iterations), rep.TotalInterventions())
+	for _, it := range rep.Iterations {
+		fmt.Printf("  %s: passed=%t interventions=%d\n", it.RunID, it.Passed, len(it.Interventions))
+		for i, iv := range it.Interventions {
+			if i == 4 {
+				fmt.Printf("    ... and %d more\n", len(it.Interventions)-4)
+				break
+			}
+			fmt.Printf("    %s — %s\n", iv.Patch.ID, iv.Reason)
+		}
+	}
+
+	// Step 5 — the validated recipe, deployable on any production
+	// resource ("an institute cluster, grid, cloud, sky, quantum
+	// computer, and so on").
+	if !rep.Succeeded {
+		return
+	}
+	fmt.Println()
+	fmt.Print(rep.Recipe())
+
+	// Step 6 — a production site certifies the deployment: rebuild the
+	// environment from the recipe and re-run the full validation.
+	im, cert, err := sys.DeployRecipe("H1", rep.Recipe())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeployment certified: image %s (%s), run %s passed=%t\n",
+		im.ID, im.Label(), cert.RunID, cert.Passed())
+}

@@ -1,0 +1,352 @@
+// Package bookkeep is the results database of the sp-system: it indexes
+// the run records the runner keeps on the common storage and implements
+// the paper's failure-handling workflow: "If a test fails, any
+// differences compared to the last successful test are examined and
+// problems identified. Intervention is then required either by the host
+// of the validation suite or the experiment themselves, depending on the
+// nature of the reported problem."
+//
+// Diff computes test-level differences between a run and its baseline
+// (the last successful run of the same experiment); Classify attributes
+// the failure to the input category that changed — operating system,
+// external dependencies, or experiment software — which is what decides
+// whether the IT host or the experiment intervenes.
+package bookkeep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// Book provides queries over recorded validation runs.
+type Book struct {
+	store *storage.Store
+}
+
+// New returns a Book reading the given common storage.
+func New(store *storage.Store) *Book { return &Book{store: store} }
+
+// Runs returns every recorded run, ordered by run ID (which is the
+// execution order).
+func (b *Book) Runs() ([]*runner.RunRecord, error) {
+	ids := runner.ListRuns(b.store)
+	out := make([]*runner.RunRecord, 0, len(ids))
+	for _, id := range ids {
+		rec, err := runner.LoadRun(b.store, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Run returns a single recorded run.
+func (b *Book) Run(id string) (*runner.RunRecord, error) {
+	return runner.LoadRun(b.store, id)
+}
+
+// RunsFor returns the runs of one experiment, optionally filtered to a
+// configuration label ("" matches all), in execution order.
+func (b *Book) RunsFor(experiment, config string) ([]*runner.RunRecord, error) {
+	all, err := b.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*runner.RunRecord
+	for _, r := range all {
+		if r.Experiment != experiment {
+			continue
+		}
+		if config != "" && r.Config != config {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunsTagged returns runs whose description contains the substring.
+func (b *Book) RunsTagged(substr string) ([]*runner.RunRecord, error) {
+	all, err := b.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*runner.RunRecord
+	for _, r := range all {
+		if strings.Contains(r.Description, substr) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// LastSuccessful returns the most recent fully passing run of the
+// experiment before the given run ID ("" means before anything, i.e.
+// the latest overall).
+func (b *Book) LastSuccessful(experiment, beforeRunID string) (*runner.RunRecord, error) {
+	all, err := b.RunsFor(experiment, "")
+	if err != nil {
+		return nil, err
+	}
+	var best *runner.RunRecord
+	for _, r := range all {
+		if beforeRunID != "" && r.RunID >= beforeRunID {
+			continue
+		}
+		if r.Passed() {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("bookkeep: no successful %s run before %q", experiment, beforeRunID)
+	}
+	return best, nil
+}
+
+// TestDiff records one test whose outcome changed between two runs.
+type TestDiff struct {
+	Test   string
+	Before valtest.Outcome
+	After  valtest.Outcome
+	// Detail carries the failing run's explanation.
+	Detail string
+}
+
+// Diff is the comparison of a run against its baseline.
+type Diff struct {
+	BaselineRun, CurrentRun string
+	// Regressions are tests that passed in the baseline and no longer
+	// pass.
+	Regressions []TestDiff
+	// Fixes are tests that now pass but did not before.
+	Fixes []TestDiff
+	// Added and Removed name tests present in only one of the runs.
+	Added, Removed []string
+	// What changed between the runs' inputs.
+	ConfigChanged    bool
+	ExternalsChanged bool
+	RevisionChanged  bool
+}
+
+// Clean reports whether the diff contains no regressions.
+func (d *Diff) Clean() bool { return len(d.Regressions) == 0 }
+
+// DiffRuns computes the test-level differences from baseline to current.
+func DiffRuns(baseline, current *runner.RunRecord) *Diff {
+	d := &Diff{
+		BaselineRun:      baseline.RunID,
+		CurrentRun:       current.RunID,
+		ConfigChanged:    baseline.Config != current.Config,
+		ExternalsChanged: baseline.Externals != current.Externals,
+		RevisionChanged:  baseline.RepoRevision != current.RepoRevision,
+	}
+	before := make(map[string]valtest.Result)
+	for _, j := range baseline.Jobs {
+		before[j.Result.Test] = j.Result
+	}
+	seen := make(map[string]bool)
+	for _, j := range current.Jobs {
+		name := j.Result.Test
+		seen[name] = true
+		prev, ok := before[name]
+		if !ok {
+			d.Added = append(d.Added, name)
+			continue
+		}
+		switch {
+		case prev.Outcome.Passed() && !j.Result.Outcome.Passed():
+			d.Regressions = append(d.Regressions, TestDiff{
+				Test: name, Before: prev.Outcome, After: j.Result.Outcome, Detail: j.Result.Detail,
+			})
+		case !prev.Outcome.Passed() && j.Result.Outcome.Passed():
+			d.Fixes = append(d.Fixes, TestDiff{Test: name, Before: prev.Outcome, After: j.Result.Outcome})
+		}
+	}
+	for name := range before {
+		if !seen[name] {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Test < d.Regressions[j].Test })
+	sort.Slice(d.Fixes, func(i, j int) bool { return d.Fixes[i].Test < d.Fixes[j].Test })
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// DiffAgainstLastSuccess diffs the run against the last fully successful
+// run of the same experiment — the paper's prescribed comparison.
+func (b *Book) DiffAgainstLastSuccess(current *runner.RunRecord) (*Diff, error) {
+	baseline, err := b.LastSuccessful(current.Experiment, current.RunID)
+	if err != nil {
+		return nil, err
+	}
+	return DiffRuns(baseline, current), nil
+}
+
+// Attribution names the input category a regression is attributed to,
+// deciding who intervenes (the paper's host IT department vs the
+// experiment).
+type Attribution int
+
+const (
+	// AttrNone means no regressions were found.
+	AttrNone Attribution = iota
+	// AttrOS attributes the regressions to the operating
+	// system/compiler change; the host IT department leads.
+	AttrOS
+	// AttrExternals attributes the regressions to an external software
+	// change; host and experiment investigate the dependency.
+	AttrExternals
+	// AttrExperiment attributes the regressions to experiment software
+	// changes; the experiment intervenes.
+	AttrExperiment
+	// AttrMixed means multiple inputs changed at once and the diff
+	// cannot isolate one.
+	AttrMixed
+	// AttrInfrastructure means nothing changed between the runs: the
+	// framework itself (or its hardware) is at fault.
+	AttrInfrastructure
+)
+
+var attrNames = [...]string{"none", "os", "externals", "experiment", "mixed", "infrastructure"}
+
+// String returns the attribution's short name.
+func (a Attribution) String() string {
+	if int(a) < len(attrNames) {
+		return attrNames[a]
+	}
+	return fmt.Sprintf("attribution(%d)", int(a))
+}
+
+// Responsible names the party the paper assigns to intervene.
+func (a Attribution) Responsible() string {
+	switch a {
+	case AttrOS:
+		return "host IT department"
+	case AttrExternals:
+		return "host IT department and experiment"
+	case AttrExperiment:
+		return "experiment"
+	case AttrMixed:
+		return "joint investigation"
+	case AttrInfrastructure:
+		return "sp-system operators"
+	default:
+		return "nobody"
+	}
+}
+
+// Classify attributes a diff's regressions to the input category that
+// changed between baseline and current run.
+func Classify(d *Diff) Attribution {
+	if d.Clean() {
+		return AttrNone
+	}
+	changed := 0
+	var attr Attribution
+	if d.ConfigChanged {
+		changed++
+		attr = AttrOS
+	}
+	if d.ExternalsChanged {
+		changed++
+		attr = AttrExternals
+	}
+	if d.RevisionChanged {
+		changed++
+		attr = AttrExperiment
+	}
+	switch changed {
+	case 0:
+		return AttrInfrastructure
+	case 1:
+		return attr
+	default:
+		return AttrMixed
+	}
+}
+
+// Cell is one entry of the paper's Figure 3 status matrix: the latest
+// validation state of an experiment on a configuration with an external
+// software set.
+type Cell struct {
+	Experiment string
+	Config     string
+	Externals  string
+	RunID      string
+	Timestamp  int64
+	// Pass, Fail, Skip, Error count the latest run's job outcomes.
+	Pass, Fail, Skip, Error int
+	// Runs counts how many runs were recorded for this cell in total.
+	Runs int
+}
+
+// Healthy reports whether the cell's latest run passed completely.
+func (c *Cell) Healthy() bool { return c.Fail == 0 && c.Error == 0 && c.Skip == 0 }
+
+// Total returns the number of jobs in the latest run.
+func (c *Cell) Total() int { return c.Pass + c.Fail + c.Skip + c.Error }
+
+// Matrix aggregates the latest run per (experiment, config, externals)
+// triple — the data behind the Figure 3 summary page. Cells are sorted
+// by experiment, then config, then externals.
+func (b *Book) Matrix() ([]Cell, error) {
+	all, err := b.Runs()
+	if err != nil {
+		return nil, err
+	}
+	type key struct{ exp, cfg, ext string }
+	latest := make(map[key]*runner.RunRecord)
+	count := make(map[key]int)
+	for _, r := range all {
+		k := key{r.Experiment, r.Config, r.Externals}
+		count[k]++
+		if prev, ok := latest[k]; !ok || r.RunID > prev.RunID {
+			latest[k] = r
+		}
+	}
+	cells := make([]Cell, 0, len(latest))
+	for k, r := range latest {
+		c := Cell{
+			Experiment: k.exp, Config: k.cfg, Externals: k.ext,
+			RunID: r.RunID, Timestamp: r.Timestamp, Runs: count[k],
+		}
+		for _, j := range r.Jobs {
+			switch j.Result.Outcome {
+			case valtest.OutcomePass:
+				c.Pass++
+			case valtest.OutcomeFail:
+				c.Fail++
+			case valtest.OutcomeSkip:
+				c.Skip++
+			default:
+				c.Error++
+			}
+		}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, bb := cells[i], cells[j]
+		if a.Experiment != bb.Experiment {
+			return a.Experiment < bb.Experiment
+		}
+		if a.Config != bb.Config {
+			return a.Config < bb.Config
+		}
+		return a.Externals < bb.Externals
+	})
+	return cells, nil
+}
+
+// TotalRuns returns the number of recorded validation runs — the
+// paper's ">300 runs over sets of pre-defined tests" figure.
+func (b *Book) TotalRuns() int {
+	return len(runner.ListRuns(b.store))
+}

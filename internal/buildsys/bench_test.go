@@ -1,0 +1,60 @@
+package buildsys
+
+import (
+	"testing"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/simrand"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+func benchFixture(b *testing.B, packages int) (*Builder, *swrepo.Repository, *externals.Set) {
+	b.Helper()
+	spec := swrepo.DefaultSpec("bench")
+	spec.Packages = packages
+	repo, err := swrepo.Generate(spec, simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := externals.NewCatalogue()
+	root, _ := cat.Get(externals.ROOT, "5.34")
+	cern, _ := cat.Get(externals.CERNLIB, "2006")
+	mc, _ := cat.Get(externals.MCGen, "1.4")
+	return NewBuilder(platform.NewRegistry(), storage.NewStore()), repo, externals.MustSet(root, cern, mc)
+}
+
+func BenchmarkBuild100PackagesCold(b *testing.B) {
+	builder, repo, exts := benchFixture(b, 100)
+	builder.UseCache = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Build(repo, platform.ReferenceConfig(), exts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild100PackagesWarm(b *testing.B) {
+	builder, repo, exts := benchFixture(b, 100)
+	if _, err := builder.Build(repo, platform.ReferenceConfig(), exts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := builder.Build(repo, platform.ReferenceConfig(), exts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildOrder(b *testing.B) {
+	_, repo, _ := benchFixture(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.BuildOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

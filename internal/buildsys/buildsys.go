@@ -1,0 +1,354 @@
+// Package buildsys simulates building experiment software on a platform
+// configuration against a set of external dependencies.
+//
+// This is the first half of the paper's Figure 2 workload: "the
+// compilation of approximately 100 individual H1 software packages and
+// the identified external dependencies is carried out, where the
+// resulting binaries are stored as tar-balls on the common storage
+// within the sp-system."
+//
+// A build walks the repository in dependency order; each source unit is
+// judged by the configuration's compiler against the unit's traits, and
+// each package's external API usage is checked against the installed
+// externals. Successful packages produce deterministic tarball artifacts
+// on the common storage; packages whose dependencies failed are skipped
+// rather than misreported as broken themselves — the distinction drives
+// the failure-attribution logic in the bookkeeping system.
+package buildsys
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+// Status classifies a package build outcome.
+type Status int
+
+const (
+	// StatusOK means the package compiled (possibly with warnings) and
+	// produced an artifact.
+	StatusOK Status = iota
+	// StatusFailed means compilation or linking failed.
+	StatusFailed
+	// StatusSkipped means a dependency failed, so the package was not
+	// attempted.
+	StatusSkipped
+	// StatusCached means a previous identical build's artifact was
+	// reused without compiling.
+	StatusCached
+)
+
+// String returns "ok", "failed", "skipped" or "cached".
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusFailed:
+		return "failed"
+	case StatusSkipped:
+		return "skipped"
+	default:
+		return "cached"
+	}
+}
+
+// Diagnostic is one compiler message attributed to a source unit trait.
+type Diagnostic struct {
+	Unit    string
+	Trait   platform.Trait
+	Verdict platform.Verdict
+	Message string
+}
+
+// PackageResult is the outcome of building one package.
+type PackageResult struct {
+	Package string
+	Status  Status
+	// Diagnostics holds warnings and errors in unit order.
+	Diagnostics []Diagnostic
+	// MissingAPIs lists external API surfaces the installed externals do
+	// not provide (a link failure).
+	MissingAPIs []string
+	// FailedDeps names the dependencies whose failure caused a skip.
+	FailedDeps []string
+	// ArtifactKey is the storage key of the produced tarball, set when
+	// Status is StatusOK or StatusCached.
+	ArtifactKey string
+	// Cost is the simulated compile time.
+	Cost time.Duration
+}
+
+// Succeeded reports whether an artifact is available.
+func (r *PackageResult) Succeeded() bool {
+	return r.Status == StatusOK || r.Status == StatusCached
+}
+
+// Warnings counts warning-level diagnostics.
+func (r *PackageResult) Warnings() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Verdict == platform.VerdictWarn {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors counts error-level diagnostics.
+func (r *PackageResult) Errors() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Verdict == platform.VerdictError {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the outcome of building a whole repository.
+type Result struct {
+	Experiment string
+	Revision   int
+	Config     platform.Config
+	Externals  string
+	// Packages holds per-package results in build order.
+	Packages []PackageResult
+	// Cost is the total simulated build time.
+	Cost time.Duration
+}
+
+// Counts returns the number of packages per status.
+func (r *Result) Counts() (ok, failed, skipped, cached int) {
+	for _, p := range r.Packages {
+		switch p.Status {
+		case StatusOK:
+			ok++
+		case StatusFailed:
+			failed++
+		case StatusSkipped:
+			skipped++
+		case StatusCached:
+			cached++
+		}
+	}
+	return
+}
+
+// Succeeded reports whether every package produced an artifact.
+func (r *Result) Succeeded() bool {
+	for _, p := range r.Packages {
+		if !p.Succeeded() {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the result for the named package.
+func (r *Result) Find(name string) (*PackageResult, bool) {
+	for i := range r.Packages {
+		if r.Packages[i].Package == name {
+			return &r.Packages[i], true
+		}
+	}
+	return nil, false
+}
+
+// Builder compiles repositories. The zero value is not usable; create
+// one with NewBuilder.
+type Builder struct {
+	reg   *platform.Registry
+	store *storage.Store
+	// UseCache enables artifact reuse across builds with identical
+	// inputs (package content, dependencies, configuration, externals).
+	UseCache bool
+	// compileSpeed is simulated lines compiled per second.
+	compileSpeed float64
+}
+
+// NewBuilder returns a Builder writing artifacts to the given store.
+func NewBuilder(reg *platform.Registry, store *storage.Store) *Builder {
+	return &Builder{reg: reg, store: store, UseCache: true, compileSpeed: 20000}
+}
+
+// artifactNS is the storage namespace holding build tarballs.
+const artifactNS = "artifacts"
+
+// Build compiles the repository on the configuration against the
+// externals, in dependency order. It returns an error only for
+// invalid inputs (unknown platform, cyclic repository); compile failures
+// are reported in the Result.
+func (b *Builder) Build(repo *swrepo.Repository, cfg platform.Config, exts *externals.Set) (*Result, error) {
+	if err := cfg.Validate(b.reg); err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+	comp, err := b.reg.Compiler(cfg.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	if err := exts.InstallableOn(cfg, b.reg); err != nil {
+		// Externals that cannot even be installed fail every package
+		// that uses them; surface it as an input error so the caller
+		// (the image builder) can report it at the right layer.
+		return nil, fmt.Errorf("buildsys: externals not installable: %w", err)
+	}
+	order, err := repo.BuildOrder()
+	if err != nil {
+		return nil, fmt.Errorf("buildsys: %w", err)
+	}
+
+	res := &Result{
+		Experiment: repo.Experiment,
+		Revision:   repo.Revision,
+		Config:     cfg,
+		Externals:  exts.String(),
+	}
+	artifacts := make(map[string]string) // package -> artifact key
+	failed := make(map[string]bool)
+
+	for _, pkg := range order {
+		pr := b.buildPackage(pkg, comp, cfg, exts, artifacts, failed)
+		if pr.Succeeded() {
+			artifacts[pkg.Name] = pr.ArtifactKey
+		} else {
+			failed[pkg.Name] = true
+		}
+		res.Cost += pr.Cost
+		res.Packages = append(res.Packages, pr)
+	}
+	return res, nil
+}
+
+func (b *Builder) buildPackage(pkg *swrepo.Package, comp *platform.Compiler, cfg platform.Config,
+	exts *externals.Set, artifacts map[string]string, failed map[string]bool) PackageResult {
+
+	pr := PackageResult{Package: pkg.Name}
+
+	for _, dep := range pkg.Deps {
+		if failed[dep] {
+			pr.FailedDeps = append(pr.FailedDeps, dep)
+		}
+	}
+	if len(pr.FailedDeps) > 0 {
+		sort.Strings(pr.FailedDeps)
+		pr.Status = StatusSkipped
+		return pr
+	}
+
+	sig := b.signature(pkg, cfg, exts, artifacts)
+	if b.UseCache && b.store.Exists(artifactNS, sig) {
+		pr.Status = StatusCached
+		pr.ArtifactKey = sig
+		return pr
+	}
+
+	// Link check: every used API must be provided by the externals.
+	pr.MissingAPIs = exts.MissingAPIs(pkg.UsesAPIs)
+
+	// Compile each unit; the package cost is paid even when it fails
+	// (the compiler ran).
+	for _, u := range pkg.Units {
+		pr.Cost += time.Duration(float64(u.Lines) / b.compileSpeed * float64(time.Second))
+		for _, tr := range u.Traits {
+			v := b.judge(comp, exts, tr)
+			if v == platform.VerdictOK {
+				continue
+			}
+			pr.Diagnostics = append(pr.Diagnostics, Diagnostic{
+				Unit:    u.Name,
+				Trait:   tr,
+				Verdict: v,
+				Message: fmt.Sprintf("%s: %s: %v [%v]", pkg.Name, u.Name, tr, v),
+			})
+		}
+	}
+
+	if pr.Errors() > 0 || len(pr.MissingAPIs) > 0 {
+		pr.Status = StatusFailed
+		return pr
+	}
+
+	tarball, err := b.makeArtifact(pkg, cfg, exts)
+	if err != nil {
+		pr.Status = StatusFailed
+		pr.Diagnostics = append(pr.Diagnostics, Diagnostic{
+			Unit: "(packaging)", Verdict: platform.VerdictError,
+			Message: fmt.Sprintf("%s: packaging failed: %v", pkg.Name, err),
+		})
+		return pr
+	}
+	if _, err := b.store.Put(artifactNS, sig, tarball); err != nil {
+		pr.Status = StatusFailed
+		pr.Diagnostics = append(pr.Diagnostics, Diagnostic{
+			Unit: "(storage)", Verdict: platform.VerdictError,
+			Message: fmt.Sprintf("%s: storing artifact: %v", pkg.Name, err),
+		})
+		return pr
+	}
+	pr.Status = StatusOK
+	pr.ArtifactKey = sig
+	return pr
+}
+
+// judge extends the compiler's trait verdicts with the externals-level
+// judgement for API-era traits.
+func (b *Builder) judge(comp *platform.Compiler, exts *externals.Set, tr platform.Trait) platform.Verdict {
+	if tr == platform.TraitROOTIOv5 {
+		if _, ok := exts.ProvidesAPI("root/io/v5"); ok {
+			return platform.VerdictOK
+		}
+		if _, ok := exts.Get(externals.ROOT); ok {
+			// A ROOT without the v5 I/O layer: ROOT 6 removed it.
+			return platform.VerdictError
+		}
+		// No ROOT at all: the missing-API link check reports it.
+		return platform.VerdictOK
+	}
+	return comp.Judge(tr)
+}
+
+// signature computes the build cache key: a hash of everything that can
+// change the artifact.
+func (b *Builder) signature(pkg *swrepo.Package, cfg platform.Config, exts *externals.Set, artifacts map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "pkg:%s\ncfg:%s\next:%s\n", pkg.Name, cfg.Key(), exts.Key())
+	for _, u := range pkg.Units {
+		fmt.Fprintf(h, "unit:%s:%v:%d:", u.Name, u.Language, u.Lines)
+		for _, tr := range u.Traits {
+			fmt.Fprintf(h, "%d,", tr)
+		}
+		fmt.Fprintln(h)
+	}
+	deps := append([]string(nil), pkg.Deps...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(h, "dep:%s=%s\n", d, artifacts[d])
+	}
+	apis := append([]string(nil), pkg.UsesAPIs...)
+	sort.Strings(apis)
+	for _, a := range apis {
+		fmt.Fprintf(h, "api:%s\n", a)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// makeArtifact builds the package's tarball: one deterministic pseudo
+// object file per unit plus a manifest.
+func (b *Builder) makeArtifact(pkg *swrepo.Package, cfg platform.Config, exts *externals.Set) ([]byte, error) {
+	files := make(map[string][]byte, len(pkg.Units)+1)
+	manifest := fmt.Sprintf("package: %s\nconfig: %s\nexternals: %s\n", pkg.Name, cfg, exts)
+	files["MANIFEST"] = []byte(manifest)
+	for _, u := range pkg.Units {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("%s/%s@%s+%s", pkg.Name, u.Name, cfg.Key(), exts.Key())))
+		files["obj/"+u.Name+".o"] = sum[:]
+	}
+	return storage.PackTarball(files)
+}

@@ -1,0 +1,334 @@
+package buildsys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/simrand"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+func fixture(t *testing.T) (*Builder, *externals.Catalogue, *storage.Store) {
+	t.Helper()
+	store := storage.NewStore()
+	return NewBuilder(platform.NewRegistry(), store), externals.NewCatalogue(), store
+}
+
+func root534Set(t *testing.T, cat *externals.Catalogue) *externals.Set {
+	t.Helper()
+	root, err := cat.Get(externals.ROOT, "5.34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cern, err := cat.Get(externals.CERNLIB, "2006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := cat.Get(externals.MCGen, "1.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return externals.MustSet(root, cern, mc)
+}
+
+func cleanPackage(name string, deps ...string) *swrepo.Package {
+	return &swrepo.Package{
+		Name: name,
+		Deps: deps,
+		Units: []*swrepo.SourceUnit{
+			{Name: "a.cc", Language: swrepo.LangCxx, Traits: []platform.Trait{platform.TraitCxx98}, Lines: 500},
+		},
+	}
+}
+
+func sl5ref() platform.Config { return platform.ReferenceConfig() }
+
+func sl6() platform.Config {
+	return platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+}
+
+func TestCleanRepoBuildsEverywhere(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("liba"))
+	repo.MustAdd(cleanPackage("app", "liba"))
+	exts := root534Set(t, cat)
+
+	for _, cfg := range platform.PaperConfigs() {
+		res, err := b.Build(repo, cfg, exts)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if !res.Succeeded() {
+			t.Fatalf("%v: clean repo failed: %+v", cfg, res.Packages)
+		}
+	}
+}
+
+func TestKAndRFailsOnGcc44(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	pkg := cleanPackage("legacy")
+	pkg.Units[0].Traits = append(pkg.Units[0].Traits, platform.TraitKAndRDecl)
+	repo.MustAdd(pkg)
+	exts := root534Set(t, cat)
+
+	res, err := b.Build(repo, sl5ref(), exts) // gcc4.1: warning only
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := res.Find("legacy")
+	if !pr.Succeeded() || pr.Warnings() == 0 {
+		t.Fatalf("gcc4.1 K&R build = %+v, want success with warning", pr)
+	}
+
+	res, err = b.Build(repo, sl6(), exts) // gcc4.4: error
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ = res.Find("legacy")
+	if pr.Status != StatusFailed || pr.Errors() == 0 {
+		t.Fatalf("gcc4.4 K&R build = %+v, want failure", pr)
+	}
+}
+
+func TestDependentsSkippedOnFailure(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	broken := cleanPackage("broken")
+	broken.Units[0].Traits = append(broken.Units[0].Traits, platform.TraitKAndRDecl)
+	repo.MustAdd(broken)
+	repo.MustAdd(cleanPackage("mid", "broken"))
+	repo.MustAdd(cleanPackage("top", "mid"))
+	repo.MustAdd(cleanPackage("island"))
+
+	res, err := b.Build(repo, sl6(), root534Set(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, failedN, skipped, _ := res.Counts()
+	if failedN != 1 || skipped != 2 || ok != 1 {
+		t.Fatalf("counts = ok%d failed:%d skipped:%d", ok, failedN, skipped)
+	}
+	mid, _ := res.Find("mid")
+	if mid.Status != StatusSkipped || len(mid.FailedDeps) != 1 || mid.FailedDeps[0] != "broken" {
+		t.Fatalf("mid = %+v", mid)
+	}
+}
+
+func TestMissingAPIFailsLink(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	pkg := cleanPackage("ana")
+	pkg.UsesAPIs = []string{"root/hist", "mcgen/ascii"} // ascii only in MCGen 2.1
+	repo.MustAdd(pkg)
+
+	res, err := b.Build(repo, sl5ref(), root534Set(t, cat)) // has MCGen 1.4
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := res.Find("ana")
+	if pr.Status != StatusFailed {
+		t.Fatalf("status = %v, want failed", pr.Status)
+	}
+	if len(pr.MissingAPIs) != 1 || pr.MissingAPIs[0] != "mcgen/ascii" {
+		t.Fatalf("MissingAPIs = %v", pr.MissingAPIs)
+	}
+}
+
+func TestROOTIOv5TraitAgainstROOT6(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	pkg := cleanPackage("io")
+	pkg.Units[0].Traits = append(pkg.Units[0].Traits, platform.TraitROOTIOv5)
+	repo.MustAdd(pkg)
+
+	root6, _ := cat.Get(externals.ROOT, "6.02")
+	exts6 := externals.MustSet(root6)
+	cfg := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.8"}
+	res, err := b.Build(repo, cfg, exts6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := res.Find("io")
+	if pr.Status != StatusFailed {
+		t.Fatalf("ROOT5 I/O against ROOT6 = %v, want failed", pr.Status)
+	}
+	// Against ROOT 5 on the same platform the build is fine.
+	res, err = b.Build(repo, cfg, root534Set(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ = res.Find("io")
+	if !pr.Succeeded() {
+		t.Fatalf("ROOT5 I/O against ROOT5 = %+v, want success", pr)
+	}
+}
+
+func TestUninstallableExternalsIsInputError(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("a"))
+	root6, _ := cat.Get(externals.ROOT, "6.02")
+	// ROOT 6 needs C++11; gcc4.4 cannot install it at all.
+	if _, err := b.Build(repo, sl6(), externals.MustSet(root6)); err == nil {
+		t.Fatal("Build accepted externals that cannot install on the config")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("a"))
+	bad := platform.Config{OS: "SL7", Arch: platform.I386, Compiler: "gcc4.8"}
+	if _, err := b.Build(repo, bad, root534Set(t, cat)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestArtifactStoredAndUnpackable(t *testing.T) {
+	b, cat, store := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("lib"))
+	res, err := b.Build(repo, sl5ref(), root534Set(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := res.Find("lib")
+	data, err := store.Get("artifacts", pr.ArtifactKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := storage.UnpackTarball(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := files["MANIFEST"]; !ok {
+		t.Fatal("artifact missing MANIFEST")
+	}
+	if _, ok := files["obj/a.cc.o"]; !ok {
+		t.Fatalf("artifact missing object file, has %v", keys(files))
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestBuildCacheHit(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("lib"))
+	exts := root534Set(t, cat)
+
+	first, err := b.Build(repo, sl5ref(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Build(repo, sl5ref(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Packages[0].Status != StatusCached {
+		t.Fatalf("second build = %v, want cached", second.Packages[0].Status)
+	}
+	if second.Cost >= first.Cost {
+		t.Fatalf("cached build cost %v >= cold cost %v", second.Cost, first.Cost)
+	}
+	// A different config must not hit the cache.
+	third, err := b.Build(repo, sl6(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Packages[0].Status == StatusCached {
+		t.Fatal("different config hit the cache")
+	}
+}
+
+func TestCacheInvalidatedByPatch(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	pkg := cleanPackage("lib")
+	pkg.Units[0].Traits = append(pkg.Units[0].Traits, platform.TraitAutoPtr)
+	repo.MustAdd(pkg)
+	exts := root534Set(t, cat)
+
+	if _, err := b.Build(repo, sl5ref(), exts); err != nil {
+		t.Fatal(err)
+	}
+	err := repo.Apply(swrepo.Patch{
+		ID: "fix", Package: "lib", Unit: "a.cc",
+		Remove: []platform.Trait{platform.TraitAutoPtr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Build(repo, sl5ref(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packages[0].Status == StatusCached {
+		t.Fatal("patched package hit the stale cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	b, cat, _ := fixture(t)
+	b.UseCache = false
+	repo := swrepo.NewRepository("H1")
+	repo.MustAdd(cleanPackage("lib"))
+	exts := root534Set(t, cat)
+	_, _ = b.Build(repo, sl5ref(), exts)
+	res, _ := b.Build(repo, sl5ref(), exts)
+	if res.Packages[0].Status == StatusCached {
+		t.Fatal("cache hit with caching disabled")
+	}
+}
+
+func TestGeneratedH1RepoBuildShape(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.MustGenerate(swrepo.DefaultSpec("h1"), simrand.New(42))
+	exts := root534Set(t, cat)
+
+	// On the reference platform everything legacy still compiles (K&R is
+	// only a warning on gcc4.1), so the build should largely succeed.
+	ref, err := b.Build(repo, sl5ref(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okRef, failedRef, _, _ := ref.Counts()
+	if okRef < 90 {
+		t.Fatalf("reference build: only %d/100 ok (%d failed)", okRef, failedRef)
+	}
+
+	// The SL6 migration exposes K&R-heavy legacy packages.
+	mig, err := b.Build(repo, sl6(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMig, failedMig, skippedMig, _ := mig.Counts()
+	if failedMig == 0 {
+		t.Fatal("SL6 migration of a legacy-heavy repo failed nothing — defect model inert")
+	}
+	t.Logf("SL6 migration: ok=%d failed=%d skipped=%d", okMig, failedMig, skippedMig)
+}
+
+func TestDiagnosticMessagesNameThePackage(t *testing.T) {
+	b, cat, _ := fixture(t)
+	repo := swrepo.NewRepository("H1")
+	pkg := cleanPackage("legacy")
+	pkg.Units[0].Traits = append(pkg.Units[0].Traits, platform.TraitKAndRDecl)
+	repo.MustAdd(pkg)
+	res, _ := b.Build(repo, sl6(), root534Set(t, cat))
+	pr, _ := res.Find("legacy")
+	if len(pr.Diagnostics) == 0 || !strings.Contains(pr.Diagnostics[0].Message, "legacy") {
+		t.Fatalf("diagnostics = %+v", pr.Diagnostics)
+	}
+}

@@ -1,0 +1,549 @@
+// Package chain builds full analysis chains as sequences of validation
+// tests: "from MC generation and simulation, through multi-level file
+// production and ending with a full physics analysis and subsequent
+// validation of the results" (Figure 2).
+//
+// Each stage is a valtest.Test depending on its predecessor; the runner
+// executes them sequentially while standalone tests proceed in parallel.
+// Stages communicate through files on the common storage, addressed
+// under the job's SP_WORKDIR shell variable — the paper's thin
+// script-variable interface.
+//
+// The final stage validates the analysis histograms against the
+// reference on the common storage. The comparator is chosen from the
+// reference's recorded provenance: if the candidate ran with the same
+// external numeric revision, results must agree within a tight relative
+// tolerance (legitimate floating-point drift only); if the external
+// software changed its numeric behaviour (a new ROOT), agreement is
+// judged statistically (chi²) instead — the framework's mechanism for
+// telling a legitimate upgrade apart from a silent bug.
+package chain
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/hepfile"
+	"repro/internal/hepsim"
+	"repro/internal/histo"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// Stage identifies one link of the analysis chain.
+type Stage int
+
+const (
+	// StageGen is Monte-Carlo event generation.
+	StageGen Stage = iota
+	// StageSim is detector simulation.
+	StageSim
+	// StageReco is reconstruction (DST production).
+	StageReco
+	// StageODS is physics-object selection (ODS production).
+	StageODS
+	// StageHAT is ntuple production.
+	StageHAT
+	// StageAnalysis fills the physics distributions.
+	StageAnalysis
+	// StageValidate compares distributions against the reference.
+	StageValidate
+	numStages int = iota
+)
+
+var stageNames = [...]string{"gen", "sim", "reco", "ods", "hat", "analysis", "validate"}
+
+// String returns the stage's short name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Stages returns all stages in chain order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Spec describes one analysis chain.
+type Spec struct {
+	// Name identifies the chain within the experiment's suite, e.g.
+	// "mainchain".
+	Name string
+	// Events is the number of Monte-Carlo events to run.
+	Events int
+	// Gen configures the event generator.
+	Gen hepsim.GenConfig
+	// Det configures the detector simulation.
+	Det hepsim.Detector
+	// StagePackages maps each executing stage to the repository package
+	// implementing it. The package must have built for the stage to run,
+	// and its source traits determine the stage's runtime effects.
+	StagePackages map[Stage]string
+	// MinLeadPt and MinMult are the ODS selection cuts.
+	MinLeadPt float64
+	MinMult   int32
+	// RelTol is the same-revision validation tolerance (maximum relative
+	// bin difference).
+	RelTol float64
+	// MaxChi2 is the cross-revision statistical compatibility limit
+	// (chi² per degree of freedom).
+	MaxChi2 float64
+}
+
+// DefaultSpec returns a chain spec with the reproduction's standard
+// physics and cuts, running the given number of events.
+func DefaultSpec(name string, events int, seed uint64) Spec {
+	return Spec{
+		Name:      name,
+		Events:    events,
+		Gen:       hepsim.DefaultGenConfig(seed),
+		Det:       hepsim.DefaultDetector(seed + 1),
+		MinLeadPt: 2,
+		MinMult:   2,
+		RelTol:    1e-9,
+		MaxChi2:   2.0,
+	}
+}
+
+// Validate reports the first invalid spec field.
+func (sp *Spec) Validate() error {
+	if sp.Name == "" {
+		return fmt.Errorf("chain: spec needs a name")
+	}
+	if sp.Events <= 0 {
+		return fmt.Errorf("chain: %s: events must be positive, got %d", sp.Name, sp.Events)
+	}
+	if err := sp.Gen.Validate(); err != nil {
+		return err
+	}
+	if err := sp.Det.Validate(); err != nil {
+		return err
+	}
+	if sp.RelTol <= 0 || sp.MaxChi2 <= 0 {
+		return fmt.Errorf("chain: %s: tolerances must be positive", sp.Name)
+	}
+	return nil
+}
+
+// Storage namespaces used by chains.
+const (
+	// FilesNS holds per-run chain files (GEN/SIM/DST/ODS/HAT and
+	// histograms), keyed under SP_WORKDIR.
+	FilesNS = "files"
+	// RefsNS holds validation references and their provenance.
+	RefsNS = "refs"
+)
+
+// stageTestName returns "<chain>/<stage>".
+func (sp *Spec) stageTestName(st Stage) string {
+	return sp.Name + "/" + st.String()
+}
+
+// fileKey returns the storage key of a chain file in the run's workdir.
+func fileKey(env storage.Env, chainName string, level hepfile.Level) string {
+	return env[storage.EnvWorkDir] + "/" + chainName + "/" + level.String()
+}
+
+// histKey returns the storage key of an analysis histogram in the run's
+// workdir.
+func histKey(env storage.Env, chainName, hist string) string {
+	return env[storage.EnvWorkDir] + "/" + chainName + "/hist/" + hist
+}
+
+// RefKey returns the reference key for a chain histogram.
+func RefKey(experiment, chainName, hist string) string {
+	return experiment + "/" + chainName + "/" + hist
+}
+
+// refProvenance records where a validation reference came from, stored
+// alongside it; the validate stage uses it to pick a comparator.
+type refProvenance struct {
+	Config     string `json:"config"`
+	Externals  string `json:"externals"`
+	NumericRev int    `json:"numeric_rev"`
+	RunID      string `json:"run_id"`
+}
+
+func provKey(refKey string) string { return refKey + "/provenance" }
+
+// Tests expands the spec into its chain of validation tests, in order,
+// each depending on the previous stage.
+func (sp *Spec) Tests() ([]valtest.Test, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	var tests []valtest.Test
+	var prev string
+	add := func(st Stage, fn func(ctx *valtest.Context) valtest.Result) {
+		name := sp.stageTestName(st)
+		var deps []string
+		if prev != "" {
+			deps = []string{prev}
+		}
+		tests = append(tests, &valtest.FuncTest{
+			TestName: name,
+			Cat:      valtest.CatChain,
+			Deps:     deps,
+			Fn:       fn,
+		})
+		prev = name
+	}
+
+	add(StageGen, sp.runGen)
+	add(StageSim, sp.runSim)
+	add(StageReco, sp.runReco)
+	add(StageODS, sp.runODS)
+	add(StageHAT, sp.runHAT)
+	add(StageAnalysis, sp.runAnalysis)
+	add(StageValidate, sp.runValidate)
+	return tests, nil
+}
+
+// stageEffects resolves the runtime effects for a stage from its
+// implementing package's traits, and verifies the package built. The
+// second return is a non-empty skip reason when the stage cannot run.
+func (sp *Spec) stageEffects(ctx *valtest.Context, st Stage) (hepsim.Effects, string, error) {
+	extRev := ctx.Externals.NumericRev(externals.ROOT)
+	pkgName, ok := sp.StagePackages[st]
+	if !ok {
+		// Stage not tied to a package: clean code, only external revs
+		// apply.
+		return hepsim.Effects{SmearRev: extRev}, "", nil
+	}
+	if ctx.Build != nil {
+		if pr, found := ctx.Build.Find(pkgName); found && !pr.Succeeded() {
+			return hepsim.Effects{}, fmt.Sprintf("package %s did not build (%v)", pkgName, pr.Status), nil
+		}
+	}
+	pkg, err := ctx.Repo.Get(pkgName)
+	if err != nil {
+		return hepsim.Effects{}, "", err
+	}
+	eff, err := hepsim.EffectsFor(ctx.Config, ctx.Registry, pkg.Traits(), extRev)
+	if err != nil {
+		return hepsim.Effects{}, "", err
+	}
+	return eff, "", nil
+}
+
+func errorResult(detail string) valtest.Result {
+	return valtest.Result{Outcome: valtest.OutcomeError, Detail: detail}
+}
+
+func skipResult(detail string) valtest.Result {
+	return valtest.Result{Outcome: valtest.OutcomeSkip, Detail: detail}
+}
+
+func (sp *Spec) runGen(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageGen)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	if eff.Crash {
+		return errorResult("generator crashed (miscompiled aliasing violation)")
+	}
+	gen, err := hepsim.NewGenerator(sp.Gen)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	evs := gen.GenerateN(sp.Events)
+	data, err := hepfile.WriteEvents(hepfile.GEN, evs)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	key := fileKey(ctx.Env, sp.Name, hepfile.GEN)
+	if _, err := ctx.Store.Put(FilesNS, key, data); err != nil {
+		return errorResult(err.Error())
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("generated %d events", len(evs)),
+		OutputKey: key,
+		Cost:      time.Duration(sp.Events) * 200 * time.Microsecond,
+	}
+}
+
+func (sp *Spec) runSim(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageSim)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	data, err := ctx.Store.Get(FilesNS, fileKey(ctx.Env, sp.Name, hepfile.GEN))
+	if err != nil {
+		return errorResult(fmt.Sprintf("GEN file: %v", err))
+	}
+	_, evs, err := hepfile.ReadEvents(data)
+	if err != nil {
+		return errorResult(fmt.Sprintf("GEN file: %v", err))
+	}
+	sim, err := sp.Det.SimulateAll(evs, eff)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	out, err := hepfile.WriteEvents(hepfile.SIM, sim)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	key := fileKey(ctx.Env, sp.Name, hepfile.SIM)
+	if _, err := ctx.Store.Put(FilesNS, key, out); err != nil {
+		return errorResult(err.Error())
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("simulated %d events", len(sim)),
+		OutputKey: key,
+		Cost:      time.Duration(sp.Events) * 500 * time.Microsecond,
+	}
+}
+
+func (sp *Spec) runReco(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageReco)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	data, err := ctx.Store.Get(FilesNS, fileKey(ctx.Env, sp.Name, hepfile.SIM))
+	if err != nil {
+		return errorResult(fmt.Sprintf("SIM file: %v", err))
+	}
+	_, evs, err := hepfile.ReadEvents(data)
+	if err != nil {
+		return errorResult(fmt.Sprintf("SIM file: %v", err))
+	}
+	recs, err := hepsim.ReconstructAll(evs, eff)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	out, err := hepfile.WriteReco(hepfile.DST, recs)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	key := fileKey(ctx.Env, sp.Name, hepfile.DST)
+	if _, err := ctx.Store.Put(FilesNS, key, out); err != nil {
+		return errorResult(err.Error())
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("reconstructed %d events", len(recs)),
+		OutputKey: key,
+		Cost:      time.Duration(sp.Events) * time.Millisecond,
+	}
+}
+
+func (sp *Spec) runODS(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageODS)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	if eff.Crash {
+		return errorResult("ODS selection crashed (miscompiled aliasing violation)")
+	}
+	data, err := ctx.Store.Get(FilesNS, fileKey(ctx.Env, sp.Name, hepfile.DST))
+	if err != nil {
+		return errorResult(fmt.Sprintf("DST file: %v", err))
+	}
+	_, recs, err := hepfile.ReadReco(data)
+	if err != nil {
+		return errorResult(fmt.Sprintf("DST file: %v", err))
+	}
+	selected := recs[:0]
+	for _, r := range recs {
+		if r.LeadPt >= sp.MinLeadPt && r.Multiplicity >= sp.MinMult {
+			selected = append(selected, r)
+		}
+	}
+	out, err := hepfile.WriteReco(hepfile.ODS, selected)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	key := fileKey(ctx.Env, sp.Name, hepfile.ODS)
+	if _, err := ctx.Store.Put(FilesNS, key, out); err != nil {
+		return errorResult(err.Error())
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("selected %d/%d events", len(selected), len(recs)),
+		OutputKey: key,
+		Cost:      time.Duration(sp.Events) * 100 * time.Microsecond,
+	}
+}
+
+func (sp *Spec) runHAT(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageHAT)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	if eff.Crash {
+		return errorResult("HAT production crashed (miscompiled aliasing violation)")
+	}
+	data, err := ctx.Store.Get(FilesNS, fileKey(ctx.Env, sp.Name, hepfile.ODS))
+	if err != nil {
+		return errorResult(fmt.Sprintf("ODS file: %v", err))
+	}
+	_, recs, err := hepfile.ReadReco(data)
+	if err != nil {
+		return errorResult(fmt.Sprintf("ODS file: %v", err))
+	}
+	sums := make([]hepsim.Summary, len(recs))
+	for i, r := range recs {
+		sums[i] = hepsim.Summarize(r)
+	}
+	out, err := hepfile.WriteSummaries(sums)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	key := fileKey(ctx.Env, sp.Name, hepfile.HAT)
+	if _, err := ctx.Store.Put(FilesNS, key, out); err != nil {
+		return errorResult(err.Error())
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("wrote %d summaries", len(sums)),
+		OutputKey: key,
+		Cost:      time.Duration(sp.Events) * 50 * time.Microsecond,
+	}
+}
+
+func (sp *Spec) runAnalysis(ctx *valtest.Context) valtest.Result {
+	eff, skip, err := sp.stageEffects(ctx, StageAnalysis)
+	if err != nil {
+		return errorResult(err.Error())
+	}
+	if skip != "" {
+		return skipResult(skip)
+	}
+	if eff.Crash {
+		return errorResult("analysis crashed (miscompiled aliasing violation)")
+	}
+	data, err := ctx.Store.Get(FilesNS, fileKey(ctx.Env, sp.Name, hepfile.HAT))
+	if err != nil {
+		return errorResult(fmt.Sprintf("HAT file: %v", err))
+	}
+	sums, err := hepfile.ReadSummaries(data)
+	if err != nil {
+		return errorResult(fmt.Sprintf("HAT file: %v", err))
+	}
+	res := hepsim.Analyze(sums, sp.Gen.ResonanceMass)
+	var firstKey string
+	for _, h := range res.Histograms() {
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			return errorResult(err.Error())
+		}
+		key := histKey(ctx.Env, sp.Name, h.Name())
+		if _, err := ctx.Store.Put(FilesNS, key, blob); err != nil {
+			return errorResult(err.Error())
+		}
+		if firstKey == "" {
+			firstKey = key
+		}
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    fmt.Sprintf("analysed %d events into %d histograms", len(sums), len(res.Histograms())),
+		OutputKey: firstKey,
+		Cost:      time.Duration(sp.Events) * 20 * time.Microsecond,
+	}
+}
+
+func (sp *Spec) runValidate(ctx *valtest.Context) valtest.Result {
+	extRev := ctx.Externals.NumericRev(externals.ROOT)
+	names := []string{"ana/mass", "ana/leadpt", "ana/mult"}
+	var worst float64
+	established := 0
+	for _, hn := range names {
+		candKey := histKey(ctx.Env, sp.Name, hn)
+		candData, err := ctx.Store.Get(FilesNS, candKey)
+		if err != nil {
+			return errorResult(fmt.Sprintf("candidate %s: %v", hn, err))
+		}
+		cand, err := histo.UnmarshalH1D(candData)
+		if err != nil {
+			return errorResult(fmt.Sprintf("candidate %s: %v", hn, err))
+		}
+
+		refKey := RefKey(ctx.Repo.Experiment, sp.Name, hn)
+		if !ctx.Store.Exists(RefsNS, refKey) {
+			// First successful pass establishes the reference.
+			if _, err := ctx.Store.Put(RefsNS, refKey, candData); err != nil {
+				return errorResult(err.Error())
+			}
+			prov, _ := json.Marshal(refProvenance{
+				Config:     ctx.Config.String(),
+				Externals:  ctx.Externals.String(),
+				NumericRev: extRev,
+				RunID:      ctx.Env[storage.EnvRunID],
+			})
+			if _, err := ctx.Store.Put(RefsNS, provKey(refKey), prov); err != nil {
+				return errorResult(err.Error())
+			}
+			established++
+			continue
+		}
+
+		refData, err := ctx.Store.Get(RefsNS, refKey)
+		if err != nil {
+			return errorResult(err.Error())
+		}
+		ref, err := histo.UnmarshalH1D(refData)
+		if err != nil {
+			return errorResult(fmt.Sprintf("reference %s: %v", hn, err))
+		}
+		var prov refProvenance
+		if provData, err := ctx.Store.Get(RefsNS, provKey(refKey)); err == nil {
+			_ = json.Unmarshal(provData, &prov)
+		}
+
+		var cmp histo.Comparison
+		if prov.NumericRev == extRev {
+			cmp, err = histo.MaxRelDiff(ref, cand, sp.RelTol)
+		} else {
+			cmp, err = histo.Chi2(ref, cand, sp.MaxChi2)
+		}
+		if err != nil {
+			return errorResult(fmt.Sprintf("comparing %s: %v", hn, err))
+		}
+		if cmp.Statistic > worst {
+			worst = cmp.Statistic
+		}
+		if !cmp.Compatible {
+			return valtest.Result{
+				Outcome:   valtest.OutcomeFail,
+				Detail:    fmt.Sprintf("%s: %s", hn, cmp.Detail),
+				Statistic: cmp.Statistic,
+			}
+		}
+	}
+	detail := fmt.Sprintf("%d histograms compatible with reference", len(names))
+	if established > 0 {
+		detail = fmt.Sprintf("%d references established, %d compared", established, len(names)-established)
+	}
+	return valtest.Result{
+		Outcome:   valtest.OutcomePass,
+		Detail:    detail,
+		Statistic: worst,
+		Cost:      time.Duration(len(names)) * 10 * time.Millisecond,
+	}
+}

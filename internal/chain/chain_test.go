@@ -1,0 +1,287 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buildsys"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+)
+
+// fixture assembles a complete execution context for chain tests. The
+// repo's "reco" package carries the given traits.
+type fixture struct {
+	store *storage.Store
+	reg   *platform.Registry
+	cat   *externals.Catalogue
+	repo  *swrepo.Repository
+}
+
+func newFixture(t *testing.T, recoTraits ...platform.Trait) *fixture {
+	t.Helper()
+	f := &fixture{
+		store: storage.NewStore(),
+		reg:   platform.NewRegistry(),
+		cat:   externals.NewCatalogue(),
+		repo:  swrepo.NewRepository("H1"),
+	}
+	mkPkg := func(name string, traits ...platform.Trait) *swrepo.Package {
+		return &swrepo.Package{Name: name, Units: []*swrepo.SourceUnit{{
+			Name: "main.cc", Language: swrepo.LangCxx,
+			Traits: append([]platform.Trait{platform.TraitCxx98}, traits...),
+			Lines:  300,
+		}}}
+	}
+	f.repo.MustAdd(mkPkg("h1gen"))
+	f.repo.MustAdd(mkPkg("h1sim"))
+	f.repo.MustAdd(mkPkg("h1reco", recoTraits...))
+	f.repo.MustAdd(mkPkg("h1ana"))
+	return f
+}
+
+func (f *fixture) context(t *testing.T, cfg platform.Config, rootVersion, workdir string) *valtest.Context {
+	t.Helper()
+	root, err := f.cat.Get(externals.ROOT, rootVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exts := externals.MustSet(root)
+	build, err := buildsys.NewBuilder(f.reg, f.store).Build(f.repo, cfg, exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &valtest.Context{
+		Store: f.store,
+		Env: storage.Env{
+			storage.EnvWorkDir: workdir,
+			storage.EnvRunID:   workdir,
+			storage.EnvConfig:  cfg.String(),
+		},
+		Config:    cfg,
+		Registry:  f.reg,
+		Externals: exts,
+		Repo:      f.repo,
+		Build:     build,
+	}
+}
+
+func spec() Spec {
+	sp := DefaultSpec("mainchain", 2000, 77)
+	sp.StagePackages = map[Stage]string{
+		StageGen:      "h1gen",
+		StageSim:      "h1sim",
+		StageReco:     "h1reco",
+		StageAnalysis: "h1ana",
+	}
+	return sp
+}
+
+// runChain executes all chain tests in order, stopping at the first
+// non-pass if stopOnFailure.
+func runChain(t *testing.T, sp Spec, ctx *valtest.Context) []valtest.Result {
+	t.Helper()
+	tests, err := sp.Tests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []valtest.Result
+	failed := false
+	for _, test := range tests {
+		if failed {
+			out = append(out, valtest.Result{Test: test.Name(), Outcome: valtest.OutcomeSkip})
+			continue
+		}
+		res := test.Run(ctx)
+		out = append(out, res)
+		if !res.Outcome.Passed() {
+			failed = true
+		}
+	}
+	return out
+}
+
+func TestChainPassesOnReference(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	results := runChain(t, spec(), ctx)
+	if len(results) != 7 {
+		t.Fatalf("stages = %d, want 7", len(results))
+	}
+	for _, r := range results {
+		if r.Outcome != valtest.OutcomePass {
+			t.Fatalf("%s: %v (%s)", r.Test, r.Outcome, r.Detail)
+		}
+	}
+	if !strings.Contains(results[6].Detail, "references established") {
+		t.Fatalf("first validate should establish references: %s", results[6].Detail)
+	}
+}
+
+func TestChainReproducible(t *testing.T) {
+	f := newFixture(t)
+	ctx1 := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	_ = runChain(t, spec(), ctx1)
+	// Second identical run must compare bit-identically against the
+	// established references.
+	ctx2 := f.context(t, platform.ReferenceConfig(), "5.34", "run-0002")
+	results := runChain(t, spec(), ctx2)
+	val := results[6]
+	if val.Outcome != valtest.OutcomePass {
+		t.Fatalf("revalidation failed: %s", val.Detail)
+	}
+	if val.Statistic != 0 {
+		t.Fatalf("identical rerun has nonzero statistic %g", val.Statistic)
+	}
+}
+
+func TestChainToleratesX87Drift(t *testing.T) {
+	f := newFixture(t, platform.TraitX87Sensitive)
+	ref := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	_ = runChain(t, spec(), ref)
+
+	sl532 := platform.Config{OS: "SL5", Arch: platform.I386, Compiler: "gcc4.1"}
+	ctx := f.context(t, sl532, "5.34", "run-0002")
+	results := runChain(t, spec(), ctx)
+	val := results[6]
+	if val.Outcome != valtest.OutcomePass {
+		t.Fatalf("x87 drift rejected: %s", val.Detail)
+	}
+}
+
+func TestChainCatchesUninitMemoryBias(t *testing.T) {
+	f := newFixture(t, platform.TraitUninitMemory)
+	ref := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	for _, r := range runChain(t, spec(), ref) {
+		if !r.Outcome.Passed() {
+			t.Fatalf("reference run failed at %s: %s", r.Test, r.Detail)
+		}
+	}
+
+	// Migrating to gcc4.4 activates the bias; validation must fail.
+	sl6 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	ctx := f.context(t, sl6, "5.34", "run-0002")
+	results := runChain(t, spec(), ctx)
+	val := results[6]
+	if val.Outcome != valtest.OutcomeFail {
+		t.Fatalf("uninit-memory bias not caught: %v (%s)", val.Outcome, val.Detail)
+	}
+}
+
+func TestChainCatchesPtrCastCorruption(t *testing.T) {
+	// Reference on 32-bit (where the defect is harmless), then migrate to
+	// 64-bit: corrupted events must fail validation.
+	f := newFixture(t, platform.TraitPtrIntCast)
+	sl532 := platform.Config{OS: "SL5", Arch: platform.I386, Compiler: "gcc4.1"}
+	ref := f.context(t, sl532, "5.34", "run-0001")
+	for _, r := range runChain(t, spec(), ref) {
+		if !r.Outcome.Passed() {
+			t.Fatalf("32-bit reference run failed at %s: %s", r.Test, r.Detail)
+		}
+	}
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0002")
+	results := runChain(t, spec(), ctx)
+	val := results[6]
+	if val.Outcome != valtest.OutcomeFail {
+		t.Fatalf("64-bit corruption not caught: %v (%s)", val.Outcome, val.Detail)
+	}
+}
+
+func TestChainCrashesOnAliasingUnderOptimizer(t *testing.T) {
+	f := newFixture(t, platform.TraitStrictAliasing)
+	ref := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	for _, r := range runChain(t, spec(), ref) {
+		if !r.Outcome.Passed() {
+			t.Fatalf("gcc4.1 run failed at %s: %s", r.Test, r.Detail)
+		}
+	}
+	sl6 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	ctx := f.context(t, sl6, "5.34", "run-0002")
+	results := runChain(t, spec(), ctx)
+	// The reco stage must error; downstream stages skip.
+	if results[2].Outcome != valtest.OutcomeError {
+		t.Fatalf("reco = %v (%s), want error", results[2].Outcome, results[2].Detail)
+	}
+	for _, r := range results[3:] {
+		if r.Outcome != valtest.OutcomeSkip {
+			t.Fatalf("%s = %v, want skip after crash", r.Test, r.Outcome)
+		}
+	}
+}
+
+func TestChainCrossRevisionUsesChi2(t *testing.T) {
+	f := newFixture(t)
+	ref := f.context(t, platform.ReferenceConfig(), "5.26", "run-0001") // NumericRev 1
+	_ = runChain(t, spec(), ref)
+
+	// New ROOT revision: smearing stream changes, histograms differ
+	// bin-by-bin but are statistically compatible — validation must pass
+	// via the chi² path.
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0002") // NumericRev 3
+	results := runChain(t, spec(), ctx)
+	val := results[6]
+	if val.Outcome != valtest.OutcomePass {
+		t.Fatalf("cross-revision validation failed: %s", val.Detail)
+	}
+	if val.Statistic == 0 {
+		t.Fatal("cross-revision comparison should not be bit-identical")
+	}
+}
+
+func TestChainSkipsWhenStagePackageBroken(t *testing.T) {
+	f := newFixture(t, platform.TraitCxx11) // h1reco cannot build on gcc4.1
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	results := runChain(t, spec(), ctx)
+	if results[2].Outcome != valtest.OutcomeSkip {
+		t.Fatalf("reco = %v, want skip when package failed to build", results[2].Outcome)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x"},
+		func() Spec { s := DefaultSpec("x", 10, 1); s.RelTol = 0; return s }(),
+		func() Spec { s := DefaultSpec("x", 10, 1); s.Gen.ResonanceMass = -1; return s }(),
+	}
+	for i, sp := range bad {
+		if _, err := sp.Tests(); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestTestsWiring(t *testing.T) {
+	sp := spec()
+	tests, err := sp.Tests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 7 {
+		t.Fatalf("tests = %d", len(tests))
+	}
+	if tests[0].DependsOn() != nil {
+		t.Fatal("gen stage has dependencies")
+	}
+	for i := 1; i < len(tests); i++ {
+		deps := tests[i].DependsOn()
+		if len(deps) != 1 || deps[0] != tests[i-1].Name() {
+			t.Fatalf("stage %d deps = %v", i, deps)
+		}
+		if tests[i].Category() != valtest.CatChain {
+			t.Fatalf("stage %d category = %v", i, tests[i].Category())
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	want := []string{"gen", "sim", "reco", "ods", "hat", "analysis", "validate"}
+	for i, st := range Stages() {
+		if st.String() != want[i] {
+			t.Errorf("stage %d = %q", i, st.String())
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// Failure injection: the chain must fail loudly — never silently — when
+// intermediate files or references are damaged on the common storage.
+
+func TestSimStageRejectsCorruptGENFile(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	sp := spec()
+	tests, err := sp.Tests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run gen, then corrupt its output in place.
+	if res := tests[0].Run(ctx); res.Outcome != valtest.OutcomePass {
+		t.Fatalf("gen = %+v", res)
+	}
+	key := "run-0001/mainchain/GEN"
+	data, err := f.store.Get(FilesNS, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]byte, len(data))
+	copy(bad, data)
+	bad[len(bad)/3] ^= 0xFF
+	if _, err := f.store.Put(FilesNS, key, bad); err != nil {
+		t.Fatal(err)
+	}
+
+	res := tests[1].Run(ctx) // sim
+	if res.Outcome != valtest.OutcomeError {
+		t.Fatalf("sim on corrupt GEN = %v (%s), want error", res.Outcome, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "GEN") {
+		t.Fatalf("detail does not name the damaged input: %q", res.Detail)
+	}
+}
+
+func TestValidateRejectsCorruptReference(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	sp := spec()
+	// Full first pass establishes references.
+	for _, res := range runChain(t, sp, ctx) {
+		if !res.Outcome.Passed() {
+			t.Fatalf("first pass failed at %s", res.Test)
+		}
+	}
+	// Corrupt one stored reference histogram.
+	refKey := RefKey("H1", sp.Name, "ana/mass")
+	if _, err := f.store.Put(RefsNS, refKey, []byte("not a histogram")); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := f.context(t, platform.ReferenceConfig(), "5.34", "run-0002")
+	results := runChain(t, sp, ctx2)
+	val := results[6]
+	if val.Outcome != valtest.OutcomeError {
+		t.Fatalf("validate on corrupt reference = %v (%s), want error", val.Outcome, val.Detail)
+	}
+}
+
+func TestStagesErrorWithoutUpstreamFiles(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	sp := spec()
+	tests, err := sp.Tests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run stages 1..5 without their inputs (gen never ran).
+	for i := 1; i <= 5; i++ {
+		res := tests[i].Run(ctx)
+		if res.Outcome != valtest.OutcomeError {
+			t.Fatalf("stage %s without input = %v, want error", tests[i].Name(), res.Outcome)
+		}
+	}
+}
+
+func TestChainIsolatedPerWorkdir(t *testing.T) {
+	// Two runs with different SP_WORKDIR must not share files.
+	f := newFixture(t)
+	sp := spec()
+	ctx1 := f.context(t, platform.ReferenceConfig(), "5.34", "run-A")
+	for _, res := range runChain(t, sp, ctx1) {
+		if !res.Outcome.Passed() {
+			t.Fatalf("run-A failed at %s", res.Test)
+		}
+	}
+	if !f.store.Exists(FilesNS, "run-A/mainchain/GEN") {
+		t.Fatal("run-A files missing")
+	}
+	if f.store.Exists(FilesNS, "run-B/mainchain/GEN") {
+		t.Fatal("run-B files exist before run-B ran")
+	}
+	ctx2 := f.context(t, platform.ReferenceConfig(), "5.34", "run-B")
+	for _, res := range runChain(t, sp, ctx2) {
+		if !res.Outcome.Passed() {
+			t.Fatalf("run-B failed at %s", res.Test)
+		}
+	}
+	// Keep-everything: run-A's files are still there.
+	if !f.store.Exists(FilesNS, "run-A/mainchain/HAT") {
+		t.Fatal("run-A files evicted by run-B")
+	}
+}
+
+func TestValidateWithMissingWorkdirEnv(t *testing.T) {
+	f := newFixture(t)
+	ctx := f.context(t, platform.ReferenceConfig(), "5.34", "run-0001")
+	delete(ctx.Env, storage.EnvWorkDir)
+	sp := spec()
+	tests, _ := sp.Tests()
+	// gen writes under an empty workdir prefix; the chain still works as
+	// a unit (keys are just unprefixed) — this documents tolerated
+	// behaviour rather than an error path.
+	res := tests[0].Run(ctx)
+	if res.Outcome != valtest.OutcomePass {
+		t.Fatalf("gen without workdir = %v (%s)", res.Outcome, res.Detail)
+	}
+	if res.OutputKey != "/mainchain/GEN" {
+		t.Fatalf("output key = %q", res.OutputKey)
+	}
+}

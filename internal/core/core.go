@@ -1,0 +1,360 @@
+// Package core assembles the sp-system: the validation framework for
+// the long-term preservation of high-energy-physics data described by
+// Ozerov and South (DPHEP / DESY).
+//
+// SPSystem wires together the framework's parts exactly as Figure 1
+// separates its inputs: the experiment-specific software (swrepo), the
+// external dependencies (externals) and the operating system/compiler
+// (platform) enter independently; the framework builds the software on
+// virtual-machine images (vmhost, buildsys), runs the experiments'
+// validation suites (valtest, chain, runner) on a cron cadence (cron),
+// keeps complete bookkeeping (storage, bookkeep) and publishes status
+// pages (report). Migration campaigns (migrate) and long-horizon
+// strategy studies (lifetime) build on the same instance.
+//
+// Typical use:
+//
+//	sys := core.New()
+//	sys.RegisterExperiment(experiments.H1())
+//	exts, _ := experiments.StandardSet(sys.Catalogue)
+//	rec, _ := sys.Validate("H1", platform.ReferenceConfig(), exts, "baseline")
+//	fmt.Println(rec.Passed())
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bookkeep"
+	"repro/internal/buildsys"
+	"repro/internal/chain"
+	"repro/internal/cron"
+	"repro/internal/docsys"
+	"repro/internal/experiments"
+	"repro/internal/externals"
+	"repro/internal/hepfile"
+	"repro/internal/migrate"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+	"repro/internal/vmhost"
+)
+
+// ExperimentState is a registered experiment: its definition, generated
+// software repository and validation suite.
+type ExperimentState struct {
+	Def   experiments.Definition
+	Repo  *swrepo.Repository
+	Suite *valtest.Suite
+}
+
+// SPSystem is one instance of the validation framework.
+type SPSystem struct {
+	// Registry catalogues operating systems and compilers.
+	Registry *platform.Registry
+	// Catalogue holds external software releases.
+	Catalogue *externals.Catalogue
+	// Store is the common sp-system storage all clients share.
+	Store *storage.Store
+	// Clock supplies simulated time for job timestamps and scheduling.
+	Clock *simclock.Clock
+	// Host is the virtual-machine inventory.
+	Host *vmhost.Host
+	// Runner executes validation suites.
+	Runner *runner.Runner
+	// Book queries recorded runs.
+	Book *bookkeep.Book
+	// Builder compiles experiment software (shared build cache).
+	Builder *buildsys.Builder
+	// Docs is the level 1 documentation archive (Table 1).
+	Docs *docsys.Archive
+
+	exps map[string]*ExperimentState
+}
+
+// New returns an SPSystem with the paper's platform and external
+// catalogues, an empty common storage and a clock at the 2013 epoch.
+func New() *SPSystem {
+	store := storage.NewStore()
+	clock := simclock.New()
+	reg := platform.NewRegistry()
+	return &SPSystem{
+		Registry:  reg,
+		Catalogue: externals.NewCatalogue(),
+		Store:     store,
+		Clock:     clock,
+		Host:      vmhost.NewHost(store),
+		Runner:    runner.New(store, clock),
+		Book:      bookkeep.New(store),
+		Builder:   buildsys.NewBuilder(reg, store),
+		Docs:      docsys.NewArchive(store),
+		exps:      make(map[string]*ExperimentState),
+	}
+}
+
+// NewWithRegistry returns an SPSystem over a custom platform registry
+// (e.g. lifetime.ExtendedRegistry for long-horizon studies).
+func NewWithRegistry(reg *platform.Registry) *SPSystem {
+	s := New()
+	s.Registry = reg
+	s.Builder = buildsys.NewBuilder(reg, s.Store)
+	return s
+}
+
+// RegisterExperiment generates the experiment's software repository and
+// validation suite and adds it to the system.
+func (s *SPSystem) RegisterExperiment(def experiments.Definition) error {
+	if _, dup := s.exps[def.Name]; dup {
+		return fmt.Errorf("core: experiment %q already registered", def.Name)
+	}
+	repo, err := swrepo.Generate(def.RepoSpec, simrand.New(def.Seed))
+	if err != nil {
+		return fmt.Errorf("core: generating %s repository: %w", def.Name, err)
+	}
+	suite, err := def.BuildSuite(repo)
+	if err != nil {
+		return fmt.Errorf("core: building %s suite: %w", def.Name, err)
+	}
+	s.exps[def.Name] = &ExperimentState{Def: def, Repo: repo, Suite: suite}
+	return nil
+}
+
+// Experiment returns a registered experiment's state.
+func (s *SPSystem) Experiment(name string) (*ExperimentState, error) {
+	st, ok := s.exps[name]
+	if !ok {
+		return nil, fmt.Errorf("core: experiment %q not registered", name)
+	}
+	return st, nil
+}
+
+// Experiments returns registered experiment names, sorted.
+func (s *SPSystem) Experiments() []string {
+	out := make([]string, 0, len(s.exps))
+	for name := range s.exps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProvisionImage builds and registers a VM image for the configuration
+// and externals at the current simulated time.
+func (s *SPSystem) ProvisionImage(cfg platform.Config, exts *externals.Set) (*vmhost.Image, error) {
+	im, err := vmhost.BuildImage(s.Registry, cfg, exts, s.Clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Host.AddImage(im); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// AddClient boots a client machine from an image. Per the paper, the
+// only requirements are common-storage access (implicit in the host)
+// and a cron specification.
+func (s *SPSystem) AddClient(name string, kind vmhost.ClientKind, imageID, cronSpec string) (*vmhost.Client, error) {
+	if _, err := cron.Parse(cronSpec); err != nil {
+		return nil, fmt.Errorf("core: client %q: %w", name, err)
+	}
+	return s.Host.Boot(name, kind, imageID, cronSpec)
+}
+
+// context assembles the execution context for a validation run.
+func (s *SPSystem) context(st *ExperimentState, cfg platform.Config, exts *externals.Set, build *buildsys.Result) *valtest.Context {
+	return &valtest.Context{
+		Store: s.Store,
+		Env: storage.Env{
+			storage.EnvConfig:    cfg.String(),
+			storage.EnvExternals: exts.String(),
+		},
+		Config:    cfg,
+		Registry:  s.Registry,
+		Externals: exts,
+		Repo:      st.Repo,
+		Build:     build,
+	}
+}
+
+// Validate performs one full validation run of the experiment on the
+// configuration: build every package, then run the experiment's suite,
+// recording everything under a fresh run ID. This is the paper's
+// "regular build of the experimental software ... according to the
+// current prescription of the working environment" plus its validation
+// tests.
+func (s *SPSystem) Validate(experiment string, cfg platform.Config, exts *externals.Set, tag string) (*runner.RunRecord, error) {
+	st, err := s.Experiment(experiment)
+	if err != nil {
+		return nil, err
+	}
+	build, err := s.Builder.Build(st.Repo, cfg, exts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Runner.Run(st.Suite, s.context(st, cfg, exts, build), tag)
+}
+
+// RunFunc adapts Validate for the migration planner.
+func (s *SPSystem) RunFunc(experiment string) migrate.RunFunc {
+	return func(cfg platform.Config, exts *externals.Set, tag string) (*runner.RunRecord, error) {
+		return s.Validate(experiment, cfg, exts, tag)
+	}
+}
+
+// Planner returns a migration planner bound to the experiment.
+func (s *SPSystem) Planner(experiment string) (*migrate.Planner, error) {
+	st, err := s.Experiment(experiment)
+	if err != nil {
+		return nil, err
+	}
+	return &migrate.Planner{
+		Repo:     st.Repo,
+		Registry: s.Registry,
+		Book:     s.Book,
+		Run:      s.RunFunc(experiment),
+	}, nil
+}
+
+// MigrateExperiment runs an adapt-and-validate campaign moving the
+// experiment to the target configuration and externals.
+func (s *SPSystem) MigrateExperiment(experiment string, target platform.Config, exts *externals.Set, tag string) (*migrate.Report, error) {
+	p, err := s.Planner(experiment)
+	if err != nil {
+		return nil, err
+	}
+	return p.Migrate(target, exts, tag)
+}
+
+// Diagnose examines a failed run the way the paper prescribes: diff
+// against the last successful run and attribute the regressions.
+func (s *SPSystem) Diagnose(rec *runner.RunRecord) (*bookkeep.Diff, bookkeep.Attribution, error) {
+	diff, err := s.Book.DiffAgainstLastSuccess(rec)
+	if err != nil {
+		return nil, bookkeep.AttrNone, err
+	}
+	return diff, bookkeep.Classify(diff), nil
+}
+
+// Matrix returns the current Figure 3 status matrix.
+func (s *SPSystem) Matrix() ([]bookkeep.Cell, error) { return s.Book.Matrix() }
+
+// PublishReports regenerates the status web pages onto the common
+// storage and returns the number of pages written.
+func (s *SPSystem) PublishReports(title string) (int, error) {
+	return report.PublishSite(s.Store, title)
+}
+
+// Freeze conserves an image at the current simulated time — the final
+// phase of the paper's workflow.
+func (s *SPSystem) Freeze(imageID string) error {
+	return s.Host.Freeze(imageID, s.Clock.Now())
+}
+
+// ScheduleClient registers the client's periodic validation job on the
+// scheduler: at each cron firing, the client validates the experiment on
+// its image's configuration. The optional onRun callback observes each
+// run's record.
+func (s *SPSystem) ScheduleClient(sched *cron.Scheduler, client *vmhost.Client, experiment string, onRun func(*runner.RunRecord, error)) error {
+	if _, err := s.Experiment(experiment); err != nil {
+		return err
+	}
+	return sched.Add(client.Name, client.CronSpec, func(at time.Time) {
+		rec, err := s.Validate(experiment, client.Image.Config, client.Image.Externals,
+			fmt.Sprintf("cron %s on %s", experiment, client.Name))
+		if onRun != nil {
+			onRun(rec, err)
+		}
+	})
+}
+
+// RunScheduled fires every scheduled job due between the current
+// simulated time and `until`, then advances the clock there. It returns
+// the number of firings.
+func (s *SPSystem) RunScheduled(sched *cron.Scheduler, until time.Time) (int, error) {
+	n, err := sched.RunWindow(s.Clock.Now(), until)
+	if err != nil {
+		return n, err
+	}
+	s.Clock.AdvanceTo(until)
+	return n, nil
+}
+
+// DeployRecipe takes a validated recipe (migrate.Report.Recipe), rebuilds
+// its environment as a VM image, and re-runs the experiment's full
+// validation on it — the certification a production site performs before
+// trusting a deployed recipe. It returns the image and the certification
+// run, with an error if the run does not pass.
+func (s *SPSystem) DeployRecipe(experiment, recipeText string) (*vmhost.Image, *runner.RunRecord, error) {
+	st, err := s.Experiment(experiment)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr, err := migrate.ParseRecipe(recipeText)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Repo.Revision < pr.Revision {
+		return nil, nil, fmt.Errorf("core: recipe was validated at revision %d but the %s repository is at %d — apply the recipe's patches first",
+			pr.Revision, experiment, st.Repo.Revision)
+	}
+	exts, err := pr.ResolveExternals(s.Catalogue)
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := s.ProvisionImage(pr.Config, exts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := s.Validate(experiment, pr.Config, exts, fmt.Sprintf("deployment certification of %s", pr.ValidatedBy))
+	if err != nil {
+		return nil, nil, err
+	}
+	if !rec.Passed() {
+		return im, rec, fmt.Errorf("core: deployment certification %s failed — recipe not reproducible on this site", rec.RunID)
+	}
+	return im, rec, nil
+}
+
+// ExportLevel2 reads the HAT-level file a recorded run produced for the
+// named chain and writes DPHEP level 2 exports (self-describing CSV and
+// JSON, Table 1's "outreach, simple training analyses" use case) onto
+// the common storage, returning their keys in the "level2" namespace.
+func (s *SPSystem) ExportLevel2(experiment, runID, chainName string) (csvKey, jsonKey string, err error) {
+	if _, err := s.Experiment(experiment); err != nil {
+		return "", "", err
+	}
+	hatKey := runID + "/" + chainName + "/" + hepfile.HAT.String()
+	data, err := s.Store.Get(chain.FilesNS, hatKey)
+	if err != nil {
+		return "", "", fmt.Errorf("core: no HAT file for run %s chain %s: %w", runID, chainName, err)
+	}
+	sums, err := hepfile.ReadSummaries(data)
+	if err != nil {
+		return "", "", err
+	}
+	description := fmt.Sprintf("%s %s from %s", experiment, chainName, runID)
+	csvData, err := docsys.ExportCSV(sums)
+	if err != nil {
+		return "", "", err
+	}
+	jsonData, err := docsys.ExportJSON(experiment, description, sums)
+	if err != nil {
+		return "", "", err
+	}
+	csvKey = runID + "/" + chainName + ".csv"
+	jsonKey = runID + "/" + chainName + ".json"
+	if _, err := s.Store.Put("level2", csvKey, csvData); err != nil {
+		return "", "", err
+	}
+	if _, err := s.Store.Put("level2", jsonKey, jsonData); err != nil {
+		return "", "", err
+	}
+	return csvKey, jsonKey, nil
+}

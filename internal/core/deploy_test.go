@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/valtest"
+)
+
+func TestDeployRecipeEndToEnd(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterExperiment(legacyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	exts := stdSet(t, sys)
+	if _, err := sys.Validate("H1", platform.OriginalConfig(), exts, "baseline"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.MigrateExperiment("H1", sl6(), exts, "SL6 migration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded {
+		t.Fatal("migration did not converge")
+	}
+
+	// The production site takes the recipe and certifies the deployment.
+	im, rec, err := sys.DeployRecipe("H1", rep.Recipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Config != sl6() {
+		t.Fatalf("image config = %v", im.Config)
+	}
+	if !rec.Passed() {
+		t.Fatal("certification run failed")
+	}
+	if !strings.Contains(rec.Description, rep.FinalRunID) {
+		t.Fatalf("certification description %q does not cite the validating run", rec.Description)
+	}
+}
+
+func TestDeployRecipeRejectsStaleRepository(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterExperiment(tinyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	recipe := "config: SL5/32bit gcc4.1\nexternals: ROOT-5.34\nsoftware-revision: 99\n"
+	if _, _, err := sys.DeployRecipe("H1", recipe); err == nil {
+		t.Fatal("recipe from a future revision accepted")
+	}
+}
+
+func TestDeployRecipeRejectsGarbage(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterExperiment(tinyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.DeployRecipe("H1", "nonsense"); err == nil {
+		t.Fatal("garbage recipe accepted")
+	}
+	if _, _, err := sys.DeployRecipe("GHOST", "config: SL5/32bit gcc4.1\nexternals: ROOT-5.34\nsoftware-revision: 1\n"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunnerContainsPanickingTest(t *testing.T) {
+	// A crashing test executable must become an OutcomeError job, not a
+	// framework crash; siblings still run.
+	sys := New()
+	if err := sys.RegisterExperiment(tinyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := sys.Experiment("H1")
+	st.Suite.MustAdd(&valtest.FuncTest{
+		TestName: "standalone/crasher",
+		Cat:      valtest.CatStandalone,
+		Fn: func(*valtest.Context) valtest.Result {
+			panic("segmentation fault (simulated)")
+		},
+	})
+	exts := stdSet(t, sys)
+	rec, err := sys.Validate("H1", platform.OriginalConfig(), exts, "with crasher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok := rec.Find("standalone/crasher")
+	if !ok {
+		t.Fatal("crasher job not recorded")
+	}
+	if job.Result.Outcome != valtest.OutcomeError {
+		t.Fatalf("crasher outcome = %v", job.Result.Outcome)
+	}
+	if !strings.Contains(job.Result.Detail, "segmentation fault") {
+		t.Fatalf("crash detail lost: %q", job.Result.Detail)
+	}
+	// Every other job ran normally.
+	counts := rec.Counts()
+	if counts[valtest.OutcomeError] != 1 || counts[valtest.OutcomePass] != len(rec.Jobs)-1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

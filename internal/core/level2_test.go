@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/docsys"
+	"repro/internal/platform"
+)
+
+func TestExportLevel2FromRecordedRun(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterExperiment(tinyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	exts := stdSet(t, sys)
+	rec, err := sys.Validate("H1", platform.OriginalConfig(), exts, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Passed() {
+		t.Fatal("baseline failed")
+	}
+
+	csvKey, jsonKey, err := sys.ExportLevel2("H1", rec.RunID, "chain01")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The CSV export reads back without any experiment software.
+	csvData, err := sys.Store.Get("level2", csvKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := docsys.ImportCSV(csvData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) == 0 {
+		t.Fatal("CSV export has no events")
+	}
+
+	jsonData, err := sys.Store.Get("level2", jsonKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, jsonSums, err := docsys.ImportJSON(jsonData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp != "H1" || len(jsonSums) != len(sums) {
+		t.Fatalf("JSON export: exp=%q events=%d, CSV events=%d", exp, len(jsonSums), len(sums))
+	}
+}
+
+func TestExportLevel2Errors(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterExperiment(tinyDef("H1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.ExportLevel2("NOPE", "run-0001", "chain01"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, _, err := sys.ExportLevel2("H1", "run-9999", "chain01"); err == nil {
+		t.Error("missing HAT file accepted")
+	}
+}
+
+func TestDocumentationArchiveOnSystem(t *testing.T) {
+	sys := New()
+	id, err := sys.Docs.Add("H1", docsys.CatManual, "H1 reconstruction guide",
+		"how to run h1reco on the sp-system", 2013, []byte("..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := sys.Docs.Search("H1", "reconstruction")
+	if err != nil || len(hits) != 1 || hits[0].ID != id {
+		t.Fatalf("search = %v, %v", hits, err)
+	}
+	// Level 1 artifacts live on the same common storage and survive a
+	// snapshot like everything else.
+	if !strings.Contains(strings.Join(sys.Store.Namespaces(), ","), "docs-index") {
+		t.Fatal("documentation not on the common storage")
+	}
+}

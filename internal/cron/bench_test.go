@@ -1,0 +1,37 @@
+package cron
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("*/15 2-6 1,15 * 1-5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNextDaily(b *testing.B) {
+	s := MustParse("30 2 * * *")
+	t0 := time.Date(2013, 6, 10, 12, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Next(t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNextSparse(b *testing.B) {
+	// Feb 29 is the worst case for the minute scanner.
+	s := MustParse("0 0 29 2 *")
+	t0 := time.Date(2013, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Next(t0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package cron implements the scheduling substrate of the sp-system.
+//
+// The paper's framework triggers work with plain cron: "a regular build
+// of the experimental software is done automatically", and the ability
+// "to run a cron-job on the client" is one of the two requirements for
+// attaching a machine. This package parses standard five-field cron
+// expressions and drives jobs from the simulated clock, so multi-year
+// validation campaigns execute deterministically.
+package cron
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// field is a bitmask of permitted values for one cron field.
+type field uint64
+
+func (f field) has(v int) bool { return f&(1<<uint(v)) != 0 }
+
+// fieldSpec describes one of the five cron columns.
+type fieldSpec struct {
+	name     string
+	min, max int
+}
+
+var fieldSpecs = [5]fieldSpec{
+	{"minute", 0, 59},
+	{"hour", 0, 23},
+	{"day-of-month", 1, 31},
+	{"month", 1, 12},
+	{"day-of-week", 0, 6},
+}
+
+// Schedule is a parsed cron expression.
+type Schedule struct {
+	fields [5]field
+	// restricted records which of day-of-month and day-of-week were
+	// given explicitly; standard cron ORs them when both are.
+	domRestricted, dowRestricted bool
+	expr                         string
+}
+
+// Parse parses a standard five-field cron expression: minute, hour,
+// day-of-month, month, day-of-week. Each field accepts "*", single
+// values, ranges "a-b", steps "*/n" and "a-b/n", and comma lists.
+func Parse(expr string) (*Schedule, error) {
+	parts := strings.Fields(expr)
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("cron: %q has %d fields, want 5", expr, len(parts))
+	}
+	s := &Schedule{expr: expr}
+	for i, part := range parts {
+		f, restricted, err := parseField(part, fieldSpecs[i])
+		if err != nil {
+			return nil, fmt.Errorf("cron: %q: %w", expr, err)
+		}
+		s.fields[i] = f
+		switch i {
+		case 2:
+			s.domRestricted = restricted
+		case 4:
+			s.dowRestricted = restricted
+		}
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error, for static configuration.
+func MustParse(expr string) *Schedule {
+	s, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String returns the original expression.
+func (s *Schedule) String() string { return s.expr }
+
+func parseField(part string, spec fieldSpec) (field, bool, error) {
+	var f field
+	restricted := true
+	for _, term := range strings.Split(part, ",") {
+		lo, hi, step := spec.min, spec.max, 1
+		body := term
+		if slash := strings.IndexByte(term, '/'); slash >= 0 {
+			body = term[:slash]
+			st, err := strconv.Atoi(term[slash+1:])
+			if err != nil || st <= 0 {
+				return 0, false, fmt.Errorf("%s: bad step in %q", spec.name, term)
+			}
+			step = st
+		}
+		switch {
+		case body == "*":
+			if step == 1 && part == "*" {
+				restricted = false
+			}
+		case strings.Contains(body, "-"):
+			lohi := strings.SplitN(body, "-", 2)
+			l, err1 := strconv.Atoi(lohi[0])
+			h, err2 := strconv.Atoi(lohi[1])
+			if err1 != nil || err2 != nil {
+				return 0, false, fmt.Errorf("%s: bad range %q", spec.name, term)
+			}
+			lo, hi = l, h
+		default:
+			v, err := strconv.Atoi(body)
+			if err != nil {
+				return 0, false, fmt.Errorf("%s: bad value %q", spec.name, term)
+			}
+			lo, hi = v, v
+		}
+		if lo < spec.min || hi > spec.max || lo > hi {
+			return 0, false, fmt.Errorf("%s: %q outside [%d, %d]", spec.name, term, spec.min, spec.max)
+		}
+		for v := lo; v <= hi; v += step {
+			f |= 1 << uint(v)
+		}
+	}
+	if f == 0 {
+		return 0, false, fmt.Errorf("%s: empty set from %q", spec.name, part)
+	}
+	return f, restricted, nil
+}
+
+// Matches reports whether the schedule fires at the given instant
+// (seconds are ignored). Standard cron semantics: when both day-of-month
+// and day-of-week are restricted, a match on either suffices.
+func (s *Schedule) Matches(t time.Time) bool {
+	t = t.UTC()
+	if !s.fields[0].has(t.Minute()) || !s.fields[1].has(t.Hour()) || !s.fields[3].has(int(t.Month())) {
+		return false
+	}
+	domOK := s.fields[2].has(t.Day())
+	dowOK := s.fields[4].has(int(t.Weekday()))
+	if s.domRestricted && s.dowRestricted {
+		return domOK || dowOK
+	}
+	return domOK && dowOK
+}
+
+// Next returns the first instant strictly after t at which the schedule
+// fires. It scans minute-by-minute, bounded at five years — far beyond
+// any satisfiable five-field expression's firing gap.
+func (s *Schedule) Next(t time.Time) (time.Time, error) {
+	cur := t.UTC().Truncate(time.Minute).Add(time.Minute)
+	limit := cur.AddDate(5, 0, 0)
+	for cur.Before(limit) {
+		if s.Matches(cur) {
+			return cur, nil
+		}
+		cur = cur.Add(time.Minute)
+	}
+	return time.Time{}, fmt.Errorf("cron: %q never fires within five years of %v", s.expr, t)
+}
+
+// Job is a named scheduled action.
+type Job struct {
+	Name     string
+	Schedule *Schedule
+	// Run is invoked with the simulated firing instant.
+	Run func(at time.Time)
+}
+
+// Scheduler drives jobs from a simulated clock. It is not safe for
+// concurrent use; campaigns drive it from a single goroutine.
+type Scheduler struct {
+	jobs []Job
+}
+
+// Add registers a job. Jobs fire in registration order when sharing an
+// instant.
+func (sc *Scheduler) Add(name, expr string, run func(at time.Time)) error {
+	if run == nil {
+		return fmt.Errorf("cron: job %q has no action", name)
+	}
+	s, err := Parse(expr)
+	if err != nil {
+		return err
+	}
+	sc.jobs = append(sc.jobs, Job{Name: name, Schedule: s, Run: run})
+	return nil
+}
+
+// Jobs returns registered jobs in registration order.
+func (sc *Scheduler) Jobs() []Job {
+	out := make([]Job, len(sc.jobs))
+	copy(out, sc.jobs)
+	return out
+}
+
+// firing pairs a job with an instant, for ordering.
+type firing struct {
+	at  time.Time
+	idx int
+}
+
+// RunWindow fires every job due in (from, to], in chronological order
+// (ties in registration order), and returns the number of firings. The
+// caller advances its clock to `to` afterwards.
+func (sc *Scheduler) RunWindow(from, to time.Time) (int, error) {
+	var due []firing
+	for i := range sc.jobs {
+		at := from
+		for {
+			next, err := sc.jobs[i].Schedule.Next(at)
+			if err != nil {
+				return 0, err
+			}
+			if next.After(to) {
+				break
+			}
+			due = append(due, firing{at: next, idx: i})
+			at = next
+		}
+	}
+	sort.SliceStable(due, func(a, b int) bool {
+		if !due[a].at.Equal(due[b].at) {
+			return due[a].at.Before(due[b].at)
+		}
+		return due[a].idx < due[b].idx
+	})
+	for _, f := range due {
+		sc.jobs[f.idx].Run(f.at)
+	}
+	return len(due), nil
+}

@@ -1,0 +1,198 @@
+package cron
+
+import (
+	"testing"
+	"time"
+)
+
+func at(y int, m time.Month, d, hh, mm int) time.Time {
+	return time.Date(y, m, d, hh, mm, 0, 0, time.UTC)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"* * * *",
+		"* * * * * *",
+		"60 * * * *",
+		"* 24 * * *",
+		"* * 0 * *",
+		"* * * 13 *",
+		"* * * * 7",
+		"a * * * *",
+		"*/0 * * * *",
+		"5-1 * * * *",
+		"1-99 * * * *",
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestMatchesSimple(t *testing.T) {
+	s := MustParse("30 2 * * *") // 02:30 daily
+	if !s.Matches(at(2013, 6, 10, 2, 30)) {
+		t.Error("02:30 should match")
+	}
+	if s.Matches(at(2013, 6, 10, 2, 31)) {
+		t.Error("02:31 should not match")
+	}
+	if s.Matches(at(2013, 6, 10, 3, 30)) {
+		t.Error("03:30 should not match")
+	}
+}
+
+func TestMatchesStep(t *testing.T) {
+	s := MustParse("*/15 * * * *")
+	for _, mm := range []int{0, 15, 30, 45} {
+		if !s.Matches(at(2013, 1, 1, 5, mm)) {
+			t.Errorf("minute %d should match */15", mm)
+		}
+	}
+	if s.Matches(at(2013, 1, 1, 5, 20)) {
+		t.Error("minute 20 should not match */15")
+	}
+}
+
+func TestMatchesRangeAndList(t *testing.T) {
+	s := MustParse("0 8-17 * * 1-5") // hourly during working hours, weekdays
+	mon := at(2013, 6, 10, 9, 0)     // Monday
+	sun := at(2013, 6, 9, 9, 0)      // Sunday
+	if !s.Matches(mon) {
+		t.Error("Monday 09:00 should match")
+	}
+	if s.Matches(sun) {
+		t.Error("Sunday should not match")
+	}
+	if s.Matches(at(2013, 6, 10, 18, 0)) {
+		t.Error("18:00 should not match 8-17")
+	}
+	list := MustParse("0 0 1,15 * *")
+	if !list.Matches(at(2013, 6, 15, 0, 0)) || list.Matches(at(2013, 6, 14, 0, 0)) {
+		t.Error("comma list mismatch")
+	}
+}
+
+func TestRangeWithStep(t *testing.T) {
+	s := MustParse("10-30/10 * * * *")
+	for _, mm := range []int{10, 20, 30} {
+		if !s.Matches(at(2013, 1, 1, 0, mm)) {
+			t.Errorf("minute %d should match 10-30/10", mm)
+		}
+	}
+	if s.Matches(at(2013, 1, 1, 0, 15)) {
+		t.Error("minute 15 should not match 10-30/10")
+	}
+}
+
+func TestDomDowOrSemantics(t *testing.T) {
+	// Standard cron: both restricted → OR.
+	s := MustParse("0 0 13 * 5") // 13th OR Friday
+	fri14 := at(2013, 6, 14, 0, 0)
+	thu13 := at(2013, 6, 13, 0, 0)
+	wed12 := at(2013, 6, 12, 0, 0)
+	if !s.Matches(fri14) {
+		t.Error("Friday the 14th should match (dow)")
+	}
+	if !s.Matches(thu13) {
+		t.Error("Thursday the 13th should match (dom)")
+	}
+	if s.Matches(wed12) {
+		t.Error("Wednesday the 12th should not match")
+	}
+}
+
+func TestNext(t *testing.T) {
+	s := MustParse("30 2 * * *")
+	next, err := s.Next(at(2013, 6, 10, 2, 30)) // strictly after
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := at(2013, 6, 11, 2, 30)
+	if !next.Equal(want) {
+		t.Fatalf("Next = %v, want %v", next, want)
+	}
+	next, _ = s.Next(at(2013, 6, 10, 1, 0))
+	if !next.Equal(at(2013, 6, 10, 2, 30)) {
+		t.Fatalf("Next same day = %v", next)
+	}
+}
+
+func TestNextMonthBoundary(t *testing.T) {
+	s := MustParse("0 0 1 * *") // midnight on the 1st
+	next, err := s.Next(at(2013, 1, 31, 23, 59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Equal(at(2013, 2, 1, 0, 0)) {
+		t.Fatalf("Next = %v", next)
+	}
+}
+
+func TestNextFeb29(t *testing.T) {
+	s := MustParse("0 0 29 2 *")
+	next, err := s.Next(at(2013, 1, 1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Equal(at(2016, 2, 29, 0, 0)) {
+		t.Fatalf("Next Feb 29 = %v, want 2016-02-29", next)
+	}
+}
+
+func TestSchedulerRunWindow(t *testing.T) {
+	var sc Scheduler
+	var fired []string
+	err := sc.Add("nightly", "0 3 * * *", func(at time.Time) {
+		fired = append(fired, "nightly@"+at.Format("01-02 15:04"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sc.Add("hourly", "0 * * * *", func(at time.Time) {
+		fired = append(fired, "hourly@"+at.Format("01-02 15:04"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := sc.RunWindow(at(2013, 6, 10, 2, 30), at(2013, 6, 10, 4, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hourly at 03:00 and 04:00; nightly at 03:00. Chronological, ties in
+	// registration order (nightly first).
+	want := []string{"nightly@06-10 03:00", "hourly@06-10 03:00", "hourly@06-10 04:00"}
+	if n != len(want) {
+		t.Fatalf("fired %d, want %d: %v", n, len(want), fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("firing %d = %q, want %q", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestSchedulerAddValidation(t *testing.T) {
+	var sc Scheduler
+	if err := sc.Add("bad", "not cron", func(time.Time) {}); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if err := sc.Add("nil", "* * * * *", nil); err == nil {
+		t.Error("nil action accepted")
+	}
+	if len(sc.Jobs()) != 0 {
+		t.Error("failed Add left jobs registered")
+	}
+}
+
+func TestSchedulerEmptyWindow(t *testing.T) {
+	var sc Scheduler
+	_ = sc.Add("daily", "0 3 * * *", func(time.Time) { t.Fatal("fired outside window") })
+	n, err := sc.RunWindow(at(2013, 6, 10, 4, 0), at(2013, 6, 10, 5, 0))
+	if err != nil || n != 0 {
+		t.Fatalf("RunWindow = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,59 @@
+package cron
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestNextMatchesProperty: for random simple schedules and random start
+// instants, Next returns an instant strictly after the input that the
+// schedule matches, and no earlier minute in between matches.
+func TestNextMatchesProperty(t *testing.T) {
+	f := func(minuteByte, hourByte uint8, dayOffset uint16) bool {
+		minute := int(minuteByte) % 60
+		hour := int(hourByte) % 24
+		s, err := Parse(fmt.Sprintf("%d %d * * *", minute, hour))
+		if err != nil {
+			return false
+		}
+		start := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC).
+			Add(time.Duration(dayOffset) * time.Hour)
+		next, err := s.Next(start)
+		if err != nil {
+			return false
+		}
+		if !next.After(start) || !s.Matches(next) {
+			return false
+		}
+		// Nothing in (start, next) matches; scan bounded to one day.
+		for cur := start.Truncate(time.Minute).Add(time.Minute); cur.Before(next); cur = cur.Add(time.Minute) {
+			if s.Matches(cur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepFieldProperty: a */k minute schedule matches exactly the
+// minutes divisible by k.
+func TestStepFieldProperty(t *testing.T) {
+	f := func(kByte uint8, minuteByte uint8) bool {
+		k := int(kByte)%29 + 1
+		s, err := Parse(fmt.Sprintf("*/%d * * * *", k))
+		if err != nil {
+			return false
+		}
+		minute := int(minuteByte) % 60
+		at := time.Date(2013, 5, 5, 5, minute, 0, 0, time.UTC)
+		return s.Matches(at) == (minute%k == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

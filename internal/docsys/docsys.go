@@ -1,0 +1,287 @@
+// Package docsys implements the complementary preservation initiatives
+// of DPHEP levels 1 and 2 (Table 1): "documentation (level 1), outreach
+// and simplified formats for data exchange (level 2)". The paper notes
+// that "most collaborations involved in DPHEP pursue some form of level
+// 1 and 2 strategies" alongside the technical levels 3–4 the sp-system
+// serves.
+//
+// Level 1 is a documentation archive on the common storage: documents
+// with categories, stable identifiers and full-text search over titles
+// and abstracts — the "publication related info search" use case.
+//
+// Level 2 is a simplified-format exporter: HAT-level event summaries
+// rendered to self-describing CSV and JSON that need no experiment
+// software to read — the "outreach, simple training analyses" use case.
+package docsys
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/hepsim"
+	"repro/internal/storage"
+)
+
+// Category classifies archived documentation, following the paper's
+// "various types of documentation, covering all facets of an
+// experiment".
+type Category int
+
+const (
+	// CatPublication is a journal paper or preprint.
+	CatPublication Category = iota
+	// CatThesis is a PhD or diploma thesis.
+	CatThesis
+	// CatManual is software or detector documentation.
+	CatManual
+	// CatNote is an internal analysis note.
+	CatNote
+	// CatMeeting is preserved meeting material (agendas, slides).
+	CatMeeting
+	numCategories int = iota
+)
+
+var categoryNames = [...]string{"publication", "thesis", "manual", "note", "meeting"}
+
+// String returns the category's lower-case name.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Document is one archived item.
+type Document struct {
+	// ID is the archive identifier, e.g. "H1-pub-0042", assigned by the
+	// archive.
+	ID string `json:"id"`
+	// Experiment owns the document.
+	Experiment string `json:"experiment"`
+	// Category classifies it.
+	Category Category `json:"category"`
+	// Title and Abstract are the searchable text.
+	Title    string `json:"title"`
+	Abstract string `json:"abstract"`
+	// Year is the publication year.
+	Year int `json:"year"`
+	// BodyKey is the storage key of the full document body.
+	BodyKey string `json:"body_key"`
+}
+
+// Storage namespaces of the documentation archive.
+const (
+	docIndexNS = "docs-index"
+	docBodyNS  = "docs-body"
+)
+
+// Archive is the level 1 documentation store over the common storage.
+type Archive struct {
+	store *storage.Store
+}
+
+// NewArchive returns an archive using the given common storage.
+func NewArchive(store *storage.Store) *Archive { return &Archive{store: store} }
+
+// Add archives a document body with its metadata and returns the
+// assigned document ID.
+func (a *Archive) Add(experiment string, cat Category, title, abstract string, year int, body []byte) (string, error) {
+	if experiment == "" || title == "" {
+		return "", fmt.Errorf("docsys: experiment and title are required")
+	}
+	seq := len(a.store.List(docIndexNS)) + 1
+	id := fmt.Sprintf("%s-%s-%04d", strings.ToLower(experiment), cat, seq)
+
+	bodyKey := id + "/body"
+	if _, err := a.store.Put(docBodyNS, bodyKey, body); err != nil {
+		return "", err
+	}
+	doc := Document{
+		ID:         id,
+		Experiment: experiment,
+		Category:   cat,
+		Title:      title,
+		Abstract:   abstract,
+		Year:       year,
+		BodyKey:    bodyKey,
+	}
+	meta, err := json.Marshal(doc)
+	if err != nil {
+		return "", err
+	}
+	if _, err := a.store.Put(docIndexNS, id, meta); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Get returns a document's metadata by ID.
+func (a *Archive) Get(id string) (*Document, error) {
+	data, err := a.store.Get(docIndexNS, id)
+	if err != nil {
+		return nil, fmt.Errorf("docsys: %w", err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("docsys: corrupt index entry %s: %w", id, err)
+	}
+	return &doc, nil
+}
+
+// Body returns a document's archived body.
+func (a *Archive) Body(id string) ([]byte, error) {
+	doc, err := a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return a.store.Get(docBodyNS, doc.BodyKey)
+}
+
+// Count returns the number of archived documents.
+func (a *Archive) Count() int { return len(a.store.List(docIndexNS)) }
+
+// Search returns documents whose title or abstract contains every term
+// (case-insensitive), sorted by ID — the level 1 "publication related
+// info search" use case. An empty query matches everything.
+func (a *Archive) Search(experiment string, terms ...string) ([]*Document, error) {
+	var out []*Document
+	for _, id := range a.store.List(docIndexNS) {
+		doc, err := a.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if experiment != "" && doc.Experiment != experiment {
+			continue
+		}
+		haystack := strings.ToLower(doc.Title + " " + doc.Abstract)
+		match := true
+		for _, term := range terms {
+			if !strings.Contains(haystack, strings.ToLower(term)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, doc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// CountByCategory tallies archived documents per category.
+func (a *Archive) CountByCategory() (map[Category]int, error) {
+	out := make(map[Category]int)
+	for _, id := range a.store.List(docIndexNS) {
+		doc, err := a.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out[doc.Category]++
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Level 2: simplified formats.
+
+// csvHeader is the column layout of the level 2 CSV export.
+var csvHeader = []string{"event_id", "mass_gev", "lead_pt_gev", "multiplicity"}
+
+// ExportCSV renders HAT-level summaries as a self-describing CSV — a
+// format any spreadsheet or teaching environment reads without
+// experiment software.
+func ExportCSV(sums []hepsim.Summary) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(csvHeader); err != nil {
+		return nil, err
+	}
+	for _, s := range sums {
+		rec := []string{
+			strconv.FormatInt(s.ID, 10),
+			strconv.FormatFloat(s.Mass, 'g', 17, 64),
+			strconv.FormatFloat(s.Pt, 'g', 17, 64),
+			strconv.FormatInt(int64(s.N), 10),
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}
+
+// ImportCSV parses a level 2 CSV export back into summaries, verifying
+// the header.
+func ImportCSV(data []byte) ([]hepsim.Summary, error) {
+	r := csv.NewReader(bytes.NewReader(data))
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("docsys: malformed CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("docsys: CSV has no header")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("docsys: CSV header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("docsys: CSV column %d is %q, want %q", i, rows[0][i], col)
+		}
+	}
+	sums := make([]hepsim.Summary, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err1 := strconv.ParseInt(row[0], 10, 64)
+		mass, err2 := strconv.ParseFloat(row[1], 64)
+		pt, err3 := strconv.ParseFloat(row[2], 64)
+		n, err4 := strconv.ParseInt(row[3], 10, 32)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("docsys: CSV row %d unparsable", i+2)
+		}
+		sums = append(sums, hepsim.Summary{ID: id, Mass: mass, Pt: pt, N: int32(n)})
+	}
+	return sums, nil
+}
+
+// jsonExport is the level 2 JSON envelope: self-describing, versioned.
+type jsonExport struct {
+	Format      string           `json:"format"`
+	Version     int              `json:"version"`
+	Experiment  string           `json:"experiment"`
+	Description string           `json:"description"`
+	Events      []hepsim.Summary `json:"events"`
+}
+
+// ExportJSON renders HAT-level summaries as self-describing JSON with
+// provenance, the exchange format for the level 2 use case.
+func ExportJSON(experiment, description string, sums []hepsim.Summary) ([]byte, error) {
+	return json.MarshalIndent(jsonExport{
+		Format:      "dphep-level2-events",
+		Version:     1,
+		Experiment:  experiment,
+		Description: description,
+		Events:      sums,
+	}, "", "  ")
+}
+
+// ImportJSON parses a level 2 JSON export, verifying the format tag.
+func ImportJSON(data []byte) (experiment string, sums []hepsim.Summary, err error) {
+	var ex jsonExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return "", nil, fmt.Errorf("docsys: malformed JSON export: %w", err)
+	}
+	if ex.Format != "dphep-level2-events" {
+		return "", nil, fmt.Errorf("docsys: not a level 2 export (format %q)", ex.Format)
+	}
+	if ex.Version != 1 {
+		return "", nil, fmt.Errorf("docsys: unsupported export version %d", ex.Version)
+	}
+	return ex.Experiment, ex.Events, nil
+}

@@ -1,0 +1,354 @@
+// Package experiments defines the participating collaborations — H1,
+// ZEUS and HERMES, the HERA experiments whose validation campaign the
+// paper reports — together with the DPHEP preservation-level taxonomy of
+// Table 1.
+//
+// Each Definition sizes a synthetic software repository and validation
+// suite to match the paper's Figure 2: for H1, "the compilation of
+// approximately 100 individual H1 software packages" plus validation
+// tests "expected to comprise of up to 500 tests in total", split into
+// parallel standalone tests and sequential analysis chains.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/externals"
+	"repro/internal/hepsim"
+	"repro/internal/simrand"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+)
+
+// Level is a DPHEP preservation level (Table 1).
+type Level int
+
+const (
+	// Level1 preserves additional documentation.
+	Level1 Level = 1
+	// Level2 preserves the data in a simplified format.
+	Level2 Level = 2
+	// Level3 preserves analysis-level software and data format.
+	Level3 Level = 3
+	// Level4 preserves simulation and reconstruction software and basic
+	// level data.
+	Level4 Level = 4
+)
+
+// LevelInfo is one row of Table 1.
+type LevelInfo struct {
+	Level   Level
+	Model   string
+	UseCase string
+}
+
+// Table1 returns the DPHEP preservation levels exactly as the paper's
+// Table 1 defines them.
+func Table1() []LevelInfo {
+	return []LevelInfo{
+		{Level1, "Provide additional documentation",
+			"Publication related info search"},
+		{Level2, "Preserve the data in a simplified format",
+			"Outreach, simple training analyses"},
+		{Level3, "Preserve the analysis level software and data format",
+			"Full scientific analyses based on the existing reconstruction"},
+		{Level4, "Preserve the simulation and reconstruction software as well as basic level data",
+			"Retain the full potential of the experimental data"},
+	}
+}
+
+// Definition describes one experiment's participation in the sp-system.
+type Definition struct {
+	// Name is the collaboration, e.g. "H1".
+	Name string
+	// Level is the preservation level pursued; it determines the suite's
+	// scope (level 4 adds full simulation/reconstruction chains).
+	Level Level
+	// Seed isolates all of the experiment's random streams.
+	Seed uint64
+	// RepoSpec sizes the synthetic software repository.
+	RepoSpec swrepo.GenSpec
+	// Chains is the number of full analysis chains in the suite.
+	Chains int
+	// ChainEvents is the Monte-Carlo statistics per chain.
+	ChainEvents int
+	// StandaloneTests is the number of standalone executable tests.
+	StandaloneTests int
+}
+
+// H1 returns the H1 definition: a full level 4 programme sized per
+// Figure 2 (≈100 packages, ≈500 tests in total).
+func H1() Definition {
+	spec := swrepo.DefaultSpec("h1")
+	return Definition{
+		Name:            "H1",
+		Level:           Level4,
+		Seed:            101,
+		RepoSpec:        spec,
+		Chains:          2,
+		ChainEvents:     2000,
+		StandaloneTests: 386, // 100 compile + 2*7 chain + 386 standalone = 500
+	}
+}
+
+// ZEUS returns the ZEUS definition (level 4, smaller test census).
+func ZEUS() Definition {
+	spec := swrepo.DefaultSpec("zeus")
+	spec.Packages = 60
+	return Definition{
+		Name:            "ZEUS",
+		Level:           Level4,
+		Seed:            202,
+		RepoSpec:        spec,
+		Chains:          1,
+		ChainEvents:     1500,
+		StandaloneTests: 133, // 60 + 7 + 133 = 200
+	}
+}
+
+// HERMES returns the HERMES definition (level 3: analysis-level software
+// on the existing reconstruction).
+func HERMES() Definition {
+	spec := swrepo.DefaultSpec("hermes")
+	spec.Packages = 40
+	return Definition{
+		Name:            "HERMES",
+		Level:           Level3,
+		Seed:            303,
+		RepoSpec:        spec,
+		Chains:          1,
+		ChainEvents:     1000,
+		StandaloneTests: 80,
+	}
+}
+
+// All returns the three HERA experiments of the paper's campaign, in the
+// order of Figure 3 (ZEUS, H1, HERMES top to bottom).
+func All() []Definition {
+	return []Definition{ZEUS(), H1(), HERMES()}
+}
+
+// BuildRepo generates the experiment's software repository.
+func (d Definition) BuildRepo() (*swrepo.Repository, error) {
+	return swrepo.Generate(d.RepoSpec, simrand.New(d.Seed))
+}
+
+// firstOfKind returns the name of the first package of the given kind.
+func firstOfKind(repo *swrepo.Repository, kind swrepo.PackageKind) (string, error) {
+	for _, p := range repo.Packages() {
+		if p.Kind == kind {
+			return p.Name, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: repository %s has no %v package", repo.Experiment, kind)
+}
+
+// ChainSpecs returns the experiment's analysis-chain specifications,
+// wired to concrete packages in the repository. Level 4 experiments run
+// the full chain from Monte-Carlo generation; level 3 chains exercise
+// only analysis-level code (their upstream stages run framework-provided
+// clean code, mirroring "analyses based on the existing
+// reconstruction").
+func (d Definition) ChainSpecs(repo *swrepo.Repository) ([]chain.Spec, error) {
+	anaPkg, err := firstOfKind(repo, swrepo.KindAnalysis)
+	if err != nil {
+		return nil, err
+	}
+	var specs []chain.Spec
+	for i := 0; i < d.Chains; i++ {
+		sp := chain.DefaultSpec(fmt.Sprintf("chain%02d", i+1), d.ChainEvents, d.Seed+uint64(i)*17)
+		sp.StagePackages = map[chain.Stage]string{
+			chain.StageAnalysis: anaPkg,
+		}
+		if d.Level >= Level4 {
+			genPkg, err := firstOfKind(repo, swrepo.KindGenerator)
+			if err != nil {
+				return nil, err
+			}
+			simPkg, err := firstOfKind(repo, swrepo.KindSimulation)
+			if err != nil {
+				return nil, err
+			}
+			recoPkg, err := firstOfKind(repo, swrepo.KindReconstruction)
+			if err != nil {
+				return nil, err
+			}
+			sp.StagePackages[chain.StageGen] = genPkg
+			sp.StagePackages[chain.StageSim] = simPkg
+			sp.StagePackages[chain.StageReco] = recoPkg
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// BuildSuite assembles the experiment's full validation suite against
+// the given repository: compile tests for every package, the analysis
+// chains, and the standalone executable tests.
+func (d Definition) BuildSuite(repo *swrepo.Repository) (*valtest.Suite, error) {
+	suite := valtest.NewSuite(d.Name)
+
+	// Figure 2, part one: compilation of every package.
+	for _, p := range repo.Packages() {
+		if err := suite.Add(&valtest.CompileTest{Pkg: p.Name}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 2, part two: sequential analysis chains...
+	specs, err := d.ChainSpecs(repo)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		tests, err := sp.Tests()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tests {
+			if err := suite.Add(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// ...and parallel standalone executable tests, cycled over the
+	// packages so that each test inherits a real package's traits.
+	pkgs := repo.Packages()
+	for i := 0; i < d.StandaloneTests; i++ {
+		pkg := pkgs[i%len(pkgs)]
+		name := fmt.Sprintf("standalone/%s/t%03d", pkg.Name, i)
+		if err := suite.Add(standaloneTest(d.Name, name, pkg.Name)); err != nil {
+			return nil, err
+		}
+	}
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	return suite, nil
+}
+
+// standaloneTest builds a self-validating executable test: it computes a
+// deterministic observable with the package's runtime effects applied
+// and compares it against the stored reference (establishing it on first
+// success) — a miniature of the chain's data validation, which is
+// exactly what the HERA experiments' standalone tests do.
+func standaloneTest(experiment, name, pkgName string) valtest.Test {
+	return &valtest.FuncTest{
+		TestName: name,
+		Cat:      valtest.CatStandalone,
+		Fn: func(ctx *valtest.Context) valtest.Result {
+			if ctx.Build != nil {
+				if pr, ok := ctx.Build.Find(pkgName); ok && !pr.Succeeded() {
+					return valtest.Result{
+						Outcome: valtest.OutcomeSkip,
+						Detail:  fmt.Sprintf("package %s did not build (%v)", pkgName, pr.Status),
+					}
+				}
+			}
+			pkg, err := ctx.Repo.Get(pkgName)
+			if err != nil {
+				return valtest.Result{Outcome: valtest.OutcomeError, Detail: err.Error()}
+			}
+			eff, err := hepsim.EffectsFor(ctx.Config, ctx.Registry, pkg.Traits(),
+				ctx.Externals.NumericRev(externals.ROOT))
+			if err != nil {
+				return valtest.Result{Outcome: valtest.OutcomeError, Detail: err.Error()}
+			}
+			if eff.Crash {
+				return valtest.Result{
+					Outcome: valtest.OutcomeError,
+					Detail:  "executable crashed (miscompiled aliasing violation)",
+				}
+			}
+
+			// Deterministic per-test observable and simulated runtime
+			// (standalone executables take seconds to minutes).
+			rng := simrand.New(0).Derive(experiment, name)
+			id := int64(rng.Uint64() % (1 << 30))
+			value := 1 + rng.Float64()
+			cost := time.Duration(10+rng.Intn(110)) * time.Second
+			if eff.Corrupted(id) {
+				value = 1e9 + float64(id%997)
+			}
+			if eff.Biased(id) {
+				value *= 1 + eff.MassBias
+			}
+			if eff.FPShift != 0 {
+				value *= 1 + eff.FPShift
+			}
+
+			refKey := experiment + "/" + name
+			refData, err := ctx.Store.Get(chain.RefsNS, refKey)
+			if err != nil {
+				// First pass establishes the reference.
+				if _, err := ctx.Store.Put(chain.RefsNS, refKey, []byte(fmt.Sprintf("%.17g", value))); err != nil {
+					return valtest.Result{Outcome: valtest.OutcomeError, Detail: err.Error()}
+				}
+				return valtest.Result{Outcome: valtest.OutcomePass, Detail: "reference established", Cost: cost}
+			}
+			var ref float64
+			if _, err := fmt.Sscanf(string(refData), "%g", &ref); err != nil {
+				return valtest.Result{Outcome: valtest.OutcomeError, Detail: "corrupt reference"}
+			}
+			rel := math.Abs(value-ref) / math.Abs(ref)
+			if rel > 1e-9 {
+				return valtest.Result{
+					Outcome:   valtest.OutcomeFail,
+					Detail:    fmt.Sprintf("observable shifted by %.3g relative to reference", rel),
+					Statistic: rel,
+					Cost:      cost,
+				}
+			}
+			return valtest.Result{Outcome: valtest.OutcomePass, Detail: "matches reference", Statistic: rel, Cost: cost}
+		},
+	}
+}
+
+// PaperExternalSets returns, for each ROOT version the paper names, the
+// full external set installed in the sp-system images (that ROOT plus
+// CERNLIB and the era-appropriate MCGen).
+func PaperExternalSets(cat *externals.Catalogue) ([]*externals.Set, error) {
+	var sets []*externals.Set
+	cern, err := cat.Get(externals.CERNLIB, "2006")
+	if err != nil {
+		return nil, err
+	}
+	mc, err := cat.Get(externals.MCGen, "1.4")
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range []string{"5.26", "5.28", "5.30", "5.32", "5.34"} {
+		root, err := cat.Get(externals.ROOT, v)
+		if err != nil {
+			return nil, err
+		}
+		set, err := externals.NewSet(root, cern, mc)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, set)
+	}
+	return sets, nil
+}
+
+// StandardSet returns the workhorse external set of the 2013 campaign:
+// ROOT 5.34 with CERNLIB and MCGen.
+func StandardSet(cat *externals.Catalogue) (*externals.Set, error) {
+	root, err := cat.Get(externals.ROOT, "5.34")
+	if err != nil {
+		return nil, err
+	}
+	cern, err := cat.Get(externals.CERNLIB, "2006")
+	if err != nil {
+		return nil, err
+	}
+	mc, err := cat.Get(externals.MCGen, "1.4")
+	if err != nil {
+		return nil, err
+	}
+	return externals.NewSet(root, cern, mc)
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/buildsys"
+	"repro/internal/chain"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("Table 1 has %d rows, want 4", len(rows))
+	}
+	if rows[0].Level != Level1 || rows[3].Level != Level4 {
+		t.Fatal("levels out of order")
+	}
+	if !strings.Contains(rows[0].Model, "documentation") {
+		t.Errorf("level 1 model = %q", rows[0].Model)
+	}
+	if !strings.Contains(rows[1].UseCase, "Outreach") {
+		t.Errorf("level 2 use case = %q", rows[1].UseCase)
+	}
+	if !strings.Contains(rows[3].Model, "simulation and reconstruction") {
+		t.Errorf("level 4 model = %q", rows[3].Model)
+	}
+}
+
+func TestAllExperimentsInFigure3Order(t *testing.T) {
+	defs := All()
+	if len(defs) != 3 {
+		t.Fatalf("experiments = %d", len(defs))
+	}
+	want := []string{"ZEUS", "H1", "HERMES"}
+	for i, d := range defs {
+		if d.Name != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestH1SizedPerFigure2(t *testing.T) {
+	d := H1()
+	repo, err := d.BuildRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 100 {
+		t.Fatalf("H1 packages = %d, want ≈100 (Figure 2)", repo.Len())
+	}
+	suite, err := d.BuildSuite(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Len() != 500 {
+		t.Fatalf("H1 suite = %d tests, want 500 (Figure 2: 'up to 500 tests in total')", suite.Len())
+	}
+	counts := suite.CountByCategory()
+	if counts[valtest.CatCompile] != 100 {
+		t.Fatalf("compile tests = %d, want 100", counts[valtest.CatCompile])
+	}
+	if counts[valtest.CatChain] != 14 { // 2 chains × 7 stages
+		t.Fatalf("chain tests = %d, want 14", counts[valtest.CatChain])
+	}
+	if counts[valtest.CatStandalone] != 386 {
+		t.Fatalf("standalone tests = %d, want 386", counts[valtest.CatStandalone])
+	}
+}
+
+func TestExperimentLevels(t *testing.T) {
+	if H1().Level != Level4 || ZEUS().Level != Level4 || HERMES().Level != Level3 {
+		t.Fatal("preservation levels wrong")
+	}
+}
+
+func TestLevel4ChainsHaveFullStageWiring(t *testing.T) {
+	d := H1()
+	repo, _ := d.BuildRepo()
+	specs, err := d.ChainSpecs(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("chains = %d", len(specs))
+	}
+	for _, st := range []chain.Stage{chain.StageGen, chain.StageSim, chain.StageReco, chain.StageAnalysis} {
+		if specs[0].StagePackages[st] == "" {
+			t.Errorf("level 4 chain missing package for stage %v", st)
+		}
+	}
+}
+
+func TestLevel3ChainsOnlyAnalysisWired(t *testing.T) {
+	d := HERMES()
+	repo, _ := d.BuildRepo()
+	specs, err := d.ChainSpecs(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := specs[0]
+	if sp.StagePackages[chain.StageAnalysis] == "" {
+		t.Fatal("level 3 chain missing analysis package")
+	}
+	if _, ok := sp.StagePackages[chain.StageGen]; ok {
+		t.Fatal("level 3 chain should not wire generation packages")
+	}
+}
+
+func TestSuitesAreDeterministic(t *testing.T) {
+	d := ZEUS()
+	repoA, _ := d.BuildRepo()
+	repoB, _ := d.BuildRepo()
+	suiteA, err := d.BuildSuite(repoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suiteB, err := d.BuildSuite(repoB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := suiteA.Tests(), suiteB.Tests()
+	if len(ta) != len(tb) {
+		t.Fatal("suite sizes differ across builds")
+	}
+	for i := range ta {
+		if ta[i].Name() != tb[i].Name() {
+			t.Fatalf("test %d name differs: %s vs %s", i, ta[i].Name(), tb[i].Name())
+		}
+	}
+}
+
+func TestPaperExternalSets(t *testing.T) {
+	cat := externals.NewCatalogue()
+	sets, err := PaperExternalSets(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 5 {
+		t.Fatalf("sets = %d, want 5 (ROOT 5.26–5.34)", len(sets))
+	}
+	for _, s := range sets {
+		if s.Len() != 3 {
+			t.Fatalf("set %s has %d products, want 3", s, s.Len())
+		}
+		if _, ok := s.Get(externals.ROOT); !ok {
+			t.Fatalf("set %s missing ROOT", s)
+		}
+	}
+}
+
+func TestChainSpecsRequireAnalysisPackage(t *testing.T) {
+	d := H1()
+	repo := swrepo.NewRepository("H1") // no packages at all
+	if _, err := d.ChainSpecs(repo); err == nil {
+		t.Fatal("ChainSpecs accepted a repository without analysis packages")
+	}
+	if _, err := d.BuildSuite(repo); err == nil {
+		t.Fatal("BuildSuite accepted an empty repository")
+	}
+}
+
+func TestBuildRepoRejectsBadSpec(t *testing.T) {
+	d := H1()
+	d.RepoSpec.Packages = 0
+	if _, err := d.BuildRepo(); err == nil {
+		t.Fatal("BuildRepo accepted zero packages")
+	}
+}
+
+func TestZEUSAndHERMESCensus(t *testing.T) {
+	for _, tc := range []struct {
+		def      Definition
+		packages int
+		tests    int
+	}{
+		{ZEUS(), 60, 200},
+		{HERMES(), 40, 127},
+	} {
+		repo, err := tc.def.BuildRepo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repo.Len() != tc.packages {
+			t.Errorf("%s packages = %d, want %d", tc.def.Name, repo.Len(), tc.packages)
+		}
+		suite, err := tc.def.BuildSuite(repo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suite.Len() != tc.tests {
+			t.Errorf("%s suite = %d tests, want %d", tc.def.Name, suite.Len(), tc.tests)
+		}
+	}
+}
+
+func TestStandaloneTestSkipsWhenPackageBroken(t *testing.T) {
+	repo := swrepo.NewRepository("X")
+	repo.MustAdd(&swrepo.Package{Name: "p", Units: []*swrepo.SourceUnit{{
+		Name: "a.cc", Language: swrepo.LangCxx,
+		Traits: []platform.Trait{platform.TraitCxx11}, // cannot build on gcc4.1
+		Lines:  100,
+	}}})
+	test := standaloneTest("X", "standalone/p/t000", "p")
+
+	store := storage.NewStore()
+	reg := platform.NewRegistry()
+	cat := externals.NewCatalogue()
+	exts, _ := StandardSet(cat)
+	build, err := buildsys.NewBuilder(reg, store).Build(repo, platform.ReferenceConfig(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := test.Run(&valtest.Context{
+		Store: store, Env: storage.Env{}, Config: platform.ReferenceConfig(),
+		Registry: reg, Externals: exts, Repo: repo, Build: build,
+	})
+	if res.Outcome != valtest.OutcomeSkip {
+		t.Fatalf("standalone test on broken package = %v (%s), want skip", res.Outcome, res.Detail)
+	}
+}
+
+func TestStandaloneTestLifecycle(t *testing.T) {
+	// Run one standalone test end to end: first run establishes the
+	// reference, an identical rerun passes, a migration with an active
+	// bias fails. The package carries the uninitialized-memory defect
+	// deterministically, so we build the repository by hand.
+	repo := swrepo.NewRepository("X")
+	repo.MustAdd(&swrepo.Package{Name: "p", Units: []*swrepo.SourceUnit{{
+		Name: "a.cc", Language: swrepo.LangCxx,
+		Traits: []platform.Trait{platform.TraitCxx98, platform.TraitUninitMemory},
+		Lines:  100,
+	}}})
+	// The bias hits a deterministic 1-in-16 subset of observable IDs, so
+	// run a batch of tests: all must pass on the reference and on an
+	// identical rerun, and at least one must fail after the migration.
+	var tests []valtest.Test
+	for i := 0; i < 50; i++ {
+		tests = append(tests, standaloneTest("X", fmt.Sprintf("standalone/p/t%03d", i), "p"))
+	}
+
+	store := storage.NewStore()
+	reg := platform.NewRegistry()
+	cat := externals.NewCatalogue()
+	exts, _ := StandardSet(cat)
+
+	mkCtx := func(cfg platform.Config) *valtest.Context {
+		build, err := buildsys.NewBuilder(reg, store).Build(repo, cfg, exts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &valtest.Context{
+			Store: store, Env: storage.Env{storage.EnvWorkDir: "w"},
+			Config: cfg, Registry: reg, Externals: exts, Repo: repo, Build: build,
+		}
+	}
+
+	ref := mkCtx(platform.ReferenceConfig())
+	for _, test := range tests {
+		res := test.Run(ref)
+		if res.Outcome != valtest.OutcomePass || !strings.Contains(res.Detail, "reference established") {
+			t.Fatalf("first run of %s = %+v", test.Name(), res)
+		}
+	}
+	for _, test := range tests {
+		if res := test.Run(ref); res.Outcome != valtest.OutcomePass {
+			t.Fatalf("rerun of %s = %+v", test.Name(), res)
+		}
+	}
+
+	sl6 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	mig := mkCtx(sl6)
+	failures := 0
+	for _, test := range tests {
+		res := test.Run(mig)
+		switch res.Outcome {
+		case valtest.OutcomePass:
+		case valtest.OutcomeFail:
+			failures++
+		default:
+			t.Fatalf("migration run of %s = %+v", test.Name(), res)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("uninit-memory bias caught by no standalone test across 50 observables")
+	}
+	if failures == len(tests) {
+		t.Fatal("bias hit every observable — subset model broken")
+	}
+}

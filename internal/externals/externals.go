@@ -1,0 +1,231 @@
+// Package externals models the external software dependencies of the
+// experiments — the second of the paper's three separated inputs to the
+// validation system ("experiment specific software, any external software
+// dependencies and finally the operating system").
+//
+// The catalogue reproduces the external software the paper names: "the
+// ROOT versions used by the experiments: 5.26, 5.28, 5.30, 5.32, and
+// 5.34", the upcoming ROOT 6 whose compatibility testing the paper lists
+// among "the next challenges", plus the legacy CERNLIB stack and a toy
+// Monte-Carlo generator library that HERA-era software universally
+// depends on.
+//
+// What the validation framework observes about an external dependency:
+//
+//   - whether it can be installed on a given platform configuration
+//     (e.g. ROOT 6 requires a C++11 compiler),
+//   - which API surfaces it provides (experiment packages link against
+//     named APIs; removing one — as ROOT 6 did with the ROOT 5 I/O
+//     layer — breaks the packages using it), and
+//   - its numeric behaviour revision (minor releases legitimately shift
+//     numerically sensitive results, which validation must tolerate,
+//     distinguish from bugs, and bookkeep).
+package externals
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Name identifies an external software product, e.g. "ROOT".
+type Name string
+
+// Well-known products in the default catalogue.
+const (
+	ROOT    Name = "ROOT"
+	CERNLIB Name = "CERNLIB"
+	// MCGen is the toy Monte-Carlo generator library standing in for the
+	// zoo of HERA-era generators (PYTHIA, HERWIG, DJANGOH, ...).
+	MCGen Name = "MCGen"
+)
+
+// Release is one installable version of an external product.
+type Release struct {
+	Name    Name
+	Version string
+	// Released is when this version became available for integration
+	// into the sp-system.
+	Released time.Time
+	// RequiredStandard is the minimum C++ standard the product needs
+	// from the compiler ("" means any, "c++11" excludes pre-4.8 gcc in
+	// the default platform catalogue).
+	RequiredStandard string
+	// NeedsFortran marks products containing FORTRAN components, which
+	// inherit the platform's Fortran toolchain verdict.
+	NeedsFortran bool
+	// APIs is the set of API surfaces this release provides. Experiment
+	// packages declare the APIs they use; a missing API is a build
+	// failure.
+	APIs []string
+	// NumericRev is the numeric behaviour revision. Releases with
+	// different revisions produce slightly different results in
+	// numerically sensitive analysis code; validation must classify the
+	// shift as a legitimate external change rather than an experiment
+	// bug.
+	NumericRev int
+	// Deprecated marks releases no longer receiving fixes; images built
+	// with them validate but are flagged in reports.
+	Deprecated bool
+}
+
+// ID returns the canonical "Name-Version" identifier, e.g. "ROOT-5.34".
+func (r *Release) ID() string { return fmt.Sprintf("%s-%s", r.Name, r.Version) }
+
+// ProvidesAPI reports whether the release provides the named API surface.
+func (r *Release) ProvidesAPI(api string) bool {
+	for _, a := range r.APIs {
+		if a == api {
+			return true
+		}
+	}
+	return false
+}
+
+// InstallableOn reports whether the release can be built and installed on
+// the given configuration, consulting the platform registry for compiler
+// capabilities. The error explains the incompatibility.
+func (r *Release) InstallableOn(cfg platform.Config, reg *platform.Registry) error {
+	comp, err := reg.Compiler(cfg.Compiler)
+	if err != nil {
+		return err
+	}
+	if r.RequiredStandard == "c++11" && comp.CxxStandard != "c++11" {
+		return fmt.Errorf("externals: %s requires C++11, %s supports only %s",
+			r.ID(), comp.ID, comp.CxxStandard)
+	}
+	if r.NeedsFortran && comp.Judge(platform.TraitFortran77) == platform.VerdictError {
+		return fmt.Errorf("externals: %s needs a Fortran toolchain absent from %s", r.ID(), comp.ID)
+	}
+	return nil
+}
+
+// Catalogue is the registry of external software releases known to the
+// sp-system.
+type Catalogue struct {
+	releases map[string]*Release // keyed by ID()
+}
+
+// NewCatalogue returns the external-software catalogue of the paper's
+// campaign: ROOT 5.26–5.34 plus ROOT 6.02, CERNLIB 2006, and two MCGen
+// generations.
+func NewCatalogue() *Catalogue {
+	c := &Catalogue{releases: make(map[string]*Release)}
+
+	root5APIs := []string{"root/core", "root/hist", "root/tree", "root/io/v5", "root/math"}
+	rootReleases := []struct {
+		ver  string
+		rel  time.Time
+		nrev int
+	}{
+		{"5.26", time.Date(2009, 12, 14, 0, 0, 0, 0, time.UTC), 1},
+		{"5.28", time.Date(2010, 12, 15, 0, 0, 0, 0, time.UTC), 1},
+		{"5.30", time.Date(2011, 6, 28, 0, 0, 0, 0, time.UTC), 2},
+		{"5.32", time.Date(2011, 12, 2, 0, 0, 0, 0, time.UTC), 2},
+		{"5.34", time.Date(2012, 5, 30, 0, 0, 0, 0, time.UTC), 3},
+	}
+	for _, rr := range rootReleases {
+		c.Add(&Release{
+			Name: ROOT, Version: rr.ver, Released: rr.rel,
+			APIs: root5APIs, NumericRev: rr.nrev,
+		})
+	}
+	c.Add(&Release{
+		Name: ROOT, Version: "6.02",
+		Released:         time.Date(2014, 9, 29, 0, 0, 0, 0, time.UTC),
+		RequiredStandard: "c++11",
+		// ROOT 6 drops the v5 I/O layer (CINT-era streamers) and adds the
+		// cling interpreter API.
+		APIs:       []string{"root/core", "root/hist", "root/tree", "root/io/v6", "root/math", "root/cling"},
+		NumericRev: 4,
+	})
+
+	c.Add(&Release{
+		Name: CERNLIB, Version: "2006",
+		Released:     time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC),
+		NeedsFortran: true,
+		APIs:         []string{"cernlib/hbook", "cernlib/paw", "cernlib/kernlib", "cernlib/geant3"},
+		NumericRev:   1,
+		Deprecated:   true,
+	})
+
+	c.Add(&Release{
+		Name: MCGen, Version: "1.4",
+		Released:     time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC),
+		NeedsFortran: true,
+		APIs:         []string{"mcgen/lepto", "mcgen/lund"},
+		NumericRev:   1,
+	})
+	c.Add(&Release{
+		Name: MCGen, Version: "2.1",
+		Released:   time.Date(2011, 9, 1, 0, 0, 0, 0, time.UTC),
+		APIs:       []string{"mcgen/lepto", "mcgen/lund", "mcgen/ascii"},
+		NumericRev: 2,
+	})
+	return c
+}
+
+// Add registers a release. It panics on duplicates: the catalogue is
+// configuration and a clash is a programming error.
+func (c *Catalogue) Add(r *Release) {
+	if _, dup := c.releases[r.ID()]; dup {
+		panic(fmt.Sprintf("externals: duplicate release %s", r.ID()))
+	}
+	c.releases[r.ID()] = r
+}
+
+// Get returns the release with the given product name and version.
+func (c *Catalogue) Get(name Name, version string) (*Release, error) {
+	r, ok := c.releases[fmt.Sprintf("%s-%s", name, version)]
+	if !ok {
+		return nil, fmt.Errorf("externals: unknown release %s-%s", name, version)
+	}
+	return r, nil
+}
+
+// Versions returns all releases of the given product sorted by release
+// date.
+func (c *Catalogue) Versions(name Name) []*Release {
+	var out []*Release
+	for _, r := range c.releases {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Released.Before(out[j].Released) })
+	return out
+}
+
+// Products returns the distinct product names in the catalogue, sorted.
+func (c *Catalogue) Products() []Name {
+	seen := make(map[Name]bool)
+	for _, r := range c.releases {
+		seen[r.Name] = true
+	}
+	out := make([]Name, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Latest returns the most recent release of the product available at the
+// given instant, or an error if none has been released yet.
+func (c *Catalogue) Latest(name Name, at time.Time) (*Release, error) {
+	var best *Release
+	for _, r := range c.releases {
+		if r.Name != name || r.Released.After(at) {
+			continue
+		}
+		if best == nil || r.Released.After(best.Released) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("externals: no release of %s as of %v", name, at)
+	}
+	return best, nil
+}

@@ -1,0 +1,197 @@
+package externals
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+)
+
+func TestCatalogueHasPaperROOTVersions(t *testing.T) {
+	c := NewCatalogue()
+	// "the ROOT versions used by the experiments: 5.26, 5.28, 5.30, 5.32, and 5.34"
+	for _, v := range []string{"5.26", "5.28", "5.30", "5.32", "5.34", "6.02"} {
+		if _, err := c.Get(ROOT, v); err != nil {
+			t.Errorf("ROOT %s missing: %v", v, err)
+		}
+	}
+	if _, err := c.Get(ROOT, "4.00"); err == nil {
+		t.Error("Get(ROOT 4.00) succeeded, want error")
+	}
+}
+
+func TestVersionsSorted(t *testing.T) {
+	c := NewCatalogue()
+	vs := c.Versions(ROOT)
+	if len(vs) != 6 {
+		t.Fatalf("ROOT versions = %d, want 6", len(vs))
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Released.Before(vs[i-1].Released) {
+			t.Fatalf("versions not sorted at %d", i)
+		}
+	}
+	if vs[0].Version != "5.26" || vs[len(vs)-1].Version != "6.02" {
+		t.Fatalf("order: first=%s last=%s", vs[0].Version, vs[len(vs)-1].Version)
+	}
+}
+
+func TestProducts(t *testing.T) {
+	got := NewCatalogue().Products()
+	want := []Name{CERNLIB, MCGen, ROOT}
+	if len(got) != len(want) {
+		t.Fatalf("products = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("products = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLatest(t *testing.T) {
+	c := NewCatalogue()
+	r, err := c.Latest(ROOT, time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil || r.Version != "5.34" {
+		t.Fatalf("Latest(ROOT, 2013) = %v, %v; want 5.34", r, err)
+	}
+	r, err = c.Latest(ROOT, time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil || r.Version != "6.02" {
+		t.Fatalf("Latest(ROOT, 2015) = %v, %v; want 6.02", r, err)
+	}
+	if _, err := c.Latest(ROOT, time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)); err == nil {
+		t.Fatal("Latest(ROOT, 2008) succeeded, want error")
+	}
+}
+
+func TestROOT6RequiresCxx11(t *testing.T) {
+	c := NewCatalogue()
+	reg := platform.NewRegistry()
+	root6, _ := c.Get(ROOT, "6.02")
+	sl6gcc44 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	if err := root6.InstallableOn(sl6gcc44, reg); err == nil {
+		t.Error("ROOT 6 should not install with gcc4.4")
+	}
+	sl6gcc48 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.8"}
+	if err := root6.InstallableOn(sl6gcc48, reg); err != nil {
+		t.Errorf("ROOT 6 should install with gcc4.8: %v", err)
+	}
+}
+
+func TestROOT5OnAllPaperConfigs(t *testing.T) {
+	c := NewCatalogue()
+	reg := platform.NewRegistry()
+	root534, _ := c.Get(ROOT, "5.34")
+	for _, cfg := range platform.PaperConfigs() {
+		if err := root534.InstallableOn(cfg, reg); err != nil {
+			t.Errorf("ROOT 5.34 on %v: %v", cfg, err)
+		}
+	}
+}
+
+func TestROOT6DropsV5IO(t *testing.T) {
+	c := NewCatalogue()
+	root534, _ := c.Get(ROOT, "5.34")
+	root6, _ := c.Get(ROOT, "6.02")
+	if !root534.ProvidesAPI("root/io/v5") {
+		t.Error("ROOT 5.34 should provide root/io/v5")
+	}
+	if root6.ProvidesAPI("root/io/v5") {
+		t.Error("ROOT 6 should not provide root/io/v5")
+	}
+	if !root6.ProvidesAPI("root/io/v6") {
+		t.Error("ROOT 6 should provide root/io/v6")
+	}
+}
+
+func TestSetRejectsDuplicateProduct(t *testing.T) {
+	c := NewCatalogue()
+	a, _ := c.Get(ROOT, "5.32")
+	b, _ := c.Get(ROOT, "5.34")
+	if _, err := NewSet(a, b); err == nil {
+		t.Fatal("NewSet with two ROOT versions succeeded, want error")
+	}
+}
+
+func TestSetLookupAndAPIs(t *testing.T) {
+	c := NewCatalogue()
+	root, _ := c.Get(ROOT, "5.34")
+	cern, _ := c.Get(CERNLIB, "2006")
+	s := MustSet(root, cern)
+
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if r, ok := s.Get(ROOT); !ok || r.Version != "5.34" {
+		t.Fatalf("Get(ROOT) = %v, %v", r, ok)
+	}
+	if _, ok := s.Get(MCGen); ok {
+		t.Fatal("Get(MCGen) should be absent")
+	}
+	if _, ok := s.ProvidesAPI("cernlib/hbook"); !ok {
+		t.Error("set should provide cernlib/hbook")
+	}
+	missing := s.MissingAPIs([]string{"root/hist", "mcgen/lepto", "root/io/v5", "mcgen/ascii"})
+	if len(missing) != 2 || missing[0] != "mcgen/ascii" || missing[1] != "mcgen/lepto" {
+		t.Fatalf("MissingAPIs = %v", missing)
+	}
+}
+
+func TestSetWithReplaces(t *testing.T) {
+	c := NewCatalogue()
+	old, _ := c.Get(ROOT, "5.26")
+	neu, _ := c.Get(ROOT, "5.34")
+	s := MustSet(old)
+	s2 := s.With(neu)
+	if r, _ := s.Get(ROOT); r.Version != "5.26" {
+		t.Fatal("With mutated the original set")
+	}
+	if r, _ := s2.Get(ROOT); r.Version != "5.34" {
+		t.Fatal("With did not replace the release")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	c := NewCatalogue()
+	root, _ := c.Get(ROOT, "5.34")
+	cern, _ := c.Get(CERNLIB, "2006")
+	s := MustSet(root, cern)
+	if got := s.String(); got != "CERNLIB-2006+ROOT-5.34" {
+		t.Fatalf("String = %q", got)
+	}
+	empty := MustSet()
+	if empty.String() != "(no externals)" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+}
+
+func TestSetInstallableOn(t *testing.T) {
+	c := NewCatalogue()
+	reg := platform.NewRegistry()
+	root6, _ := c.Get(ROOT, "6.02")
+	s := MustSet(root6)
+	cfg := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	if err := s.InstallableOn(cfg, reg); err == nil {
+		t.Fatal("set with ROOT 6 should fail on gcc4.4")
+	}
+}
+
+func TestNumericRevIncreasesAcrossROOT(t *testing.T) {
+	c := NewCatalogue()
+	vs := c.Versions(ROOT)
+	for i := 1; i < len(vs); i++ {
+		if vs[i].NumericRev < vs[i-1].NumericRev {
+			t.Fatalf("numeric revision regressed between %s and %s", vs[i-1].Version, vs[i].Version)
+		}
+	}
+}
+
+func TestCatalogueDuplicatePanics(t *testing.T) {
+	c := NewCatalogue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	c.Add(&Release{Name: ROOT, Version: "5.34"})
+}

@@ -1,0 +1,136 @@
+package externals
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Set is a concrete selection of external releases installed together in
+// one virtual-machine image: at most one release per product. The
+// paper's images carry "the set of external software required by the
+// experiments".
+type Set struct {
+	releases map[Name]*Release
+}
+
+// NewSet returns a Set containing the given releases. It returns an error
+// if two releases of the same product are supplied: an image installs one
+// version of each product.
+func NewSet(releases ...*Release) (*Set, error) {
+	s := &Set{releases: make(map[Name]*Release, len(releases))}
+	for _, r := range releases {
+		if prev, dup := s.releases[r.Name]; dup {
+			return nil, fmt.Errorf("externals: set contains both %s and %s", prev.ID(), r.ID())
+		}
+		s.releases[r.Name] = r
+	}
+	return s, nil
+}
+
+// MustSet is NewSet that panics on error, for static configuration.
+func MustSet(releases ...*Release) *Set {
+	s, err := NewSet(releases...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns the installed release of the product and whether one is
+// present.
+func (s *Set) Get(name Name) (*Release, bool) {
+	r, ok := s.releases[name]
+	return r, ok
+}
+
+// Releases returns the installed releases sorted by product name.
+func (s *Set) Releases() []*Release {
+	out := make([]*Release, 0, len(s.releases))
+	for _, r := range s.releases {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of installed products.
+func (s *Set) Len() int { return len(s.releases) }
+
+// ProvidesAPI reports whether any installed release provides the API and,
+// if so, which release.
+func (s *Set) ProvidesAPI(api string) (*Release, bool) {
+	for _, r := range s.releases {
+		if r.ProvidesAPI(api) {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// MissingAPIs returns the subset of the given APIs that no installed
+// release provides, sorted.
+func (s *Set) MissingAPIs(apis []string) []string {
+	var missing []string
+	for _, api := range apis {
+		if _, ok := s.ProvidesAPI(api); !ok {
+			missing = append(missing, api)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// InstallableOn reports whether every release in the set can be installed
+// on the configuration, returning the first incompatibility found.
+func (s *Set) InstallableOn(cfg platform.Config, reg *platform.Registry) error {
+	for _, r := range s.Releases() {
+		if err := r.InstallableOn(cfg, reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumericRev returns the numeric revision of the installed release of the
+// product, or 0 if the product is absent. The physics simulation folds
+// this into its deterministic perturbation model.
+func (s *Set) NumericRev(name Name) int {
+	if r, ok := s.releases[name]; ok {
+		return r.NumericRev
+	}
+	return 0
+}
+
+// With returns a copy of the set with the given release replacing any
+// installed release of the same product — the operation performed when
+// "new OS and software versions [are] integrated into the system".
+func (s *Set) With(r *Release) *Set {
+	out := &Set{releases: make(map[Name]*Release, len(s.releases)+1)}
+	for n, rel := range s.releases {
+		out.releases[n] = rel
+	}
+	out.releases[r.Name] = r
+	return out
+}
+
+// String renders the set compactly, e.g. "CERNLIB-2006+MCGen-1.4+ROOT-5.34".
+func (s *Set) String() string {
+	rs := s.Releases()
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.ID()
+	}
+	if len(parts) == 0 {
+		return "(no externals)"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Key returns a filesystem-safe identifier for the set, used in storage
+// namespaces and artifact paths.
+func (s *Set) Key() string {
+	return strings.ToLower(strings.ReplaceAll(s.String(), "+", "_"))
+}

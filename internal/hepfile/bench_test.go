@@ -1,0 +1,55 @@
+package hepfile
+
+import (
+	"testing"
+
+	"repro/internal/hepsim"
+)
+
+func benchEvents(b *testing.B, n int) []hepsim.Event {
+	b.Helper()
+	g, err := hepsim.NewGenerator(hepsim.DefaultGenConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.GenerateN(n)
+}
+
+func BenchmarkWriteEvents(b *testing.B) {
+	evs := benchEvents(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := WriteEvents(GEN, evs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkReadEvents(b *testing.B) {
+	data, err := WriteEvents(GEN, benchEvents(b, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadEvents(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatIntegrityCheck(b *testing.B) {
+	data, err := WriteEvents(GEN, benchEvents(b, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stat(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package hepsim
+
+import (
+	"repro/internal/histo"
+)
+
+// AnalysisResult is the set of physics distributions a full analysis
+// chain ends in — the objects data validation compares run-to-run.
+type AnalysisResult struct {
+	// Mass is the invariant-mass spectrum of the two leading particles;
+	// the resonance peak is the analysis' headline observable.
+	Mass *histo.H1D
+	// LeadPt is the leading-particle transverse-momentum spectrum.
+	LeadPt *histo.H1D
+	// Multiplicity is the per-event particle-count distribution.
+	Multiplicity *histo.H1D
+}
+
+// NewAnalysisResult books the standard analysis histograms around the
+// given resonance mass.
+func NewAnalysisResult(resonanceMass float64) *AnalysisResult {
+	return &AnalysisResult{
+		Mass:         histo.NewH1D("ana/mass", 60, resonanceMass-15, resonanceMass+15),
+		LeadPt:       histo.NewH1D("ana/leadpt", 50, 0, 50),
+		Multiplicity: histo.NewH1D("ana/mult", 25, 0, 25),
+	}
+}
+
+// Analyze fills the distributions from HAT-level summaries. Corrupted
+// events land in the overflow bins, where comparison against the
+// reference exposes them.
+func Analyze(summaries []Summary, resonanceMass float64) *AnalysisResult {
+	res := NewAnalysisResult(resonanceMass)
+	for _, s := range summaries {
+		res.Mass.Fill(s.Mass)
+		res.LeadPt.Fill(s.Pt)
+		res.Multiplicity.Fill(float64(s.N))
+	}
+	return res
+}
+
+// Histograms returns the result's histograms in a fixed order, for
+// serialization and comparison loops.
+func (r *AnalysisResult) Histograms() []*histo.H1D {
+	return []*histo.H1D{r.Mass, r.LeadPt, r.Multiplicity}
+}

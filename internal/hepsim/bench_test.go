@@ -1,0 +1,58 @@
+package hepsim
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	g, err := NewGenerator(DefaultGenConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Generate(int64(i))
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	g, _ := NewGenerator(DefaultGenConfig(1))
+	det := DefaultDetector(2)
+	evs := g.GenerateN(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Simulate(evs[i%len(evs)], Effects{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	g, _ := NewGenerator(DefaultGenConfig(1))
+	det := DefaultDetector(2)
+	evs, _ := det.SimulateAll(g.GenerateN(256), Effects{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(evs[i%len(evs)], Effects{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullPipeline1kEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _ := NewGenerator(DefaultGenConfig(uint64(i)))
+		det := DefaultDetector(uint64(i) + 1)
+		sim, err := det.SimulateAll(g.GenerateN(1000), Effects{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err := ReconstructAll(sim, Effects{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums := make([]Summary, len(recs))
+		for j, r := range recs {
+			sums[j] = Summarize(r)
+		}
+		_ = Analyze(sums, 30)
+	}
+}

@@ -1,0 +1,91 @@
+package hepsim
+
+import (
+	"repro/internal/platform"
+)
+
+// Effects is the bridge between the platform model and the physics
+// simulation: it translates the traits of the software being run and the
+// configuration it runs on into concrete runtime behaviour. This is the
+// mechanism by which a migration can change physics output — the failure
+// class the paper's data-validation tests exist to catch, beyond mere
+// compile success.
+type Effects struct {
+	// FPShift is a deterministic relative perturbation applied to
+	// numerically sensitive computations (present only when the code has
+	// TraitX87Sensitive and the configuration's floating-point profile
+	// differs from the reference).
+	FPShift float64
+	// MassBias is a relative bias applied to a deterministic subset of
+	// events, modelling an uninitialized-memory read whose observed value
+	// changed when a newer compiler's codegen started reusing stack
+	// slots. Zero when absent.
+	MassBias float64
+	// CorruptEvery corrupts every Nth event's kinematics, modelling
+	// pointers truncated to 32-bit integers on a 64-bit platform. Zero
+	// means never.
+	CorruptEvery int64
+	// Crash makes the stage fail at runtime, modelling an aliasing
+	// violation miscompiled by an optimizing compiler.
+	Crash bool
+	// SmearRev selects the detector-smearing random stream. External
+	// software revisions (e.g. a new ROOT) legitimately change random
+	// sequences: results are statistically compatible with the reference
+	// but not bit-identical. Validation must tell this apart from a bug.
+	SmearRev int
+}
+
+// EffectsFor computes the runtime effects of running code with the given
+// traits on the given configuration with the given external numeric
+// revision. The platform registry supplies compiler codegen behaviour.
+//
+// The rules:
+//
+//   - TraitX87Sensitive exposes the configuration's FP profile shift.
+//   - TraitUninitMemory becomes a physics bias only under compilers whose
+//     codegen reuses stack slots (gcc >= 4.4 in the catalogue); on older
+//     compilers the stale value happens to be benign — which is exactly
+//     why the bug is "long-standing".
+//   - TraitPtrIntCast corrupts events only on 64-bit architectures,
+//     where pointers no longer fit the int they are stored in.
+//   - TraitStrictAliasing crashes only under compilers that warn about
+//     it (the model's marker for "optimizes aggressively enough to
+//     miscompile": gcc >= 4.4).
+func EffectsFor(cfg platform.Config, reg *platform.Registry, traits []platform.Trait, extRev int) (Effects, error) {
+	comp, err := reg.Compiler(cfg.Compiler)
+	if err != nil {
+		return Effects{}, err
+	}
+	eff := Effects{SmearRev: extRev}
+	for _, t := range traits {
+		switch t {
+		case platform.TraitX87Sensitive:
+			eff.FPShift = cfg.FP().RelativeShift
+		case platform.TraitUninitMemory:
+			if comp.StackReuse {
+				eff.MassBias = 0.004
+			}
+		case platform.TraitPtrIntCast:
+			if cfg.Arch.Bits() == 64 {
+				eff.CorruptEvery = 1024
+			}
+		case platform.TraitStrictAliasing:
+			if comp.Judge(platform.TraitStrictAliasing) != platform.VerdictOK {
+				eff.Crash = true
+			}
+		}
+	}
+	return eff, nil
+}
+
+// Corrupted reports whether this event falls in the deterministic subset
+// damaged by the pointer-truncation defect.
+func (e Effects) Corrupted(id int64) bool {
+	return e.CorruptEvery > 0 && id%e.CorruptEvery == 0
+}
+
+// Biased reports whether this event falls in the deterministic subset
+// affected by the uninitialized-memory bias (1 event in 16).
+func (e Effects) Biased(id int64) bool {
+	return e.MassBias != 0 && (uint64(id)*2654435761)%16 == 0
+}

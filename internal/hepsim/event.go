@@ -1,0 +1,45 @@
+package hepsim
+
+// Particle is one final-state particle.
+type Particle struct {
+	// PDG is a particle-type code (toy values: 11 electron, 211 pion,
+	// 22 photon).
+	PDG int32
+	// P is the four-momentum.
+	P Vec4
+}
+
+// Event is a generated or simulated event — the GEN- and SIM-level record.
+type Event struct {
+	// ID is the event number, unique within a dataset and stable across
+	// chain stages so that any event can be traced through every file
+	// level.
+	ID int64
+	// Particles is the final state.
+	Particles []Particle
+	// Signal records whether the generator produced the resonance
+	// (truth information, carried for efficiency studies).
+	Signal bool
+}
+
+// RecoEvent is a reconstructed event — the DST-level record.
+type RecoEvent struct {
+	// ID matches the source Event.ID.
+	ID int64
+	// Mass is the reconstructed invariant mass of the two leading
+	// particles, the analysis' primary observable.
+	Mass float64
+	// LeadPt is the transverse momentum of the leading particle.
+	LeadPt float64
+	// Multiplicity is the number of reconstructed particles.
+	Multiplicity int32
+}
+
+// Summary is the HAT-level (ntuple) record: the minimal per-event data a
+// physics analysis consumes.
+type Summary struct {
+	ID   int64
+	Mass float64
+	Pt   float64
+	N    int32
+}

@@ -1,0 +1,405 @@
+package hepsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestVec4Basics(t *testing.T) {
+	v := Vec4{E: 5, Px: 3, Py: 0, Pz: 4}
+	if got := v.P(); got != 5 {
+		t.Errorf("P = %g", got)
+	}
+	if got := v.Pt(); got != 3 {
+		t.Errorf("Pt = %g", got)
+	}
+	if got := v.M(); got != 0 {
+		t.Errorf("M of light-like vector = %g", got)
+	}
+	w := Vec4{E: 10, Px: 0, Py: 0, Pz: 0}
+	if got := w.M(); got != 10 {
+		t.Errorf("M at rest = %g", got)
+	}
+}
+
+func TestVec4AddScale(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{4, 3, 2, 1}
+	sum := a.Add(b)
+	if sum != (Vec4{5, 5, 5, 5}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if a.Scale(2) != (Vec4{2, 4, 6, 8}) {
+		t.Errorf("Scale = %+v", a.Scale(2))
+	}
+}
+
+func TestVec4NegativeMassSquaredClamped(t *testing.T) {
+	v := Vec4{E: 1, Px: 2, Py: 0, Pz: 0} // space-like after smearing
+	if got := v.M(); got != 0 {
+		t.Errorf("M = %g, want 0", got)
+	}
+}
+
+func TestFromPtPhiPz(t *testing.T) {
+	v := FromPtPhiPz(3, 0, 4)
+	if math.Abs(v.Px-3) > 1e-12 || math.Abs(v.Py) > 1e-12 || v.Pz != 4 {
+		t.Errorf("FromPtPhiPz = %+v", v)
+	}
+	if math.Abs(v.E-5) > 1e-12 {
+		t.Errorf("E = %g, want 5", v.E)
+	}
+	if math.Abs(v.M()) > 1e-6 {
+		t.Errorf("massless vector has M = %g", v.M())
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	good := DefaultGenConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GenConfig{
+		{ResonanceMass: 0, ResonanceWidth: 1, MeanPt: 1},
+		{ResonanceMass: 30, ResonanceWidth: 0, MeanPt: 1},
+		{ResonanceMass: 30, ResonanceWidth: 2, SignalFraction: 1.5, MeanPt: 1},
+		{ResonanceMass: 30, ResonanceWidth: 2, MeanMultiplicity: -1, MeanPt: 1},
+		{ResonanceMass: 30, ResonanceWidth: 2, MeanPt: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministicPerEvent(t *testing.T) {
+	g1, err := NewGenerator(DefaultGenConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(DefaultGenConfig(42))
+
+	// Event i must not depend on generation order.
+	a := g1.Generate(500)
+	_ = g2.GenerateN(10)
+	b := g2.Generate(500)
+	if len(a.Particles) != len(b.Particles) {
+		t.Fatalf("event 500 differs: %d vs %d particles", len(a.Particles), len(b.Particles))
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatalf("particle %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorSignalFraction(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(7))
+	evs := g.GenerateN(5000)
+	signal := 0
+	for _, ev := range evs {
+		if ev.Signal {
+			signal++
+		}
+	}
+	frac := float64(signal) / float64(len(evs))
+	if math.Abs(frac-0.6) > 0.03 {
+		t.Fatalf("signal fraction = %g, want ≈0.6", frac)
+	}
+}
+
+func TestGeneratorResonanceMass(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(11))
+	var masses []float64
+	for _, ev := range g.GenerateN(2000) {
+		if !ev.Signal || len(ev.Particles) < 2 {
+			continue
+		}
+		m := ev.Particles[0].P.Add(ev.Particles[1].P).M()
+		masses = append(masses, m)
+	}
+	if len(masses) == 0 {
+		t.Fatal("no signal events")
+	}
+	// Median should be near the resonance mass.
+	within := 0
+	for _, m := range masses {
+		if math.Abs(m-30) < 4 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(len(masses)); frac < 0.5 {
+		t.Fatalf("only %.0f%% of signal masses within 4 GeV of peak", frac*100)
+	}
+}
+
+func TestDetectorValidate(t *testing.T) {
+	if err := DefaultDetector(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Detector{Resolution: -1, Efficiency: 0.9}).Validate(); err == nil {
+		t.Error("negative resolution accepted")
+	}
+	if err := (Detector{Resolution: 0.1, Efficiency: 1.5}).Validate(); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+}
+
+func TestSimulateDeterministicPerRevision(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(3))
+	ev := g.Generate(17)
+	det := DefaultDetector(5)
+
+	a, err := det.Simulate(ev, Effects{SmearRev: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := det.Simulate(ev, Effects{SmearRev: 1})
+	if len(a.Particles) != len(b.Particles) {
+		t.Fatal("same revision smearing not reproducible")
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			t.Fatal("same revision smearing not bit-identical")
+		}
+	}
+
+	c, _ := det.Simulate(ev, Effects{SmearRev: 2})
+	identical := len(a.Particles) == len(c.Particles)
+	if identical {
+		for i := range a.Particles {
+			if a.Particles[i] != c.Particles[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	if identical {
+		t.Fatal("different smear revisions produced identical events")
+	}
+}
+
+func TestSimulateEfficiencyDropsParticles(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(9))
+	det := Detector{Resolution: 0.02, Efficiency: 0.5, Seed: 1}
+	evs := g.GenerateN(500)
+	genParticles, simParticles := 0, 0
+	for _, ev := range evs {
+		genParticles += len(ev.Particles)
+		sm, err := det.Simulate(ev, Effects{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		simParticles += len(sm.Particles)
+	}
+	frac := float64(simParticles) / float64(genParticles)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("survival fraction = %g, want ≈0.5", frac)
+	}
+}
+
+func TestSimulateCrashEffect(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(1))
+	det := DefaultDetector(1)
+	if _, err := det.Simulate(g.Generate(0), Effects{Crash: true}); err == nil {
+		t.Fatal("crash effect did not fail the stage")
+	}
+	if _, err := det.SimulateAll(g.GenerateN(3), Effects{Crash: true}); err == nil {
+		t.Fatal("SimulateAll ignored crash")
+	}
+}
+
+func TestReconstructBasics(t *testing.T) {
+	ev := Event{ID: 1, Particles: []Particle{
+		{PDG: 211, P: FromPtPhiPz(10, 0, 0)},
+		{PDG: -211, P: FromPtPhiPz(10, math.Pi, 0)},
+		{PDG: 22, P: FromPtPhiPz(1, 1, 0)},
+	}}
+	rec, err := Reconstruct(ev, Effects{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Multiplicity != 3 {
+		t.Errorf("multiplicity = %d", rec.Multiplicity)
+	}
+	if math.Abs(rec.LeadPt-10) > 1e-9 {
+		t.Errorf("lead pt = %g", rec.LeadPt)
+	}
+	// Two massless back-to-back 10 GeV particles: invariant mass 20.
+	if math.Abs(rec.Mass-20) > 1e-9 {
+		t.Errorf("mass = %g, want 20", rec.Mass)
+	}
+}
+
+func TestReconstructEmptyAndSingle(t *testing.T) {
+	rec, err := Reconstruct(Event{ID: 5}, Effects{})
+	if err != nil || rec.Multiplicity != 0 || rec.Mass != 0 {
+		t.Fatalf("empty event = %+v, %v", rec, err)
+	}
+	one := Event{ID: 6, Particles: []Particle{{PDG: 211, P: FromPtPhiPz(5, 0, 0)}}}
+	rec, err = Reconstruct(one, Effects{})
+	if err != nil || rec.Mass != 0 || rec.LeadPt != 5 {
+		t.Fatalf("single-particle event = %+v, %v", rec, err)
+	}
+}
+
+func TestCorruptionEffect(t *testing.T) {
+	ev := Event{ID: 1024, Particles: []Particle{
+		{PDG: 211, P: FromPtPhiPz(10, 0, 0)},
+		{PDG: -211, P: FromPtPhiPz(10, math.Pi, 0)},
+	}}
+	eff := Effects{CorruptEvery: 1024}
+	rec, err := Reconstruct(ev, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mass < 1e5 {
+		t.Fatalf("event 1024 not corrupted: mass = %g", rec.Mass)
+	}
+	ev.ID = 1025
+	rec, _ = Reconstruct(ev, eff)
+	if rec.Mass > 100 {
+		t.Fatalf("event 1025 wrongly corrupted: mass = %g", rec.Mass)
+	}
+}
+
+func TestBiasEffectHitsSubset(t *testing.T) {
+	eff := Effects{MassBias: 0.004}
+	biasedCount := 0
+	const n = 10000
+	for id := int64(0); id < n; id++ {
+		if eff.Biased(id) {
+			biasedCount++
+		}
+	}
+	frac := float64(biasedCount) / n
+	if math.Abs(frac-1.0/16) > 0.02 {
+		t.Fatalf("biased fraction = %g, want ≈1/16", frac)
+	}
+	// Zero bias never marks events.
+	none := Effects{}
+	for id := int64(0); id < 100; id++ {
+		if none.Biased(id) {
+			t.Fatal("zero-bias effects marked an event")
+		}
+	}
+}
+
+func TestEffectsFor(t *testing.T) {
+	reg := platform.NewRegistry()
+	ref := platform.ReferenceConfig()
+	sl6 := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	sl5_32 := platform.Config{OS: "SL5", Arch: platform.I386, Compiler: "gcc4.1"}
+
+	// Clean code: no effects anywhere.
+	eff, err := EffectsFor(sl6, reg, []platform.Trait{platform.TraitCxx98}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.FPShift != 0 || eff.MassBias != 0 || eff.CorruptEvery != 0 || eff.Crash {
+		t.Fatalf("clean code has effects: %+v", eff)
+	}
+	if eff.SmearRev != 3 {
+		t.Fatalf("SmearRev = %d", eff.SmearRev)
+	}
+
+	// X87-sensitive code: shift on 32-bit, none on the reference.
+	eff, _ = EffectsFor(sl5_32, reg, []platform.Trait{platform.TraitX87Sensitive}, 1)
+	if eff.FPShift == 0 {
+		t.Error("x87-sensitive code has no shift on 32-bit")
+	}
+	eff, _ = EffectsFor(ref, reg, []platform.Trait{platform.TraitX87Sensitive}, 1)
+	if eff.FPShift != 0 {
+		t.Error("x87-sensitive code shifted on reference config")
+	}
+
+	// Uninit memory: bias only under stack-reusing compilers.
+	eff, _ = EffectsFor(ref, reg, []platform.Trait{platform.TraitUninitMemory}, 1)
+	if eff.MassBias != 0 {
+		t.Error("uninit memory biased under gcc4.1")
+	}
+	eff, _ = EffectsFor(sl6, reg, []platform.Trait{platform.TraitUninitMemory}, 1)
+	if eff.MassBias == 0 {
+		t.Error("uninit memory not biased under gcc4.4")
+	}
+
+	// Pointer truncation: corrupts only on 64-bit.
+	eff, _ = EffectsFor(sl5_32, reg, []platform.Trait{platform.TraitPtrIntCast}, 1)
+	if eff.CorruptEvery != 0 {
+		t.Error("ptr-int cast corrupted on 32-bit")
+	}
+	eff, _ = EffectsFor(sl6, reg, []platform.Trait{platform.TraitPtrIntCast}, 1)
+	if eff.CorruptEvery == 0 {
+		t.Error("ptr-int cast not corrupting on 64-bit")
+	}
+
+	// Aliasing: crash only under optimizing compilers.
+	eff, _ = EffectsFor(ref, reg, []platform.Trait{platform.TraitStrictAliasing}, 1)
+	if eff.Crash {
+		t.Error("aliasing crashed under gcc4.1")
+	}
+	eff, _ = EffectsFor(sl6, reg, []platform.Trait{platform.TraitStrictAliasing}, 1)
+	if !eff.Crash {
+		t.Error("aliasing did not crash under gcc4.4")
+	}
+
+	// Unknown compiler is an error.
+	if _, err := EffectsFor(platform.Config{OS: "SL5", Arch: platform.X8664, Compiler: "clang"}, reg, nil, 0); err == nil {
+		t.Error("unknown compiler accepted")
+	}
+}
+
+func TestFullPipelinePreservesEventIDs(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(13))
+	det := DefaultDetector(13)
+	evs := g.GenerateN(50)
+	sim, err := det.SimulateAll(evs, Effects{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReconstructAll(sim, Effects{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		if rec.ID != int64(i) {
+			t.Fatalf("event ID %d at position %d", rec.ID, i)
+		}
+		s := Summarize(rec)
+		if s.ID != rec.ID || s.Mass != rec.Mass || s.N != rec.Multiplicity {
+			t.Fatalf("summary mismatch: %+v vs %+v", s, rec)
+		}
+	}
+}
+
+func TestAnalyzeFindsPeak(t *testing.T) {
+	g, _ := NewGenerator(DefaultGenConfig(21))
+	det := DefaultDetector(21)
+	sim, _ := det.SimulateAll(g.GenerateN(3000), Effects{})
+	recs, _ := ReconstructAll(sim, Effects{})
+	sums := make([]Summary, len(recs))
+	for i, r := range recs {
+		sums[i] = Summarize(r)
+	}
+	res := Analyze(sums, 30)
+
+	if res.Mass.Entries() != 3000 {
+		t.Fatalf("mass entries = %d", res.Mass.Entries())
+	}
+	// The peak bin should be within a few GeV of 30.
+	peakBin, peak := -1, 0.0
+	for i := 0; i < res.Mass.Bins(); i++ {
+		if c := res.Mass.BinContent(i); c > peak {
+			peak, peakBin = c, i
+		}
+	}
+	if center := res.Mass.BinCenter(peakBin); math.Abs(center-30) > 3 {
+		t.Fatalf("peak at %g, want ≈30", center)
+	}
+	if len(res.Histograms()) != 3 {
+		t.Fatalf("histogram count = %d", len(res.Histograms()))
+	}
+}

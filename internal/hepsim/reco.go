@@ -1,0 +1,73 @@
+package hepsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Reconstruct turns a (simulated) event into its DST-level record: the
+// invariant mass of the two leading-pt particles, the leading pt and the
+// multiplicity. The runtime effects enter here exactly as the paper's
+// failure taxonomy requires:
+//
+//   - a crash effect aborts the stage with an error,
+//   - the pointer-truncation defect corrupts a deterministic subset of
+//     events into nonsense kinematics (visible as overflow entries),
+//   - the uninitialized-memory bias shifts a deterministic subset of
+//     masses by a fraction of a percent (visible only to data
+//     validation), and
+//   - the floating-point shift perturbs every mass at the relative scale
+//     of the configuration's FP profile (tolerated by validation).
+func Reconstruct(ev Event, eff Effects) (RecoEvent, error) {
+	if eff.Crash {
+		return RecoEvent{}, fmt.Errorf("hepsim: reconstruction crashed on event %d (miscompiled aliasing violation)", ev.ID)
+	}
+	rec := RecoEvent{ID: ev.ID, Multiplicity: int32(len(ev.Particles))}
+	if len(ev.Particles) == 0 {
+		return rec, nil
+	}
+
+	sorted := make([]Particle, len(ev.Particles))
+	copy(sorted, ev.Particles)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].P.Pt() > sorted[j].P.Pt() })
+
+	rec.LeadPt = sorted[0].P.Pt()
+	if len(sorted) >= 2 {
+		rec.Mass = sorted[0].P.Add(sorted[1].P).M()
+	}
+
+	if eff.Corrupted(ev.ID) {
+		// Pointer truncated to 32 bits: kinematics read from a wrong
+		// address. The observed value is garbage but deterministic.
+		rec.Mass = 1e6 + float64(ev.ID%997)
+		rec.LeadPt = math.MaxFloat32
+	}
+	if eff.Biased(ev.ID) {
+		rec.Mass *= 1 + eff.MassBias
+	}
+	if eff.FPShift != 0 {
+		rec.Mass *= 1 + eff.FPShift
+		rec.LeadPt *= 1 + eff.FPShift
+	}
+	return rec, nil
+}
+
+// ReconstructAll reconstructs every event, failing fast on the first
+// error.
+func ReconstructAll(evs []Event, eff Effects) ([]RecoEvent, error) {
+	out := make([]RecoEvent, 0, len(evs))
+	for _, ev := range evs {
+		rec, err := Reconstruct(ev, eff)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Summarize produces the HAT-level record from a DST record.
+func Summarize(rec RecoEvent) Summary {
+	return Summary{ID: rec.ID, Mass: rec.Mass, Pt: rec.LeadPt, N: rec.Multiplicity}
+}

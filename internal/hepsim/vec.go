@@ -1,0 +1,73 @@
+// Package hepsim is the toy high-energy-physics substrate: a
+// deterministic event generator, parametric detector simulation and
+// reconstruction whose outputs depend on the computing environment in
+// exactly the ways the sp-system exists to detect.
+//
+// The paper validates real HERA software — Monte-Carlo generation,
+// detector simulation, multi-level file production and physics analysis.
+// We cannot run H1's Fortran, but the validation framework never looks
+// inside the physics; it observes only whether each chain stage runs,
+// what files it produces, and whether the final distributions agree with
+// the reference. This package produces all three observables, with an
+// Effects model (see effects.go) that translates platform traits into
+// the failure modes the paper describes: silent numeric drift across
+// floating-point environments, corrupted results from 64-bit-unsafe
+// code, biases from uninitialized memory under new compilers, and
+// crashes from miscompiled aliasing violations.
+package hepsim
+
+import "math"
+
+// Vec4 is an energy-momentum four-vector (E, px, py, pz) in GeV.
+type Vec4 struct {
+	E, Px, Py, Pz float64
+}
+
+// Add returns the component-wise sum.
+func (v Vec4) Add(o Vec4) Vec4 {
+	return Vec4{v.E + o.E, v.Px + o.Px, v.Py + o.Py, v.Pz + o.Pz}
+}
+
+// Scale returns the vector with every component multiplied by f.
+func (v Vec4) Scale(f float64) Vec4 {
+	return Vec4{v.E * f, v.Px * f, v.Py * f, v.Pz * f}
+}
+
+// P returns the magnitude of the three-momentum.
+func (v Vec4) P() float64 {
+	return math.Sqrt(v.Px*v.Px + v.Py*v.Py + v.Pz*v.Pz)
+}
+
+// Pt returns the transverse momentum.
+func (v Vec4) Pt() float64 {
+	return math.Sqrt(v.Px*v.Px + v.Py*v.Py)
+}
+
+// Phi returns the azimuthal angle in (-pi, pi].
+func (v Vec4) Phi() float64 {
+	return math.Atan2(v.Py, v.Px)
+}
+
+// M returns the invariant mass, with negative mass-squared (from
+// smearing) clamped to zero.
+func (v Vec4) M() float64 {
+	m2 := v.E*v.E - v.Px*v.Px - v.Py*v.Py - v.Pz*v.Pz
+	if m2 <= 0 {
+		return 0
+	}
+	return math.Sqrt(m2)
+}
+
+// Rapidity returns the longitudinal rapidity; it is ±inf for light-like
+// vectors along the beam.
+func (v Vec4) Rapidity() float64 {
+	return 0.5 * math.Log((v.E+v.Pz)/(v.E-v.Pz))
+}
+
+// FromPtPhiPz builds a massless four-vector from transverse momentum,
+// azimuth and longitudinal momentum.
+func FromPtPhiPz(pt, phi, pz float64) Vec4 {
+	px := pt * math.Cos(phi)
+	py := pt * math.Sin(phi)
+	return Vec4{E: math.Sqrt(pt*pt + pz*pz), Px: px, Py: py, Pz: pz}
+}

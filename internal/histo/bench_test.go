@@ -1,0 +1,61 @@
+package histo
+
+import (
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func BenchmarkFill(b *testing.B) {
+	h := NewH1D("m", 60, 0, 60)
+	rng := simrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Fill(rng.Norm(30, 3))
+	}
+}
+
+func BenchmarkMaxRelDiff(b *testing.B) {
+	ref := gaussBench(1, 10000)
+	cand := ref.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxRelDiff(ref, cand, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChi2(b *testing.B) {
+	ref := gaussBench(1, 10000)
+	cand := gaussBench(2, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Chi2(ref, cand, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalRoundTrip(b *testing.B) {
+	h := gaussBench(3, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := h.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalH1D(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func gaussBench(seed uint64, n int) *H1D {
+	h := NewH1D("bench", 60, -5, 5)
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		h.Fill(rng.Norm(0, 1))
+	}
+	return h
+}

@@ -1,0 +1,149 @@
+package histo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparison is the verdict of comparing a candidate histogram against a
+// reference.
+type Comparison struct {
+	// Compatible reports whether the candidate passed the comparator.
+	Compatible bool
+	// Statistic is the comparator's test statistic (max relative
+	// difference, chi²/ndf, or KS distance depending on the method).
+	Statistic float64
+	// Detail is a human-readable explanation recorded with the test
+	// result.
+	Detail string
+}
+
+// checkBooking verifies two histograms were booked identically; every
+// comparator requires it.
+func checkBooking(ref, cand *H1D) error {
+	if ref.bins != cand.bins || ref.lo != cand.lo || ref.hi != cand.hi {
+		return fmt.Errorf("histo: booking mismatch: %q has %d bins [%g,%g), %q has %d bins [%g,%g)",
+			ref.name, ref.bins, ref.lo, ref.hi, cand.name, cand.bins, cand.lo, cand.hi)
+	}
+	return nil
+}
+
+// Identical reports whether the two histograms agree bit-for-bit:
+// identical booking, bin contents, flows and entry counts. This is the
+// comparator for replays of the same configuration, where any difference
+// at all indicates broken reproducibility.
+func Identical(ref, cand *H1D) (Comparison, error) {
+	if err := checkBooking(ref, cand); err != nil {
+		return Comparison{}, err
+	}
+	if ref.entries != cand.entries {
+		return Comparison{Detail: fmt.Sprintf("entry counts differ: %d vs %d", ref.entries, cand.entries)}, nil
+	}
+	if ref.under != cand.under || ref.over != cand.over {
+		return Comparison{Detail: "under/overflow differ"}, nil
+	}
+	for i := range ref.counts {
+		if ref.counts[i] != cand.counts[i] {
+			return Comparison{
+				Statistic: math.Abs(ref.counts[i] - cand.counts[i]),
+				Detail:    fmt.Sprintf("bin %d differs: %g vs %g", i, ref.counts[i], cand.counts[i]),
+			}, nil
+		}
+	}
+	return Comparison{Compatible: true, Detail: "bit-identical"}, nil
+}
+
+// MaxRelDiff compares bin-by-bin and passes when every bin agrees within
+// the relative tolerance tol (absolute tolerance tol for bins where the
+// reference is zero). This is the comparator for cross-configuration
+// validation, where legitimate floating-point drift must be tolerated but
+// anything larger flagged.
+func MaxRelDiff(ref, cand *H1D, tol float64) (Comparison, error) {
+	if err := checkBooking(ref, cand); err != nil {
+		return Comparison{}, err
+	}
+	worst := 0.0
+	worstBin := -1
+	for i := range ref.counts {
+		r, c := ref.counts[i], cand.counts[i]
+		var d float64
+		if r == 0 {
+			d = math.Abs(c)
+		} else {
+			d = math.Abs(c-r) / math.Abs(r)
+		}
+		if d > worst {
+			worst = d
+			worstBin = i
+		}
+	}
+	cmp := Comparison{Statistic: worst, Compatible: worst <= tol}
+	if worstBin >= 0 {
+		cmp.Detail = fmt.Sprintf("max relative difference %.3g at bin %d (tolerance %.3g)", worst, worstBin, tol)
+	} else {
+		cmp.Detail = "all bins zero in reference"
+	}
+	return cmp, nil
+}
+
+// Chi2 computes a chi-square per degree of freedom between two
+// histograms, treating bin contents as Poisson counts, and passes when
+// chi²/ndf <= maxChi2PerNdf. Bins empty in both histograms are skipped.
+// This is the comparator for statistically independent samples (e.g. a
+// regenerated Monte-Carlo set) where bin-by-bin equality is not expected.
+func Chi2(ref, cand *H1D, maxChi2PerNdf float64) (Comparison, error) {
+	if err := checkBooking(ref, cand); err != nil {
+		return Comparison{}, err
+	}
+	var chi2 float64
+	ndf := 0
+	for i := range ref.counts {
+		r, c := ref.counts[i], cand.counts[i]
+		if r == 0 && c == 0 {
+			continue
+		}
+		// Variance of the difference of two Poisson-ish bins.
+		chi2 += (r - c) * (r - c) / (math.Abs(r) + math.Abs(c))
+		ndf++
+	}
+	if ndf == 0 {
+		return Comparison{Compatible: true, Detail: "both histograms empty"}, nil
+	}
+	stat := chi2 / float64(ndf)
+	return Comparison{
+		Compatible: stat <= maxChi2PerNdf,
+		Statistic:  stat,
+		Detail:     fmt.Sprintf("chi2/ndf = %.3g over %d bins (limit %.3g)", stat, ndf, maxChi2PerNdf),
+	}, nil
+}
+
+// KolmogorovDistance compares the normalized cumulative distributions of
+// the two histograms and passes when the maximum distance is at most
+// maxDist. It is shape-only: overall normalization differences are
+// ignored, making it the comparator for tests where rates may differ but
+// the physics shape must hold.
+func KolmogorovDistance(ref, cand *H1D, maxDist float64) (Comparison, error) {
+	if err := checkBooking(ref, cand); err != nil {
+		return Comparison{}, err
+	}
+	ri, ci := ref.Integral(), cand.Integral()
+	if ri == 0 || ci == 0 {
+		if ri == 0 && ci == 0 {
+			return Comparison{Compatible: true, Detail: "both histograms empty"}, nil
+		}
+		return Comparison{Statistic: 1, Detail: "one histogram empty"}, nil
+	}
+	var cumR, cumC, worst float64
+	for i := range ref.counts {
+		cumR += ref.counts[i] / ri
+		cumC += cand.counts[i] / ci
+		if d := math.Abs(cumR - cumC); d > worst {
+			worst = d
+		}
+	}
+	return Comparison{
+		Compatible: worst <= maxDist,
+		Statistic:  worst,
+		Detail:     fmt.Sprintf("KS distance %.3g (limit %.3g)", worst, maxDist),
+	}, nil
+}

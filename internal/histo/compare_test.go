@@ -1,0 +1,162 @@
+package histo
+
+import (
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func gauss(name string, rng *simrand.Source, n int, mean, sigma float64) *H1D {
+	h := NewH1D(name, 50, mean-5*sigma, mean+5*sigma)
+	for i := 0; i < n; i++ {
+		h.Fill(rng.Norm(mean, sigma))
+	}
+	return h
+}
+
+func TestIdenticalOnClones(t *testing.T) {
+	h := gauss("ref", simrand.New(1), 1000, 0, 1)
+	cmp, err := Identical(h, h.Clone())
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("Identical on clone = %+v, %v", cmp, err)
+	}
+}
+
+func TestIdenticalDetectsSingleBinShift(t *testing.T) {
+	a := gauss("ref", simrand.New(1), 1000, 0, 1)
+	b := a.Clone()
+	b.counts[25] += 1e-9
+	cmp, err := Identical(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Compatible {
+		t.Fatal("Identical missed a 1e-9 single-bin change")
+	}
+}
+
+func TestIdenticalDetectsEntryCountChange(t *testing.T) {
+	a := gauss("ref", simrand.New(1), 1000, 0, 1)
+	b := a.Clone()
+	b.entries++
+	if cmp, _ := Identical(a, b); cmp.Compatible {
+		t.Fatal("Identical missed entry-count difference")
+	}
+}
+
+func TestIdenticalRejectsMismatchedBooking(t *testing.T) {
+	a := NewH1D("a", 10, 0, 1)
+	b := NewH1D("b", 20, 0, 1)
+	if _, err := Identical(a, b); err == nil {
+		t.Fatal("booking mismatch not reported as error")
+	}
+}
+
+func TestMaxRelDiffToleratesPlatformDrift(t *testing.T) {
+	a := gauss("ref", simrand.New(2), 5000, 10, 2)
+	b := a.Clone()
+	// Simulate x87-scale drift: every bin shifted by 1e-13 relative.
+	for i := range b.counts {
+		b.counts[i] *= 1 + 1e-13
+	}
+	cmp, err := MaxRelDiff(a, b, 1e-9)
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("platform drift rejected: %+v, %v", cmp, err)
+	}
+	// But a physics-level shift fails.
+	b.counts[25] *= 1.05
+	cmp, _ = MaxRelDiff(a, b, 1e-9)
+	if cmp.Compatible {
+		t.Fatal("5%% single-bin shift accepted")
+	}
+	if cmp.Statistic < 0.04 {
+		t.Fatalf("statistic = %g, want ≈0.05", cmp.Statistic)
+	}
+}
+
+func TestMaxRelDiffZeroReferenceBin(t *testing.T) {
+	a := NewH1D("a", 2, 0, 2)
+	b := NewH1D("b", 2, 0, 2)
+	b.counts[0] = 0.5
+	cmp, err := MaxRelDiff(a, b, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Compatible {
+		t.Fatal("absolute difference on zero reference bin accepted")
+	}
+}
+
+func TestChi2IndependentSamplesCompatible(t *testing.T) {
+	// Two independent samples from the same distribution should pass a
+	// loose chi2 cut.
+	a := gauss("a", simrand.New(3), 20000, 0, 1)
+	b := gauss("b", simrand.New(4), 20000, 0, 1)
+	cmp, err := Chi2(a, b, 2.0)
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("same-distribution samples rejected: %+v, %v", cmp, err)
+	}
+}
+
+func TestChi2DetectsShiftedDistribution(t *testing.T) {
+	a := gauss("a", simrand.New(5), 20000, 0, 1)
+	b := NewH1D("b", 50, -5, 5)
+	rng := simrand.New(6)
+	for i := 0; i < 20000; i++ {
+		b.Fill(rng.Norm(0.3, 1)) // mean shifted by 0.3 sigma
+	}
+	cmp, err := Chi2(a, b, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Compatible {
+		t.Fatalf("shifted distribution accepted: %+v", cmp)
+	}
+}
+
+func TestChi2BothEmpty(t *testing.T) {
+	a := NewH1D("a", 10, 0, 1)
+	b := NewH1D("b", 10, 0, 1)
+	cmp, err := Chi2(a, b, 1)
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("empty vs empty = %+v, %v", cmp, err)
+	}
+}
+
+func TestKolmogorovShapeOnly(t *testing.T) {
+	a := gauss("a", simrand.New(7), 10000, 0, 1)
+	b := a.Clone()
+	b.Scale(3) // normalization differs, shape identical
+	cmp, err := KolmogorovDistance(a, b, 0.01)
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("scaled clone rejected by KS: %+v, %v", cmp, err)
+	}
+}
+
+func TestKolmogorovDetectsShapeChange(t *testing.T) {
+	a := gauss("a", simrand.New(8), 20000, 0, 1)
+	b := NewH1D("b", 50, -5, 5) // same booking, distribution shifted a full sigma
+	rng := simrand.New(9)
+	for i := 0; i < 20000; i++ {
+		b.Fill(rng.Norm(1.0, 1))
+	}
+	cmp, err := KolmogorovDistance(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Compatible {
+		t.Fatalf("sigma-shifted shape accepted: %+v", cmp)
+	}
+}
+
+func TestKolmogorovEmptyCases(t *testing.T) {
+	a := NewH1D("a", 10, 0, 1)
+	b := NewH1D("b", 10, 0, 1)
+	if cmp, _ := KolmogorovDistance(a, b, 0.1); !cmp.Compatible {
+		t.Fatal("empty vs empty should be compatible")
+	}
+	b.Fill(0.5)
+	if cmp, _ := KolmogorovDistance(a, b, 0.1); cmp.Compatible {
+		t.Fatal("empty vs non-empty should be incompatible")
+	}
+}

@@ -1,0 +1,204 @@
+// Package histo provides one-dimensional histograms and the statistical
+// comparators the validation framework uses to decide whether two
+// versions of an analysis produced compatible physics.
+//
+// The paper's validation output "may be a simple yes/no, a text file, a
+// histogram, a root file"; histograms are the workhorse: an analysis
+// chain ends in distributions, and validation compares them against the
+// reference produced by the last successful run. The comparators
+// distinguish bit-identical agreement, agreement within a numeric
+// tolerance (legitimate platform drift), and statistically significant
+// disagreement (a bug or an unflagged behaviour change).
+package histo
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// H1D is a fixed-binning one-dimensional histogram with weighted fills
+// and under/overflow tracking. It is not safe for concurrent use.
+type H1D struct {
+	name    string
+	bins    int
+	lo, hi  float64
+	counts  []float64
+	under   float64
+	over    float64
+	entries int64
+	sumW    float64
+	sumWX   float64
+	sumWX2  float64
+}
+
+// NewH1D returns a histogram with the given name, bin count and range.
+// It panics if bins <= 0 or hi <= lo: histogram booking is static
+// configuration and a bad booking is a programming error.
+func NewH1D(name string, bins int, lo, hi float64) *H1D {
+	if bins <= 0 {
+		panic(fmt.Sprintf("histo: %q booked with %d bins", name, bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("histo: %q booked with empty range [%g, %g)", name, lo, hi))
+	}
+	return &H1D{name: name, bins: bins, lo: lo, hi: hi, counts: make([]float64, bins)}
+}
+
+// Name returns the histogram's name.
+func (h *H1D) Name() string { return h.name }
+
+// Bins returns the number of in-range bins.
+func (h *H1D) Bins() int { return h.bins }
+
+// Range returns the histogram's [lo, hi) range.
+func (h *H1D) Range() (lo, hi float64) { return h.lo, h.hi }
+
+// Fill adds an entry at x with weight 1.
+func (h *H1D) Fill(x float64) { h.FillW(x, 1) }
+
+// FillW adds an entry at x with the given weight. NaN values are counted
+// as overflow so that a numerically broken producer is visible in the
+// comparison rather than silently dropped.
+func (h *H1D) FillW(x, w float64) {
+	h.entries++
+	if math.IsNaN(x) {
+		h.over += w
+		return
+	}
+	h.sumW += w
+	h.sumWX += w * x
+	h.sumWX2 += w * x * x
+	switch {
+	case x < h.lo:
+		h.under += w
+	case x >= h.hi:
+		h.over += w
+	default:
+		idx := int((x - h.lo) / (h.hi - h.lo) * float64(h.bins))
+		if idx == h.bins { // guard against floating-point edge at hi
+			idx--
+		}
+		h.counts[idx] += w
+	}
+}
+
+// Entries returns the number of Fill calls.
+func (h *H1D) Entries() int64 { return h.entries }
+
+// BinContent returns the weight in bin i (0-based). It panics on an
+// out-of-range index.
+func (h *H1D) BinContent(i int) float64 {
+	if i < 0 || i >= h.bins {
+		panic(fmt.Sprintf("histo: %q bin %d out of range [0, %d)", h.name, i, h.bins))
+	}
+	return h.counts[i]
+}
+
+// BinCenter returns the x coordinate of the centre of bin i.
+func (h *H1D) BinCenter(i int) float64 {
+	width := (h.hi - h.lo) / float64(h.bins)
+	return h.lo + (float64(i)+0.5)*width
+}
+
+// Underflow and Overflow return the weight outside the range.
+func (h *H1D) Underflow() float64 { return h.under }
+
+// Overflow returns the weight at or above the upper edge (including NaN
+// fills).
+func (h *H1D) Overflow() float64 { return h.over }
+
+// Integral returns the total in-range weight.
+func (h *H1D) Integral() float64 {
+	var sum float64
+	for _, c := range h.counts {
+		sum += c
+	}
+	return sum
+}
+
+// Mean returns the weighted mean of filled values (including out-of-range
+// fills, excluding NaN), or 0 for an empty histogram.
+func (h *H1D) Mean() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	return h.sumWX / h.sumW
+}
+
+// StdDev returns the weighted standard deviation, or 0 for an empty
+// histogram.
+func (h *H1D) StdDev() float64 {
+	if h.sumW == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	v := h.sumWX2/h.sumW - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Clone returns a deep copy.
+func (h *H1D) Clone() *H1D {
+	cp := *h
+	cp.counts = make([]float64, len(h.counts))
+	copy(cp.counts, h.counts)
+	return &cp
+}
+
+// Merge adds the contents of other into h. The histograms must have
+// identical booking (bins and range); names may differ.
+func (h *H1D) Merge(other *H1D) error {
+	if h.bins != other.bins || h.lo != other.lo || h.hi != other.hi {
+		return fmt.Errorf("histo: cannot merge %q (%d bins [%g,%g)) with %q (%d bins [%g,%g))",
+			h.name, h.bins, h.lo, h.hi, other.name, other.bins, other.lo, other.hi)
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.under += other.under
+	h.over += other.over
+	h.entries += other.entries
+	h.sumW += other.sumW
+	h.sumWX += other.sumWX
+	h.sumWX2 += other.sumWX2
+	return nil
+}
+
+// Scale multiplies all weights by f.
+func (h *H1D) Scale(f float64) {
+	for i := range h.counts {
+		h.counts[i] *= f
+	}
+	h.under *= f
+	h.over *= f
+	h.sumW *= f
+	h.sumWX *= f
+	h.sumWX2 *= f
+}
+
+// Render draws a compact ASCII representation — the form embedded in the
+// framework's text reports ("this file may be ... a histogram").
+func (h *H1D) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  entries=%d mean=%.4g stddev=%.4g\n", h.name, h.entries, h.Mean(), h.StdDev())
+	for i, c := range h.counts {
+		bar := 0
+		if max > 0 {
+			bar = int(c / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%10.3g |%s %.4g\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package histo
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFillAndBinContent(t *testing.T) {
+	h := NewH1D("m", 10, 0, 10)
+	h.Fill(0.5)
+	h.Fill(0.7)
+	h.Fill(5.5)
+	if got := h.BinContent(0); got != 2 {
+		t.Errorf("bin 0 = %g, want 2", got)
+	}
+	if got := h.BinContent(5); got != 1 {
+		t.Errorf("bin 5 = %g, want 1", got)
+	}
+	if h.Entries() != 3 {
+		t.Errorf("entries = %d", h.Entries())
+	}
+	if h.Integral() != 3 {
+		t.Errorf("integral = %g", h.Integral())
+	}
+}
+
+func TestFlows(t *testing.T) {
+	h := NewH1D("m", 10, 0, 10)
+	h.Fill(-1)
+	h.Fill(10) // at upper edge: overflow for [lo, hi)
+	h.Fill(99)
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %g", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %g", h.Overflow())
+	}
+	if h.Integral() != 0 {
+		t.Errorf("integral = %g, want 0", h.Integral())
+	}
+}
+
+func TestNaNCountsAsOverflow(t *testing.T) {
+	h := NewH1D("m", 4, 0, 1)
+	h.Fill(math.NaN())
+	if h.Overflow() != 1 {
+		t.Fatalf("NaN fill not visible in overflow: %g", h.Overflow())
+	}
+	if h.Entries() != 1 {
+		t.Fatalf("entries = %d", h.Entries())
+	}
+}
+
+func TestUpperEdgeBoundary(t *testing.T) {
+	h := NewH1D("m", 10, 0, 1)
+	// A value infinitesimally below hi must land in the last bin, not panic.
+	h.Fill(math.Nextafter(1, 0))
+	if got := h.BinContent(9); got != 1 {
+		t.Fatalf("last bin = %g", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	h := NewH1D("m", 100, -10, 10)
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		h.Fill(x)
+	}
+	if got := h.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean = %g, want 3", got)
+	}
+	if got := h.StdDev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %g, want sqrt(2)", got)
+	}
+	empty := NewH1D("e", 10, 0, 1)
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+}
+
+func TestWeightedFill(t *testing.T) {
+	h := NewH1D("m", 2, 0, 2)
+	h.FillW(0.5, 3)
+	h.FillW(1.5, 1)
+	if h.BinContent(0) != 3 || h.BinContent(1) != 1 {
+		t.Fatalf("bins = %g, %g", h.BinContent(0), h.BinContent(1))
+	}
+	if got := h.Mean(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("weighted mean = %g, want 0.75", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewH1D("a", 4, 0, 4)
+	b := NewH1D("b", 4, 0, 4)
+	a.Fill(0.5)
+	b.Fill(0.5)
+	b.Fill(3.5)
+	b.Fill(-1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.BinContent(0) != 2 || a.BinContent(3) != 1 {
+		t.Fatalf("merged bins wrong: %g, %g", a.BinContent(0), a.BinContent(3))
+	}
+	if a.Underflow() != 1 {
+		t.Fatalf("merged underflow = %g", a.Underflow())
+	}
+	if a.Entries() != 4 {
+		t.Fatalf("merged entries = %d", a.Entries())
+	}
+}
+
+func TestMergeRejectsMismatchedBooking(t *testing.T) {
+	a := NewH1D("a", 4, 0, 4)
+	b := NewH1D("b", 5, 0, 4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different binning succeeded")
+	}
+	c := NewH1D("c", 4, 0, 5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different range succeeded")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewH1D("a", 4, 0, 4)
+	a.Fill(1.5)
+	b := a.Clone()
+	b.Fill(1.5)
+	if a.BinContent(1) != 1 || b.BinContent(1) != 2 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestScale(t *testing.T) {
+	h := NewH1D("m", 2, 0, 2)
+	h.Fill(0.5)
+	h.Fill(1.5)
+	h.Scale(2)
+	if h.BinContent(0) != 2 || h.Integral() != 4 {
+		t.Fatalf("scaled contents wrong: %g, %g", h.BinContent(0), h.Integral())
+	}
+}
+
+func TestBookingPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero bins":   func() { NewH1D("x", 0, 0, 1) },
+		"empty range": func() { NewH1D("x", 10, 1, 1) },
+		"bad index":   func() { NewH1D("x", 2, 0, 1).BinContent(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinCenter(t *testing.T) {
+	h := NewH1D("m", 4, 0, 8)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %g, want 1", got)
+	}
+	if got := h.BinCenter(3); got != 7 {
+		t.Errorf("BinCenter(3) = %g, want 7", got)
+	}
+}
+
+func TestRenderContainsStats(t *testing.T) {
+	h := NewH1D("mass", 4, 0, 4)
+	h.Fill(1.5)
+	out := h.Render(40)
+	if !strings.Contains(out, "mass") || !strings.Contains(out, "entries=1") {
+		t.Fatalf("Render missing header: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("Render missing bar: %q", out)
+	}
+}

@@ -1,0 +1,89 @@
+package histo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+// TestMergePartitionProperty: filling one histogram with a sample equals
+// (bit-exactly, since addition order is preserved per bin) filling two
+// histograms with a partition of the sample and merging them.
+func TestMergePartitionProperty(t *testing.T) {
+	f := func(seed uint64, nByte uint8, splitByte uint8) bool {
+		n := int(nByte) + 2
+		split := int(splitByte) % n
+		rng := simrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Norm(0, 2)
+		}
+
+		whole := NewH1D("whole", 20, -5, 5)
+		for _, x := range xs {
+			whole.Fill(x)
+		}
+		a := NewH1D("a", 20, -5, 5)
+		b := NewH1D("b", 20, -5, 5)
+		for _, x := range xs[:split] {
+			a.Fill(x)
+		}
+		for _, x := range xs[split:] {
+			b.Fill(x)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		// Unit-weight fills: bin contents are integer counts, so the
+		// partition must agree exactly.
+		cmp, err := Identical(whole, a)
+		return err == nil && cmp.Compatible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaleIntegralProperty: scaling multiplies the integral by the
+// factor (within floating-point tolerance).
+func TestScaleIntegralProperty(t *testing.T) {
+	f := func(seed uint64, factorByte uint8) bool {
+		factor := float64(factorByte)/16 + 0.25
+		h := gaussQuick(seed, 200)
+		before := h.Integral()
+		h.Scale(factor)
+		return math.Abs(h.Integral()-before*factor) <= 1e-9*math.Abs(before*factor)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComparatorReflexivityProperty: every comparator accepts a
+// histogram against its own clone.
+func TestComparatorReflexivityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := gaussQuick(seed, 300)
+		c := h.Clone()
+		id, err1 := Identical(h, c)
+		rel, err2 := MaxRelDiff(h, c, 1e-15)
+		chi, err3 := Chi2(h, c, 0.001)
+		ks, err4 := KolmogorovDistance(h, c, 1e-12)
+		return err1 == nil && err2 == nil && err3 == nil && err4 == nil &&
+			id.Compatible && rel.Compatible && chi.Compatible && ks.Compatible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gaussQuick(seed uint64, n int) *H1D {
+	h := NewH1D("q", 25, -6, 6)
+	rng := simrand.New(seed)
+	for i := 0; i < n; i++ {
+		h.Fill(rng.Norm(0, 1.5))
+	}
+	return h
+}

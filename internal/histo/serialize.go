@@ -1,0 +1,122 @@
+package histo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format: the framework stores histograms on the common storage as
+// validation outputs and reference data. The encoding is
+// length-prefixed, little-endian, and carries a magic and version so that
+// corrupted or foreign blobs are rejected with a clear error.
+
+var histMagic = [4]byte{'S', 'P', 'H', '1'}
+
+const histVersion = 1
+
+// MarshalBinary encodes the histogram.
+func (h *H1D) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(histMagic[:])
+	buf.WriteByte(histVersion)
+
+	name := []byte(h.name)
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("histo: name of %d bytes too long to serialize", len(name))
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(name)))
+	buf.Write(scratch[:2])
+	buf.Write(name)
+
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(h.bins))
+	buf.Write(scratch[:4])
+	for _, f := range []float64{h.lo, h.hi, h.under, h.over, h.sumW, h.sumWX, h.sumWX2} {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+		buf.Write(scratch[:])
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(h.entries))
+	buf.Write(scratch[:])
+	for _, c := range h.counts {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(c))
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalH1D decodes a histogram encoded by MarshalBinary.
+func UnmarshalH1D(data []byte) (*H1D, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != histMagic {
+		return nil, fmt.Errorf("histo: not a histogram blob (bad magic)")
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != histVersion {
+		return nil, fmt.Errorf("histo: unsupported version %d", ver)
+	}
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(b[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	readF64 := func() (float64, error) {
+		u, err := readU64()
+		return math.Float64frombits(u), err
+	}
+
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("histo: truncated blob: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("histo: truncated name: %w", err)
+	}
+	bins, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("histo: truncated blob: %w", err)
+	}
+	if bins == 0 || bins > 1<<24 {
+		return nil, fmt.Errorf("histo: implausible bin count %d", bins)
+	}
+	h := &H1D{name: string(name), bins: int(bins), counts: make([]float64, bins)}
+	for _, dst := range []*float64{&h.lo, &h.hi, &h.under, &h.over, &h.sumW, &h.sumWX, &h.sumWX2} {
+		if *dst, err = readF64(); err != nil {
+			return nil, fmt.Errorf("histo: truncated blob: %w", err)
+		}
+	}
+	ent, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("histo: truncated blob: %w", err)
+	}
+	h.entries = int64(ent)
+	for i := range h.counts {
+		if h.counts[i], err = readF64(); err != nil {
+			return nil, fmt.Errorf("histo: truncated counts at bin %d: %w", i, err)
+		}
+	}
+	if h.hi <= h.lo {
+		return nil, fmt.Errorf("histo: decoded empty range [%g, %g)", h.lo, h.hi)
+	}
+	return h, nil
+}

@@ -1,0 +1,106 @@
+package histo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	h := gauss("ref/mass", simrand.New(1), 5000, 91.2, 2.5)
+	h.Fill(-999) // populate underflow
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalH1D(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Identical(h, got)
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("round trip not identical: %+v, %v", cmp, err)
+	}
+	if got.Name() != "ref/mass" {
+		t.Fatalf("name = %q", got.Name())
+	}
+	if got.Underflow() != h.Underflow() {
+		t.Fatalf("underflow lost: %g vs %g", got.Underflow(), h.Underflow())
+	}
+	if got.Mean() != h.Mean() || got.StdDev() != h.StdDev() {
+		t.Fatal("moments lost in round trip")
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	h := gauss("m", simrand.New(2), 100, 0, 1)
+	a, _ := h.MarshalBinary()
+	b, _ := h.MarshalBinary()
+	if string(a) != string(b) {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a histogram"),
+		{'S', 'P', 'H', '1'},     // magic only
+		{'S', 'P', 'H', '1', 99}, // bad version
+		{'X', 'X', 'X', 'X', 1},  // bad magic
+	}
+	for i, data := range cases {
+		if _, err := UnmarshalH1D(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	h := gauss("m", simrand.New(3), 100, 0, 1)
+	data, _ := h.MarshalBinary()
+	for _, cut := range []int{5, 10, len(data) / 2, len(data) - 1} {
+		if _, err := UnmarshalH1D(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSerializeEmptyHistogram(t *testing.T) {
+	h := NewH1D("empty", 16, -1, 1)
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalH1D(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries() != 0 || got.Bins() != 16 {
+		t.Fatalf("empty round trip: entries=%d bins=%d", got.Entries(), got.Bins())
+	}
+}
+
+func TestSerializeProperty(t *testing.T) {
+	f := func(seed uint64, fills uint8) bool {
+		rng := simrand.New(seed)
+		h := NewH1D("p", 8, 0, 1)
+		for i := 0; i < int(fills); i++ {
+			h.FillW(rng.Float64()*1.2-0.1, rng.Float64())
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalH1D(data)
+		if err != nil {
+			return false
+		}
+		cmp, err := Identical(h, got)
+		return err == nil && cmp.Compatible
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package lifetime quantifies the paper's central claim (§2): freezing
+// a system "will provide a workable solution for the medium-term
+// future", but actively migrating and validating "substantially extends
+// the lifetime of the software, and hence the data".
+//
+// The simulation walks a multi-year timeline of OS releases and
+// end-of-life dates. Under the freeze strategy the stack stays on its
+// initial platform and its usability decays once the platform leaves
+// vendor support (security exposure, dying hardware, unbootable
+// images). Under the adapt-and-validate strategy, every new platform
+// release triggers a real migration campaign through the migrate
+// package — complete with validation runs, failure attribution and
+// interventions — and the stack stays on supported platforms for as
+// long as campaigns converge. The price is the intervention effort,
+// which the simulation also accounts.
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/migrate"
+	"repro/internal/platform"
+)
+
+// Strategy selects a preservation approach.
+type Strategy int
+
+const (
+	// Freeze conserves the initial environment unchanged — the paper's
+	// "freeze the current system" option.
+	Freeze Strategy = iota
+	// Migrate actively adapts to each new platform — the DESY approach
+	// the sp-system exists to support.
+	Migrate
+)
+
+// String returns "freeze" or "migrate".
+func (s Strategy) String() string {
+	if s == Freeze {
+		return "freeze"
+	}
+	return "migrate"
+}
+
+// Params configures a lifetime simulation.
+type Params struct {
+	// Start and End bound the simulated horizon.
+	Start, End time.Time
+	// StartConfig is the platform the software runs on at Start.
+	StartConfig platform.Config
+	// Externals is the external software set (held fixed across the
+	// horizon; external upgrades are exercised by the migration benches).
+	Externals *externals.Set
+	// GraceYears is how long a frozen platform stays usable past its
+	// vendor EOL before hardware and security erosion make it unusable.
+	// Usability decays linearly across this window.
+	GraceYears float64
+}
+
+// DefaultParams returns the reproduction's standard horizon: 2013 (the
+// paper's campaign) through 2030, starting from the HERA experiments'
+// native SL5/32-bit platform (latent 64-bit defects are dormant there,
+// so the initial capture's references are trustworthy).
+func DefaultParams(exts *externals.Set) Params {
+	return Params{
+		Start:       time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:         time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC),
+		StartConfig: platform.OriginalConfig(),
+		Externals:   exts,
+		GraceYears:  4,
+	}
+}
+
+// ExtendedRegistry returns the platform catalogue extended with the
+// synthetic future releases the multi-year horizon needs (EL8, EL9
+// stand-ins shipping the strictest catalogued toolchain). The paper's
+// framework is explicitly designed to absorb such future releases
+// ("the next challenges include the testing of the SL7 environment").
+func ExtendedRegistry() *platform.Registry {
+	reg := platform.NewRegistry()
+	reg.AddOS(&platform.OSRelease{
+		Name:         "EL8",
+		FullName:     "Enterprise Linux 8 (synthetic)",
+		Released:     time.Date(2019, 5, 7, 0, 0, 0, 0, time.UTC),
+		EOL:          time.Date(2029, 5, 31, 0, 0, 0, 0, time.UTC),
+		Archs:        []platform.Arch{platform.X8664},
+		Compilers:    []platform.CompilerID{"gcc4.8"},
+		GlibcVersion: "2.28",
+	})
+	reg.AddOS(&platform.OSRelease{
+		Name:         "EL9",
+		FullName:     "Enterprise Linux 9 (synthetic)",
+		Released:     time.Date(2022, 5, 17, 0, 0, 0, 0, time.UTC),
+		EOL:          time.Date(2032, 5, 31, 0, 0, 0, 0, time.UTC),
+		Archs:        []platform.Arch{platform.X8664},
+		Compilers:    []platform.CompilerID{"gcc4.8"},
+		GlibcVersion: "2.34",
+	})
+	return reg
+}
+
+// YearPoint is one sampled year of the simulation.
+type YearPoint struct {
+	Year int
+	// OS is the platform the stack runs on this year.
+	OS string
+	// Supported reports whether that platform is in vendor support.
+	Supported bool
+	// Usability is the stack's usability score in [0, 1].
+	Usability float64
+	// Interventions is the cumulative count of source fixes applied.
+	Interventions int
+	// Migrations is the cumulative count of completed platform
+	// migrations.
+	Migrations int
+}
+
+// Outcome is a full simulation result.
+type Outcome struct {
+	Strategy Strategy
+	Points   []YearPoint
+	// UsableYears integrates usability over the horizon.
+	UsableYears float64
+	// LostIn is the first year usability reached zero (0 when the stack
+	// survived the whole horizon).
+	LostIn int
+	// TotalInterventions and TotalMigrations are the final cumulative
+	// counts.
+	TotalInterventions int
+	TotalMigrations    int
+}
+
+// bestConfig picks the newest supported configuration for an OS release:
+// 64-bit with the newest compiler the release ships.
+func bestConfig(reg *platform.Registry, os *platform.OSRelease) (platform.Config, error) {
+	arch := platform.X8664
+	if !os.SupportsArch(arch) {
+		arch = platform.I386
+	}
+	var best *platform.Compiler
+	for _, id := range os.Compilers {
+		c, err := reg.Compiler(id)
+		if err != nil {
+			return platform.Config{}, err
+		}
+		if best == nil || c.Released.After(best.Released) {
+			best = c
+		}
+	}
+	if best == nil {
+		return platform.Config{}, fmt.Errorf("lifetime: %s ships no compiler", os.Name)
+	}
+	return platform.Config{OS: os.Name, Arch: arch, Compiler: best.ID}, nil
+}
+
+// usabilityAt scores a platform at an instant: 1 while supported, then a
+// linear decay to 0 across the grace window.
+func usabilityAt(os *platform.OSRelease, at time.Time, graceYears float64) float64 {
+	if os.SupportedAt(at) {
+		return 1
+	}
+	if at.Before(os.Released) {
+		return 0
+	}
+	past := at.Sub(os.EOL).Hours() / (24 * 365.25)
+	if past >= graceYears {
+		return 0
+	}
+	return 1 - past/graceYears
+}
+
+// Simulate runs one strategy across the horizon. For the Migrate
+// strategy, planner must be ready to run campaigns (its Repo accumulates
+// interventions as the horizon progresses); for Freeze it may be nil.
+func Simulate(strategy Strategy, params Params, reg *platform.Registry, planner *migrate.Planner) (*Outcome, error) {
+	if params.End.Before(params.Start) {
+		return nil, fmt.Errorf("lifetime: horizon ends (%v) before it starts (%v)", params.End, params.Start)
+	}
+	if strategy == Migrate && planner == nil {
+		return nil, fmt.Errorf("lifetime: migrate strategy needs a planner")
+	}
+	cur, err := reg.OS(params.StartConfig.OS)
+	if err != nil {
+		return nil, err
+	}
+
+	// Order the platform releases newer than the starting one that fall
+	// inside the horizon; each is a migration opportunity. This includes
+	// releases that predate the horizon's start but postdate the starting
+	// platform — the paper's own situation, where the 2013 campaign was
+	// migrating SL5-era software to the already-released SL6.
+	var releases []*platform.OSRelease
+	for _, os := range reg.OSes() {
+		if os.Released.After(cur.Released) && os.Released.Before(params.End) {
+			releases = append(releases, os)
+		}
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].Released.Before(releases[j].Released) })
+
+	out := &Outcome{Strategy: strategy}
+	interventions, migrations := 0, 0
+	migrationDead := false // a failed campaign strands the stack
+	next := 0              // index of the next unprocessed release
+
+	if strategy == Migrate {
+		// The paper's preparatory phase: consolidate the software on the
+		// starting platform and establish the validation references.
+		rep, err := planner.Migrate(params.StartConfig, params.Externals, "initial capture")
+		if err != nil {
+			return nil, err
+		}
+		if !rep.Succeeded {
+			return nil, fmt.Errorf("lifetime: initial capture on %v did not validate", params.StartConfig)
+		}
+		interventions += rep.TotalInterventions()
+	}
+
+	for year := params.Start.Year(); year < params.End.Year(); year++ {
+		yearEnd := time.Date(year, 12, 31, 0, 0, 0, 0, time.UTC)
+
+		if strategy == Migrate && !migrationDead {
+			for next < len(releases) && !releases[next].Released.After(yearEnd) {
+				os := releases[next]
+				next++
+				if !os.Released.After(cur.Released) {
+					continue
+				}
+				target, err := bestConfig(reg, os)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := planner.Migrate(target, params.Externals,
+					fmt.Sprintf("lifetime migration to %s (%d)", os.Name, year))
+				if err != nil {
+					return nil, err
+				}
+				interventions += rep.TotalInterventions()
+				if rep.Succeeded {
+					migrations++
+					cur = os
+				} else {
+					migrationDead = true
+					break
+				}
+			}
+		}
+
+		u := usabilityAt(cur, yearEnd, params.GraceYears)
+		out.Points = append(out.Points, YearPoint{
+			Year:          year,
+			OS:            cur.Name,
+			Supported:     cur.SupportedAt(yearEnd),
+			Usability:     u,
+			Interventions: interventions,
+			Migrations:    migrations,
+		})
+		out.UsableYears += u
+		if u == 0 && out.LostIn == 0 {
+			out.LostIn = year
+		}
+	}
+	out.TotalInterventions = interventions
+	out.TotalMigrations = migrations
+	return out, nil
+}
+
+// Compare runs both strategies over the same horizon and returns
+// (freeze, migrate) outcomes. The migrate planner's repository is
+// mutated by the campaigns; callers supply a fresh one.
+func Compare(params Params, reg *platform.Registry, planner *migrate.Planner) (*Outcome, *Outcome, error) {
+	frozen, err := Simulate(Freeze, params, reg, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	migrated, err := Simulate(Migrate, params, reg, planner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return frozen, migrated, nil
+}

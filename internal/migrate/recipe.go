@@ -1,0 +1,104 @@
+package migrate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+)
+
+// ParsedRecipe is the machine-readable form of a validated recipe — what
+// a production site needs to reconstruct the certified environment.
+type ParsedRecipe struct {
+	// Config is the validated platform configuration.
+	Config platform.Config
+	// ExternalIDs are the "Name-Version" identifiers of the installed
+	// external releases.
+	ExternalIDs []string
+	// Revision is the experiment software revision the recipe was
+	// validated at.
+	Revision int
+	// ValidatedBy is the run ID that certified the recipe.
+	ValidatedBy string
+	// Patches lists the applied intervention IDs.
+	Patches []string
+}
+
+// ParseRecipe parses the text produced by Report.Recipe. The paper's
+// workflow hands exactly this artifact to production systems ("deployed
+// on a suitable resource at the time: an institute cluster, grid,
+// cloud, sky, quantum computer, and so on"); parsing it back closes the
+// loop.
+func ParseRecipe(text string) (*ParsedRecipe, error) {
+	pr := &ParsedRecipe{}
+	seen := make(map[string]bool)
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("migrate: recipe line %d has no key: %q", i+1, line)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		// Strip trailing comments from patch lines.
+		if idx := strings.Index(value, "#"); idx >= 0 {
+			value = strings.TrimSpace(value[:idx])
+		}
+		switch key {
+		case "config":
+			cfg, err := platform.ParseConfig(value)
+			if err != nil {
+				return nil, fmt.Errorf("migrate: recipe line %d: %w", i+1, err)
+			}
+			pr.Config = cfg
+			seen[key] = true
+		case "externals":
+			if value != "(no externals)" {
+				pr.ExternalIDs = strings.Split(value, "+")
+			}
+			seen[key] = true
+		case "software-revision":
+			rev, err := strconv.Atoi(value)
+			if err != nil || rev < 1 {
+				return nil, fmt.Errorf("migrate: recipe line %d: bad revision %q", i+1, value)
+			}
+			pr.Revision = rev
+			seen[key] = true
+		case "validated-by":
+			pr.ValidatedBy = value
+		case "patch":
+			pr.Patches = append(pr.Patches, value)
+		default:
+			return nil, fmt.Errorf("migrate: recipe line %d: unknown key %q", i+1, key)
+		}
+	}
+	for _, required := range []string{"config", "externals", "software-revision"} {
+		if !seen[required] {
+			return nil, fmt.Errorf("migrate: recipe missing %q line", required)
+		}
+	}
+	return pr, nil
+}
+
+// ResolveExternals looks the recipe's external identifiers up in the
+// catalogue and returns the installable set.
+func (pr *ParsedRecipe) ResolveExternals(cat *externals.Catalogue) (*externals.Set, error) {
+	releases := make([]*externals.Release, 0, len(pr.ExternalIDs))
+	for _, id := range pr.ExternalIDs {
+		name, version, found := strings.Cut(id, "-")
+		if !found {
+			return nil, fmt.Errorf("migrate: malformed external id %q", id)
+		}
+		rel, err := cat.Get(externals.Name(name), version)
+		if err != nil {
+			return nil, err
+		}
+		releases = append(releases, rel)
+	}
+	return externals.NewSet(releases...)
+}

@@ -1,0 +1,105 @@
+package migrate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+)
+
+const sampleRecipe = `# validated recipe: H1 on SL6/64bit gcc4.4
+config: SL6/64bit gcc4.4
+externals: CERNLIB-2006+MCGen-1.4+ROOT-5.34
+software-revision: 8
+validated-by: run-0004
+patch: fix-reco-main-cc-uninit-memory  # uninitialized read exposed by new compiler codegen
+patch: fix-legacy-main-cc-k-r-decl  # k&r-decl rejected by gcc4.4
+`
+
+func TestParseRecipe(t *testing.T) {
+	pr, err := ParseRecipe(sampleRecipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
+	if pr.Config != want {
+		t.Fatalf("config = %v", pr.Config)
+	}
+	if len(pr.ExternalIDs) != 3 || pr.ExternalIDs[2] != "ROOT-5.34" {
+		t.Fatalf("externals = %v", pr.ExternalIDs)
+	}
+	if pr.Revision != 8 || pr.ValidatedBy != "run-0004" {
+		t.Fatalf("revision=%d validated-by=%q", pr.Revision, pr.ValidatedBy)
+	}
+	if len(pr.Patches) != 2 || !strings.HasPrefix(pr.Patches[0], "fix-reco") {
+		t.Fatalf("patches = %v", pr.Patches)
+	}
+}
+
+func TestParseRecipeRoundTripFromReport(t *testing.T) {
+	rep := &Report{
+		Experiment:    "H1",
+		Target:        platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"},
+		Externals:     "ROOT-5.34",
+		FinalRunID:    "run-0042",
+		FinalRevision: 3,
+		Succeeded:     true,
+	}
+	pr, err := ParseRecipe(rep.Recipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Config != rep.Target || pr.Revision != 3 || pr.ValidatedBy != "run-0042" {
+		t.Fatalf("parsed = %+v", pr)
+	}
+}
+
+func TestParseRecipeErrors(t *testing.T) {
+	cases := map[string]string{
+		"no key":        "just some text\n",
+		"bad config":    "config: not a config\nexternals: X-1\nsoftware-revision: 1\n",
+		"bad revision":  "config: SL5/32bit gcc4.1\nexternals: X-1\nsoftware-revision: zero\n",
+		"unknown key":   "config: SL5/32bit gcc4.1\nexternals: X-1\nsoftware-revision: 1\ncolor: red\n",
+		"missing lines": "config: SL5/32bit gcc4.1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseRecipe(text); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseRecipeNoExternals(t *testing.T) {
+	pr, err := ParseRecipe("config: SL5/32bit gcc4.1\nexternals: (no externals)\nsoftware-revision: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.ExternalIDs) != 0 {
+		t.Fatalf("externals = %v", pr.ExternalIDs)
+	}
+}
+
+func TestResolveExternals(t *testing.T) {
+	cat := externals.NewCatalogue()
+	pr := &ParsedRecipe{ExternalIDs: []string{"ROOT-5.34", "CERNLIB-2006"}}
+	set, err := pr.ResolveExternals(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("set = %v", set)
+	}
+	if _, ok := set.Get(externals.ROOT); !ok {
+		t.Fatal("ROOT missing")
+	}
+
+	bad := &ParsedRecipe{ExternalIDs: []string{"ROOT-9.99"}}
+	if _, err := bad.ResolveExternals(cat); err == nil {
+		t.Fatal("unknown release resolved")
+	}
+	malformed := &ParsedRecipe{ExternalIDs: []string{"NOVERSION"}}
+	if _, err := malformed.ResolveExternals(cat); err == nil {
+		t.Fatal("malformed id resolved")
+	}
+}

@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config identifies one computing environment the sp-system can build and
+// validate on: an OS release, an architecture and a compiler. It is the
+// unit that labels virtual-machine images, build artifacts, validation
+// runs and the columns of the paper's Figure 3 status matrix.
+type Config struct {
+	OS       string
+	Arch     Arch
+	Compiler CompilerID
+}
+
+// String renders the configuration in the paper's notation, e.g.
+// "SL5/32bit gcc4.1".
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%dbit %s", c.OS, c.Arch.Bits(), c.Compiler)
+}
+
+// Key returns a compact, filesystem-safe identifier for the configuration,
+// e.g. "sl5-32-gcc4.1", used for storage namespaces and artifact paths.
+func (c Config) Key() string {
+	return fmt.Sprintf("%s-%d-%s", strings.ToLower(c.OS), c.Arch.Bits(), c.Compiler)
+}
+
+// ParseConfig parses the paper's notation produced by String.
+func ParseConfig(s string) (Config, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return Config{}, fmt.Errorf("platform: malformed config %q, want \"OS/NNbit compiler\"", s)
+	}
+	osArch := strings.SplitN(fields[0], "/", 2)
+	if len(osArch) != 2 {
+		return Config{}, fmt.Errorf("platform: malformed config %q, missing '/'", s)
+	}
+	arch, err := ParseArch(osArch[1])
+	if err != nil {
+		return Config{}, fmt.Errorf("platform: malformed config %q: %v", s, err)
+	}
+	return Config{OS: osArch[0], Arch: arch, Compiler: CompilerID(fields[1])}, nil
+}
+
+// Validate checks the configuration against the registry: the OS must
+// exist, ship on the architecture, and provide the compiler.
+func (c Config) Validate(r *Registry) error {
+	o, err := r.OS(c.OS)
+	if err != nil {
+		return err
+	}
+	if !o.SupportsArch(c.Arch) {
+		return fmt.Errorf("platform: %s does not ship on %s", c.OS, c.Arch)
+	}
+	if !o.SupportsCompiler(c.Compiler) {
+		return fmt.Errorf("platform: %s does not provide %s", c.OS, c.Compiler)
+	}
+	if _, err := r.Compiler(c.Compiler); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FP returns the floating-point profile of the configuration. The
+// reference platform — SL5/64bit with gcc4.1, the environment the HERA
+// experiments' reference results were produced on — has zero shift;
+// every other configuration carries a small deterministic relative
+// perturbation that the physics simulation applies to numerically
+// sensitive code.
+func (c Config) FP() FPProfile {
+	p := FPProfile{}
+	if c.Arch == I386 {
+		// x87 extended precision: results differ from SSE2 doubles.
+		p.Extended80Bit = true
+		p.RelativeShift += 3e-13
+	}
+	switch c.Compiler {
+	case "gcc3.4":
+		p.RelativeShift += 5e-13
+	case "gcc4.1":
+		// reference codegen
+	case "gcc4.4":
+		p.RelativeShift += 1e-13
+	case "gcc4.8":
+		p.RelativeShift += 2e-13
+	}
+	return p
+}
+
+// PaperConfigs returns the five virtual-machine configurations the paper
+// lists as present in the sp-system ("SL5/32bit with gcc4.1 and gcc4.4,
+// SL5/64bit with gcc4.1 and gcc4.4, SL6/64bit with gcc4.4"), in that
+// order.
+func PaperConfigs() []Config {
+	return []Config{
+		{OS: "SL5", Arch: I386, Compiler: "gcc4.1"},
+		{OS: "SL5", Arch: I386, Compiler: "gcc4.4"},
+		{OS: "SL5", Arch: X8664, Compiler: "gcc4.1"},
+		{OS: "SL5", Arch: X8664, Compiler: "gcc4.4"},
+		{OS: "SL6", Arch: X8664, Compiler: "gcc4.4"},
+	}
+}
+
+// ReferenceConfig returns the configuration that defines the
+// floating-point reference of the numeric model: SL5/64bit gcc4.1.
+func ReferenceConfig() Config {
+	return Config{OS: "SL5", Arch: X8664, Compiler: "gcc4.1"}
+}
+
+// OriginalConfig returns the HERA experiments' native platform —
+// SL5/32bit with the system gcc4.1 — on which their reference physics
+// results were historically produced. Campaigns capture baselines here:
+// latent 64-bit defects are dormant on this platform, so its references
+// are trustworthy and the defects surface (and are fixed) during the
+// 64-bit migrations, exactly as the paper reports.
+func OriginalConfig() Config {
+	return Config{OS: "SL5", Arch: I386, Compiler: "gcc4.1"}
+}
+
+// NextChallenges returns the configurations the paper names as "the next
+// challenges": the SL7 environment (with its gcc 4.8 toolchain).
+func NextChallenges() []Config {
+	return []Config{
+		{OS: "SL7", Arch: X8664, Compiler: "gcc4.8"},
+	}
+}

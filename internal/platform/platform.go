@@ -1,0 +1,265 @@
+// Package platform models the computing environments the sp-system
+// validates against: operating-system releases, CPU architectures and
+// compiler versions.
+//
+// The paper's framework hosts virtual machines "built with different
+// configurations of operating systems and the relevant software". What
+// the validation framework observes about a platform is precisely:
+//
+//   - whether a given piece of experiment source code compiles on it
+//     (cleanly, with warnings, or not at all),
+//   - how the generated code behaves numerically (e.g. x87 80-bit
+//     extended precision on 32-bit builds, pointer-width assumptions), and
+//   - the support lifecycle of the OS release (when it appears, when it
+//     reaches end of life), which drives migration pressure.
+//
+// This package models exactly those observables. Source code is described
+// by the Traits it exhibits (see Trait); each Compiler maps traits to
+// compile Verdicts, and each Config carries a floating-point profile and a
+// pointer-width behaviour that downstream simulation consumes. The
+// catalogue in Registry reproduces the platform matrix named in the
+// paper: Scientific Linux 5 (32- and 64-bit) with gcc 4.1 and 4.4,
+// Scientific Linux 6 (64-bit) with gcc 4.4, and the then-upcoming
+// Scientific Linux 7 with gcc 4.8.
+package platform
+
+import (
+	"fmt"
+	"time"
+)
+
+// Arch is a CPU architecture.
+type Arch int
+
+const (
+	// I386 is 32-bit x86, the architecture of the original HERA-era
+	// software builds.
+	I386 Arch = iota
+	// X8664 is 64-bit x86, the migration target during the paper's
+	// campaign.
+	X8664
+)
+
+// Bits returns the pointer width of the architecture in bits.
+func (a Arch) Bits() int {
+	if a == I386 {
+		return 32
+	}
+	return 64
+}
+
+// String returns the conventional name of the architecture.
+func (a Arch) String() string {
+	if a == I386 {
+		return "i386"
+	}
+	return "x86_64"
+}
+
+// ParseArch converts "i386"/"32bit"/"x86_64"/"64bit" to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "i386", "32bit", "32":
+		return I386, nil
+	case "x86_64", "64bit", "64":
+		return X8664, nil
+	}
+	return 0, fmt.Errorf("platform: unknown architecture %q", s)
+}
+
+// Trait identifies a property of experiment source code that interacts
+// with the platform: a language idiom, a portability hazard, or a numeric
+// sensitivity. Traits are the contract between the software model
+// (internal/swrepo) and the compile/runtime simulation.
+type Trait int
+
+const (
+	// TraitANSIC is plain standards-conforming C89; accepted everywhere.
+	TraitANSIC Trait = iota
+	// TraitCxx98 is standards-conforming C++98; accepted everywhere.
+	TraitCxx98
+	// TraitCxx11 requires a C++11 compiler (gcc >= 4.8 in this model).
+	TraitCxx11
+	// TraitKAndRDecl is pre-ANSI K&R-style function declarations: newer
+	// compilers first warn about, then reject, such code.
+	TraitKAndRDecl
+	// TraitImplicitFuncDecl is calling functions without a prototype.
+	TraitImplicitFuncDecl
+	// TraitWritableStringLit mutates string literals, relying on the old
+	// writable .data placement.
+	TraitWritableStringLit
+	// TraitAutoPtr uses std::auto_ptr and friends that were deprecated
+	// and later removed.
+	TraitAutoPtr
+	// TraitFortran77 is FORTRAN 77 code requiring the g77-era frontend;
+	// newer toolchains route it through gfortran with small semantic
+	// differences (a warning in this model).
+	TraitFortran77
+	// TraitPtrIntCast stores pointers in 32-bit integers. It compiles
+	// with a warning everywhere but produces wrong results at runtime on
+	// 64-bit architectures — the canonical class of "long-standing bug"
+	// the paper reports the sp-system uncovering during the SL6/64-bit
+	// migration.
+	TraitPtrIntCast
+	// TraitUninitMemory reads uninitialized memory. Harmless by accident
+	// on the old platform, it perturbs results when a newer compiler
+	// changes stack layout — a silent physics-level failure only data
+	// validation can catch.
+	TraitUninitMemory
+	// TraitStrictAliasing violates C/C++ aliasing rules; optimizing
+	// compilers from gcc 4.4 on miscompile it into runtime failures.
+	TraitStrictAliasing
+	// TraitX87Sensitive marks numerically delicate code whose results
+	// shift measurably between x87 80-bit (32-bit builds) and SSE2
+	// 64-bit floating point arithmetic.
+	TraitX87Sensitive
+	// TraitROOTIOv5 uses ROOT 5 era I/O interfaces that ROOT 6 removed.
+	// Judged by the externals catalogue rather than the compiler, but
+	// declared here so all traits share one namespace.
+	TraitROOTIOv5
+	numTraits int = iota
+)
+
+var traitNames = [...]string{
+	TraitANSIC:             "ansi-c",
+	TraitCxx98:             "c++98",
+	TraitCxx11:             "c++11",
+	TraitKAndRDecl:         "k&r-decl",
+	TraitImplicitFuncDecl:  "implicit-func-decl",
+	TraitWritableStringLit: "writable-string-lit",
+	TraitAutoPtr:           "auto-ptr",
+	TraitFortran77:         "fortran77",
+	TraitPtrIntCast:        "ptr-int-cast",
+	TraitUninitMemory:      "uninit-memory",
+	TraitStrictAliasing:    "strict-aliasing",
+	TraitX87Sensitive:      "x87-sensitive",
+	TraitROOTIOv5:          "root-io-v5",
+}
+
+// String returns the trait's short name.
+func (t Trait) String() string {
+	if int(t) < len(traitNames) && traitNames[t] != "" {
+		return traitNames[t]
+	}
+	return fmt.Sprintf("trait(%d)", int(t))
+}
+
+// AllTraits returns every defined trait, in declaration order.
+func AllTraits() []Trait {
+	ts := make([]Trait, numTraits)
+	for i := range ts {
+		ts[i] = Trait(i)
+	}
+	return ts
+}
+
+// Verdict is the outcome of a compiler judging a single source trait.
+type Verdict int
+
+const (
+	// VerdictOK means the trait compiles cleanly.
+	VerdictOK Verdict = iota
+	// VerdictWarn means the trait compiles with a diagnostic; the build
+	// succeeds but the warning is recorded in the build log.
+	VerdictWarn
+	// VerdictError means the trait is rejected and the compilation fails.
+	VerdictError
+)
+
+// String returns "ok", "warn" or "error".
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// CompilerID names a compiler release, e.g. "gcc4.4".
+type CompilerID string
+
+// Compiler models a compiler release as the map from source traits to
+// compile verdicts plus codegen behaviour relevant to validation.
+type Compiler struct {
+	ID CompilerID
+	// Released is when the compiler became available in the catalogue.
+	Released time.Time
+	// CxxStandard is the highest C++ standard supported ("c++98", "c++11").
+	CxxStandard string
+	// verdicts maps each trait to its compile outcome; traits absent from
+	// the map compile cleanly.
+	verdicts map[Trait]Verdict
+	// StackReuse reports whether this compiler's codegen reuses stack
+	// slots aggressively, which changes what uninitialized reads observe.
+	StackReuse bool
+}
+
+// Judge returns the verdict for compiling source exhibiting the given
+// trait with this compiler.
+func (c *Compiler) Judge(t Trait) Verdict {
+	if v, ok := c.verdicts[t]; ok {
+		return v
+	}
+	return VerdictOK
+}
+
+// OSRelease models an operating-system release and its support lifecycle.
+type OSRelease struct {
+	// Name is the short identifier used in configuration labels, e.g. "SL5".
+	Name string
+	// FullName is the human-readable product name.
+	FullName string
+	// Released and EOL bound the vendor-support window.
+	Released, EOL time.Time
+	// Archs lists the architectures the release ships on.
+	Archs []Arch
+	// Compilers lists the compiler releases available on this OS (system
+	// compiler plus the developer-toolset additions the paper's matrix
+	// uses).
+	Compilers []CompilerID
+	// GlibcVersion pins the C-library ABI generation, recorded in image
+	// recipes.
+	GlibcVersion string
+}
+
+// SupportsArch reports whether the release ships on the given architecture.
+func (o *OSRelease) SupportsArch(a Arch) bool {
+	for _, x := range o.Archs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportsCompiler reports whether the compiler is available on this OS.
+func (o *OSRelease) SupportsCompiler(id CompilerID) bool {
+	for _, c := range o.Compilers {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportedAt reports whether the release is inside its vendor-support
+// window at the given instant.
+func (o *OSRelease) SupportedAt(t time.Time) bool {
+	return !t.Before(o.Released) && t.Before(o.EOL)
+}
+
+// FPProfile describes the floating-point behaviour of a configuration,
+// consumed by the physics simulation to model platform-dependent numeric
+// drift.
+type FPProfile struct {
+	// Extended80Bit is true when intermediate results are kept in x87
+	// 80-bit registers (32-bit builds in this catalogue).
+	Extended80Bit bool
+	// RelativeShift is the deterministic relative perturbation this
+	// profile applies to numerically sensitive computations, measured
+	// against the SL5/64-bit gcc4.1 reference.
+	RelativeShift float64
+}

@@ -1,0 +1,251 @@
+package platform
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArchBits(t *testing.T) {
+	if I386.Bits() != 32 || X8664.Bits() != 64 {
+		t.Fatalf("Bits: i386=%d x86_64=%d", I386.Bits(), X8664.Bits())
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]Arch{
+		"i386": I386, "32bit": I386, "32": I386,
+		"x86_64": X8664, "64bit": X8664, "64": X8664,
+	}
+	for in, want := range cases {
+		got, err := ParseArch(in)
+		if err != nil || got != want {
+			t.Errorf("ParseArch(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseArch("sparc"); err == nil {
+		t.Error("ParseArch(sparc) succeeded, want error")
+	}
+}
+
+func TestTraitStrings(t *testing.T) {
+	for _, tr := range AllTraits() {
+		if tr.String() == "" {
+			t.Errorf("trait %d has empty name", int(tr))
+		}
+	}
+	if TraitPtrIntCast.String() != "ptr-int-cast" {
+		t.Errorf("TraitPtrIntCast.String() = %q", TraitPtrIntCast.String())
+	}
+}
+
+func TestRegistryCatalogue(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"SL4", "SL5", "SL6", "SL7"} {
+		if _, err := r.OS(name); err != nil {
+			t.Errorf("OS(%q): %v", name, err)
+		}
+	}
+	for _, id := range []CompilerID{"gcc3.4", "gcc4.1", "gcc4.4", "gcc4.8"} {
+		if _, err := r.Compiler(id); err != nil {
+			t.Errorf("Compiler(%q): %v", id, err)
+		}
+	}
+	if _, err := r.OS("SL9"); err == nil {
+		t.Error("OS(SL9) succeeded, want error")
+	}
+	if _, err := r.Compiler("clang"); err == nil {
+		t.Error("Compiler(clang) succeeded, want error")
+	}
+}
+
+func TestOSesSortedByRelease(t *testing.T) {
+	oses := NewRegistry().OSes()
+	for i := 1; i < len(oses); i++ {
+		if oses[i].Released.Before(oses[i-1].Released) {
+			t.Fatalf("OSes not sorted: %s before %s", oses[i].Name, oses[i-1].Name)
+		}
+	}
+	if oses[0].Name != "SL4" || oses[len(oses)-1].Name != "SL7" {
+		t.Fatalf("unexpected order: first=%s last=%s", oses[0].Name, oses[len(oses)-1].Name)
+	}
+}
+
+func TestCompilerTraitMatrix(t *testing.T) {
+	r := NewRegistry()
+	gcc41, _ := r.Compiler("gcc4.1")
+	gcc44, _ := r.Compiler("gcc4.4")
+	gcc48, _ := r.Compiler("gcc4.8")
+
+	// The migration story: K&R code warns on gcc4.1, fails from gcc4.4.
+	if v := gcc41.Judge(TraitKAndRDecl); v != VerdictWarn {
+		t.Errorf("gcc4.1 K&R = %v, want warn", v)
+	}
+	if v := gcc44.Judge(TraitKAndRDecl); v != VerdictError {
+		t.Errorf("gcc4.4 K&R = %v, want error", v)
+	}
+	// C++11 only arrives with gcc4.8.
+	if v := gcc44.Judge(TraitCxx11); v != VerdictError {
+		t.Errorf("gcc4.4 C++11 = %v, want error", v)
+	}
+	if v := gcc48.Judge(TraitCxx11); v != VerdictOK {
+		t.Errorf("gcc4.8 C++11 = %v, want ok", v)
+	}
+	// Clean code is clean everywhere.
+	for _, c := range r.Compilers() {
+		if v := c.Judge(TraitANSIC); v != VerdictOK {
+			t.Errorf("%s ANSI C = %v, want ok", c.ID, v)
+		}
+		if v := c.Judge(TraitCxx98); v != VerdictOK {
+			t.Errorf("%s C++98 = %v, want ok", c.ID, v)
+		}
+	}
+	// Monotone deprecation: a trait never gets *more* acceptable in a
+	// newer compiler for the legacy-idiom traits.
+	legacy := []Trait{TraitKAndRDecl, TraitImplicitFuncDecl, TraitWritableStringLit, TraitAutoPtr}
+	comps := r.Compilers()
+	for _, tr := range legacy {
+		for i := 1; i < len(comps); i++ {
+			if comps[i].Judge(tr) < comps[i-1].Judge(tr) {
+				t.Errorf("trait %v verdict regressed from %s (%v) to %s (%v)",
+					tr, comps[i-1].ID, comps[i-1].Judge(tr), comps[i].ID, comps[i].Judge(tr))
+			}
+		}
+	}
+}
+
+func TestOSLifecycle(t *testing.T) {
+	r := NewRegistry()
+	sl5, _ := r.OS("SL5")
+	if !sl5.SupportedAt(time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("SL5 should be supported mid-2013")
+	}
+	if sl5.SupportedAt(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("SL5 should be EOL by 2020")
+	}
+	if sl5.SupportedAt(time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("SL5 should not exist in 2006")
+	}
+}
+
+func TestSL7Is64BitOnly(t *testing.T) {
+	r := NewRegistry()
+	sl7, _ := r.OS("SL7")
+	if sl7.SupportsArch(I386) {
+		t.Error("SL7 should not ship on i386")
+	}
+	if !sl7.SupportsArch(X8664) {
+		t.Error("SL7 should ship on x86_64")
+	}
+}
+
+func TestCurrentOS(t *testing.T) {
+	r := NewRegistry()
+	o, err := r.CurrentOS(time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil || o.Name != "SL6" {
+		t.Fatalf("CurrentOS(2013) = %v, %v; want SL6", o, err)
+	}
+	o, err = r.CurrentOS(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil || o.Name != "SL7" {
+		t.Fatalf("CurrentOS(2015) = %v, %v; want SL7", o, err)
+	}
+	if _, err := r.CurrentOS(time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)); err == nil {
+		t.Fatal("CurrentOS(2004) succeeded, want error")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{OS: "SL5", Arch: I386, Compiler: "gcc4.1"}
+	if got := c.String(); got != "SL5/32bit gcc4.1" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := c.Key(); got != "sl5-32-gcc4.1" {
+		t.Fatalf("Key = %q", got)
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for _, c := range append(PaperConfigs(), NextChallenges()...) {
+		parsed, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", c.String(), err)
+		}
+		if parsed != c {
+			t.Fatalf("round trip: %v != %v", parsed, c)
+		}
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, s := range []string{"", "SL5", "SL5 gcc4.1", "SL5/98bit gcc4.1", "SL5/32bit gcc4.1 extra"} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	r := NewRegistry()
+	for _, c := range PaperConfigs() {
+		if err := c.Validate(r); err != nil {
+			t.Errorf("paper config %v invalid: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{OS: "SL9", Arch: X8664, Compiler: "gcc4.4"},
+		{OS: "SL7", Arch: I386, Compiler: "gcc4.8"},
+		{OS: "SL5", Arch: X8664, Compiler: "gcc4.8"},
+	}
+	for _, c := range bad {
+		if err := c.Validate(r); err == nil {
+			t.Errorf("config %v validated, want error", c)
+		}
+	}
+}
+
+func TestPaperConfigsMatchPaper(t *testing.T) {
+	got := PaperConfigs()
+	want := []string{
+		"SL5/32bit gcc4.1",
+		"SL5/32bit gcc4.4",
+		"SL5/64bit gcc4.1",
+		"SL5/64bit gcc4.4",
+		"SL6/64bit gcc4.4",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d configs, want %d", len(got), len(want))
+	}
+	for i, c := range got {
+		if c.String() != want[i] {
+			t.Errorf("config %d = %q, want %q", i, c.String(), want[i])
+		}
+	}
+}
+
+func TestFPReferenceIsExact(t *testing.T) {
+	ref := ReferenceConfig().FP()
+	if ref.RelativeShift != 0 || ref.Extended80Bit {
+		t.Fatalf("reference FP profile should be exact, got %+v", ref)
+	}
+	shifted := Config{OS: "SL5", Arch: I386, Compiler: "gcc4.1"}.FP()
+	if shifted.RelativeShift == 0 || !shifted.Extended80Bit {
+		t.Fatalf("32-bit profile should carry x87 shift, got %+v", shifted)
+	}
+}
+
+func TestFPDeterministic(t *testing.T) {
+	for _, c := range PaperConfigs() {
+		if c.FP() != c.FP() {
+			t.Fatalf("FP() not deterministic for %v", c)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddOS did not panic")
+		}
+	}()
+	r.AddOS(&OSRelease{Name: "SL5"})
+}

@@ -1,0 +1,203 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Registry is a catalogue of OS releases and compilers available to the
+// validation framework. The zero value is empty; use NewRegistry for the
+// paper's catalogue.
+type Registry struct {
+	oses      map[string]*OSRelease
+	compilers map[CompilerID]*Compiler
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// NewRegistry returns the catalogue of platforms appearing in the paper:
+// Scientific Linux 4 through 7 and gcc 3.4 through 4.8. Release and EOL
+// dates follow the real Scientific Linux lifecycle to the month; the
+// compiler trait matrices are the synthetic model described in DESIGN.md.
+func NewRegistry() *Registry {
+	r := &Registry{
+		oses:      make(map[string]*OSRelease),
+		compilers: make(map[CompilerID]*Compiler),
+	}
+
+	r.AddCompiler(&Compiler{
+		ID:          "gcc3.4",
+		Released:    date(2004, time.April, 18),
+		CxxStandard: "c++98",
+		verdicts: map[Trait]Verdict{
+			TraitCxx11:             VerdictError,
+			TraitKAndRDecl:         VerdictOK,
+			TraitImplicitFuncDecl:  VerdictOK,
+			TraitWritableStringLit: VerdictOK,
+			TraitAutoPtr:           VerdictOK,
+			TraitFortran77:         VerdictOK, // g77 frontend still present
+			TraitPtrIntCast:        VerdictOK,
+			TraitStrictAliasing:    VerdictOK, // no aggressive aliasing opts
+		},
+	})
+	r.AddCompiler(&Compiler{
+		ID:          "gcc4.1",
+		Released:    date(2006, time.February, 28),
+		CxxStandard: "c++98",
+		verdicts: map[Trait]Verdict{
+			TraitCxx11:             VerdictError,
+			TraitKAndRDecl:         VerdictWarn,
+			TraitImplicitFuncDecl:  VerdictWarn,
+			TraitWritableStringLit: VerdictWarn,
+			TraitAutoPtr:           VerdictOK,
+			TraitFortran77:         VerdictOK,
+			TraitPtrIntCast:        VerdictWarn,
+			TraitStrictAliasing:    VerdictOK,
+		},
+	})
+	r.AddCompiler(&Compiler{
+		ID:          "gcc4.4",
+		Released:    date(2009, time.April, 21),
+		CxxStandard: "c++98",
+		verdicts: map[Trait]Verdict{
+			TraitCxx11:             VerdictError,
+			TraitKAndRDecl:         VerdictError,
+			TraitImplicitFuncDecl:  VerdictWarn,
+			TraitWritableStringLit: VerdictWarn,
+			TraitAutoPtr:           VerdictWarn,
+			TraitFortran77:         VerdictWarn, // g77 gone; gfortran compatibility mode
+			TraitPtrIntCast:        VerdictWarn,
+			TraitStrictAliasing:    VerdictWarn, // compiles, may miscompile at runtime
+		},
+		StackReuse: true,
+	})
+	r.AddCompiler(&Compiler{
+		ID:          "gcc4.8",
+		Released:    date(2013, time.March, 22),
+		CxxStandard: "c++11",
+		verdicts: map[Trait]Verdict{
+			TraitKAndRDecl:         VerdictError,
+			TraitImplicitFuncDecl:  VerdictError,
+			TraitWritableStringLit: VerdictError,
+			TraitAutoPtr:           VerdictWarn,
+			TraitFortran77:         VerdictWarn,
+			TraitPtrIntCast:        VerdictWarn,
+			TraitStrictAliasing:    VerdictWarn,
+		},
+		StackReuse: true,
+	})
+
+	r.AddOS(&OSRelease{
+		Name:         "SL4",
+		FullName:     "Scientific Linux 4",
+		Released:     date(2005, time.April, 20),
+		EOL:          date(2012, time.February, 29),
+		Archs:        []Arch{I386, X8664},
+		Compilers:    []CompilerID{"gcc3.4"},
+		GlibcVersion: "2.3.4",
+	})
+	r.AddOS(&OSRelease{
+		Name:         "SL5",
+		FullName:     "Scientific Linux 5",
+		Released:     date(2007, time.May, 8),
+		EOL:          date(2019, time.March, 31),
+		Archs:        []Arch{I386, X8664},
+		Compilers:    []CompilerID{"gcc4.1", "gcc4.4"},
+		GlibcVersion: "2.5",
+	})
+	r.AddOS(&OSRelease{
+		Name:         "SL6",
+		FullName:     "Scientific Linux 6",
+		Released:     date(2011, time.March, 3),
+		EOL:          date(2024, time.June, 30),
+		Archs:        []Arch{I386, X8664},
+		Compilers:    []CompilerID{"gcc4.4", "gcc4.8"},
+		GlibcVersion: "2.12",
+	})
+	r.AddOS(&OSRelease{
+		Name:         "SL7",
+		FullName:     "Scientific Linux 7",
+		Released:     date(2014, time.October, 13),
+		EOL:          date(2024, time.June, 30),
+		Archs:        []Arch{X8664},
+		Compilers:    []CompilerID{"gcc4.8"},
+		GlibcVersion: "2.17",
+	})
+	return r
+}
+
+// AddOS registers an OS release. It panics on duplicate names: the
+// catalogue is configuration, and a clash is a programming error.
+func (r *Registry) AddOS(o *OSRelease) {
+	if _, dup := r.oses[o.Name]; dup {
+		panic(fmt.Sprintf("platform: duplicate OS release %q", o.Name))
+	}
+	r.oses[o.Name] = o
+}
+
+// AddCompiler registers a compiler release. It panics on duplicate IDs.
+func (r *Registry) AddCompiler(c *Compiler) {
+	if _, dup := r.compilers[c.ID]; dup {
+		panic(fmt.Sprintf("platform: duplicate compiler %q", c.ID))
+	}
+	r.compilers[c.ID] = c
+}
+
+// OS returns the named OS release.
+func (r *Registry) OS(name string) (*OSRelease, error) {
+	o, ok := r.oses[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown OS release %q", name)
+	}
+	return o, nil
+}
+
+// Compiler returns the compiler with the given ID.
+func (r *Registry) Compiler(id CompilerID) (*Compiler, error) {
+	c, ok := r.compilers[id]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown compiler %q", id)
+	}
+	return c, nil
+}
+
+// OSes returns all registered OS releases sorted by release date.
+func (r *Registry) OSes() []*OSRelease {
+	out := make([]*OSRelease, 0, len(r.oses))
+	for _, o := range r.oses {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Released.Before(out[j].Released) })
+	return out
+}
+
+// Compilers returns all registered compilers sorted by release date.
+func (r *Registry) Compilers() []*Compiler {
+	out := make([]*Compiler, 0, len(r.compilers))
+	for _, c := range r.compilers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Released.Before(out[j].Released) })
+	return out
+}
+
+// CurrentOS returns the most recent OS release available at the given
+// instant, or an error if none has been released yet.
+func (r *Registry) CurrentOS(at time.Time) (*OSRelease, error) {
+	var best *OSRelease
+	for _, o := range r.oses {
+		if o.Released.After(at) {
+			continue
+		}
+		if best == nil || o.Released.After(best.Released) {
+			best = o
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("platform: no OS released as of %v", at)
+	}
+	return best, nil
+}

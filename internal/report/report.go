@@ -1,0 +1,264 @@
+// Package report renders the sp-system's status pages, reproducing the
+// paper's §3.3: "Script-based web pages are used to record and display
+// available validation runs for a given description and indicate the
+// status of the compilation for the individual packages or tests within
+// table cells, which are linked to a corresponding output file."
+//
+// Two renderers are provided: a fixed-width text matrix (the form of
+// Figure 3, suitable for terminals and logs) and HTML pages with linked
+// cells, written onto the common storage under the "web" namespace —
+// the modern equivalent of the paper's script-generated pages.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bookkeep"
+	"repro/internal/runner"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// TextMatrix renders the Figure 3 status matrix: one row per
+// (experiment, configuration, externals) cell with outcome counts and
+// health.
+func TextMatrix(cells []bookkeep.Cell) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "EXPERIMENT\tCONFIGURATION\tEXTERNALS\tTESTS\tPASS\tFAIL\tSKIP\tERROR\tRUNS\tSTATUS")
+	lastExp := ""
+	for _, c := range cells {
+		exp := c.Experiment
+		if exp == lastExp {
+			exp = ""
+		} else {
+			lastExp = exp
+		}
+		status := "OK"
+		if !c.Healthy() {
+			status = "ATTENTION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			exp, c.Config, c.Externals, c.Total(), c.Pass, c.Fail, c.Skip, c.Error, c.Runs, status)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// TextRun renders one run's job table.
+func TextRun(rec *runner.RunRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run %s — %s\n", rec.RunID, rec.Description)
+	fmt.Fprintf(&b, "experiment=%s config=%s externals=%s revision=%d time=%s\n",
+		rec.Experiment, rec.Config, rec.Externals, rec.RepoRevision,
+		time.Unix(rec.Timestamp, 0).UTC().Format(time.RFC3339))
+	counts := rec.Counts()
+	fmt.Fprintf(&b, "jobs=%d pass=%d fail=%d skip=%d error=%d wall=%v serial=%v\n\n",
+		len(rec.Jobs), counts[valtest.OutcomePass], counts[valtest.OutcomeFail],
+		counts[valtest.OutcomeSkip], counts[valtest.OutcomeError], rec.WallCost, rec.SerialCost)
+
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "JOB\tTEST\tCATEGORY\tOUTCOME\tDETAIL")
+	for _, j := range rec.Jobs {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			j.JobID, j.Result.Test, j.Result.Category, j.Result.Outcome, j.Result.Detail)
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// TextDiff renders a diff with its attribution — the examination report
+// the paper prescribes after a failed validation.
+func TextDiff(d *bookkeep.Diff) string {
+	var b strings.Builder
+	attr := bookkeep.Classify(d)
+	fmt.Fprintf(&b, "Diff %s -> %s\n", d.BaselineRun, d.CurrentRun)
+	fmt.Fprintf(&b, "changed inputs: config=%t externals=%t experiment-sw=%t\n",
+		d.ConfigChanged, d.ExternalsChanged, d.RevisionChanged)
+	fmt.Fprintf(&b, "attribution: %s (intervention: %s)\n", attr, attr.Responsible())
+	if len(d.Regressions) == 0 {
+		b.WriteString("no regressions\n")
+	}
+	for _, r := range d.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %s: %v -> %v  %s\n", r.Test, r.Before, r.After, r.Detail)
+	}
+	for _, f := range d.Fixes {
+		fmt.Fprintf(&b, "fixed      %s: %v -> %v\n", f.Test, f.Before, f.After)
+	}
+	for _, a := range d.Added {
+		fmt.Fprintf(&b, "added      %s\n", a)
+	}
+	for _, r := range d.Removed {
+		fmt.Fprintf(&b, "removed    %s\n", r)
+	}
+	return b.String()
+}
+
+var matrixTmpl = template.Must(template.New("matrix").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title><style>
+table { border-collapse: collapse; font-family: sans-serif; }
+td, th { border: 1px solid #888; padding: 4px 8px; }
+.ok { background: #9e9; } .bad { background: #e99; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p>{{.Runs}} validation runs recorded.</p>
+<table>
+<tr><th>Experiment</th><th>Configuration</th><th>Externals</th><th>Pass</th><th>Fail</th><th>Skip</th><th>Error</th><th>Latest run</th></tr>
+{{range .Cells}}<tr class="{{if .Healthy}}ok{{else}}bad{{end}}">
+<td>{{.Experiment}}</td><td>{{.Config}}</td><td>{{.Externals}}</td>
+<td>{{.Pass}}</td><td>{{.Fail}}</td><td>{{.Skip}}</td><td>{{.Error}}</td>
+<td><a href="{{.RunID}}.html">{{.RunID}}</a></td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+var runTmpl = template.Must(template.New("run").Parse(`<!DOCTYPE html>
+<html><head><title>{{.RunID}}</title><style>
+table { border-collapse: collapse; font-family: sans-serif; }
+td, th { border: 1px solid #888; padding: 4px 8px; }
+.pass { background: #9e9; } .fail { background: #e99; } .skip { background: #eeb; } .error { background: #e9b; }
+</style></head><body>
+<h1>Run {{.RunID}}</h1>
+<p>{{.Description}} — experiment {{.Experiment}}, {{.Config}}, {{.Externals}}, software revision {{.RepoRevision}}</p>
+<table>
+<tr><th>Job</th><th>Test</th><th>Category</th><th>Outcome</th><th>Detail</th><th>Output</th></tr>
+{{range .Jobs}}<tr class="{{.Result.Outcome}}">
+<td>{{.JobID}}</td><td>{{.Result.Test}}</td><td>{{.Result.Category}}</td>
+<td>{{.Result.Outcome}}</td><td>{{.Result.Detail}}</td>
+<td>{{if .Result.OutputKey}}<a href="blob/{{.Result.OutputKey}}">output</a>{{end}}</td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+// HTMLMatrix renders the status matrix page.
+func HTMLMatrix(title string, cells []bookkeep.Cell, totalRuns int) (string, error) {
+	var b strings.Builder
+	err := matrixTmpl.Execute(&b, struct {
+		Title string
+		Runs  int
+		Cells []bookkeep.Cell
+	}{title, totalRuns, cells})
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return b.String(), nil
+}
+
+// HTMLRun renders one run's page, with cells linked to output blobs.
+func HTMLRun(rec *runner.RunRecord) (string, error) {
+	var b strings.Builder
+	if err := runTmpl.Execute(&b, rec); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return b.String(), nil
+}
+
+// WebNS is the storage namespace the generated site is written to.
+const WebNS = "web"
+
+// PublishSite regenerates the whole site — index plus one page per run —
+// onto the common storage, returning the number of pages written. This
+// is the "script-based web pages" machinery: derived entirely from the
+// bookkeeping records, rerunnable at any time.
+func PublishSite(store *storage.Store, title string) (int, error) {
+	book := bookkeep.New(store)
+	cells, err := book.Matrix()
+	if err != nil {
+		return 0, err
+	}
+	index, err := HTMLMatrix(title, cells, book.TotalRuns())
+	if err != nil {
+		return 0, err
+	}
+	pages := 0
+	if _, err := store.Put(WebNS, "index.html", []byte(index)); err != nil {
+		return 0, err
+	}
+	pages++
+	runs, err := book.Runs()
+	if err != nil {
+		return pages, err
+	}
+	for _, rec := range runs {
+		page, err := HTMLRun(rec)
+		if err != nil {
+			return pages, err
+		}
+		if _, err := store.Put(WebNS, rec.RunID+".html", []byte(page)); err != nil {
+			return pages, err
+		}
+		pages++
+	}
+	return pages, nil
+}
+
+// TextRunsByDescription renders the paper's "available validation runs
+// for a given description" view: runs grouped by their description tag,
+// in execution order within each group.
+func TextRunsByDescription(book *bookkeep.Book) (string, error) {
+	runs, err := book.Runs()
+	if err != nil {
+		return "", err
+	}
+	groups := make(map[string][]*runner.RunRecord)
+	var order []string
+	for _, r := range runs {
+		if _, seen := groups[r.Description]; !seen {
+			order = append(order, r.Description)
+		}
+		groups[r.Description] = append(groups[r.Description], r)
+	}
+	var b strings.Builder
+	for _, desc := range order {
+		fmt.Fprintf(&b, "%q (%d runs)\n", desc, len(groups[desc]))
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		for _, r := range groups[desc] {
+			counts := r.Counts()
+			status := "OK"
+			if !r.Passed() {
+				status = "FAILED"
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\tpass=%d fail=%d\t%s\n",
+				r.RunID, r.Experiment, r.Config, r.Externals,
+				counts[valtest.OutcomePass], counts[valtest.OutcomeFail], status)
+		}
+		tw.Flush()
+	}
+	return b.String(), nil
+}
+
+// ExperimentSummary is a compact per-experiment rollup used by the CLI.
+type ExperimentSummary struct {
+	Experiment string
+	Cells      int
+	Healthy    int
+	TotalRuns  int
+}
+
+// Summarize rolls the matrix up per experiment.
+func Summarize(cells []bookkeep.Cell) []ExperimentSummary {
+	byExp := make(map[string]*ExperimentSummary)
+	for _, c := range cells {
+		s, ok := byExp[c.Experiment]
+		if !ok {
+			s = &ExperimentSummary{Experiment: c.Experiment}
+			byExp[c.Experiment] = s
+		}
+		s.Cells++
+		if c.Healthy() {
+			s.Healthy++
+		}
+		s.TotalRuns += c.Runs
+	}
+	out := make([]ExperimentSummary, 0, len(byExp))
+	for _, s := range byExp {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Experiment < out[j].Experiment })
+	return out
+}

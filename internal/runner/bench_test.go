@@ -1,0 +1,53 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+func benchSuite(n int) *valtest.Suite {
+	suite := valtest.NewSuite("bench")
+	for i := 0; i < n; i++ {
+		suite.MustAdd(&valtest.FuncTest{
+			TestName: fmt.Sprintf("standalone/t%04d", i),
+			Cat:      valtest.CatStandalone,
+			Fn: func(*valtest.Context) valtest.Result {
+				return valtest.Result{Outcome: valtest.OutcomePass, Cost: time.Second}
+			},
+		})
+	}
+	return suite
+}
+
+func BenchmarkRun100StandaloneTests(b *testing.B) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := benchSuite(100)
+	ctx := baseContext(store)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rn.Run(suite, ctx, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadRun(b *testing.B) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	rec, err := rn.Run(benchSuite(100), baseContext(store), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadRun(store, rec.RunID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

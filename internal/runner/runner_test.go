@@ -1,0 +1,286 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+)
+
+func baseContext(store *storage.Store) *valtest.Context {
+	cat := externals.NewCatalogue()
+	root, _ := cat.Get(externals.ROOT, "5.34")
+	return &valtest.Context{
+		Store:     store,
+		Env:       storage.Env{},
+		Config:    platform.ReferenceConfig(),
+		Registry:  platform.NewRegistry(),
+		Externals: externals.MustSet(root),
+		Repo:      swrepo.NewRepository("H1"),
+	}
+}
+
+func passTest(name string, cat valtest.Category, cost time.Duration, deps ...string) *valtest.FuncTest {
+	return &valtest.FuncTest{
+		TestName: name, Cat: cat, Deps: deps,
+		Fn: func(ctx *valtest.Context) valtest.Result {
+			return valtest.Result{Outcome: valtest.OutcomePass, Detail: "ok", Cost: cost}
+		},
+	}
+}
+
+func failTest(name string, cat valtest.Category, deps ...string) *valtest.FuncTest {
+	return &valtest.FuncTest{
+		TestName: name, Cat: cat, Deps: deps,
+		Fn: func(ctx *valtest.Context) valtest.Result {
+			return valtest.Result{Outcome: valtest.OutcomeFail, Detail: "broken"}
+		},
+	}
+}
+
+func TestRunAssignsUniqueIDs(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("a", valtest.CatStandalone, time.Second))
+	suite.MustAdd(passTest("b", valtest.CatStandalone, time.Second))
+
+	rec1, err := rn.Run(suite, baseContext(store), "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := rn.Run(suite, baseContext(store), "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.RunID == rec2.RunID {
+		t.Fatal("run IDs not unique")
+	}
+	seen := make(map[string]bool)
+	for _, rec := range []*RunRecord{rec1, rec2} {
+		for _, j := range rec.Jobs {
+			if seen[j.JobID] {
+				t.Fatalf("duplicate job ID %s", j.JobID)
+			}
+			seen[j.JobID] = true
+		}
+	}
+}
+
+func TestRunRecordsTagAndTimestamp(t *testing.T) {
+	store := storage.NewStore()
+	clock := simclock.NewAt(time.Unix(1382400000, 0))
+	rn := New(store, clock)
+	suite := valtest.NewSuite("ZEUS")
+	suite.MustAdd(passTest("a", valtest.CatStandalone, time.Second))
+
+	rec, err := rn.Run(suite, baseContext(store), "SL6 migration, ROOT 5.34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Description != "SL6 migration, ROOT 5.34" {
+		t.Fatalf("description = %q", rec.Description)
+	}
+	if rec.Timestamp != 1382400000 {
+		t.Fatalf("timestamp = %d", rec.Timestamp)
+	}
+	if rec.Experiment != "ZEUS" || rec.Config != "SL5/64bit gcc4.1" {
+		t.Fatalf("metadata = %q %q", rec.Experiment, rec.Config)
+	}
+}
+
+func TestRunPersistsAndReloads(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("a", valtest.CatStandalone, time.Second))
+	rec, err := rn.Run(suite, baseContext(store), "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadRun(store, rec.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.RunID != rec.RunID || len(loaded.Jobs) != 1 || loaded.Description != "tag" {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if got := ListRuns(store); len(got) != 1 || got[0] != rec.RunID {
+		t.Fatalf("ListRuns = %v", got)
+	}
+	if _, err := LoadRun(store, "run-9999"); err == nil {
+		t.Fatal("missing run loaded")
+	}
+}
+
+func TestJobEnvironmentKept(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("a", valtest.CatStandalone, time.Second))
+	rec, _ := rn.Run(suite, baseContext(store), "tag")
+
+	job := rec.Jobs[0]
+	env, err := LoadJobEnv(store, &job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env[storage.EnvRunID] != rec.RunID {
+		t.Fatalf("SP_RUN_ID = %q", env[storage.EnvRunID])
+	}
+	if env[storage.EnvJobID] != job.JobID {
+		t.Fatalf("SP_JOB_ID = %q", env[storage.EnvJobID])
+	}
+	if env[storage.EnvWorkDir] != rec.RunID {
+		t.Fatalf("SP_WORKDIR = %q", env[storage.EnvWorkDir])
+	}
+}
+
+func TestDependencySkipPropagates(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(failTest("gen", valtest.CatChain))
+	suite.MustAdd(passTest("sim", valtest.CatChain, time.Second, "gen"))
+	suite.MustAdd(passTest("reco", valtest.CatChain, time.Second, "sim"))
+	suite.MustAdd(passTest("island", valtest.CatStandalone, time.Second))
+
+	rec, err := rn.Run(suite, baseContext(store), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := rec.Counts()
+	if counts[valtest.OutcomeFail] != 1 || counts[valtest.OutcomeSkip] != 2 || counts[valtest.OutcomePass] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	sim, _ := rec.Find("sim")
+	if !strings.Contains(sim.Result.Detail, "gen") {
+		t.Fatalf("skip detail = %q", sim.Result.Detail)
+	}
+	if rec.Passed() {
+		t.Fatal("Passed() with failures")
+	}
+}
+
+func TestStandaloneParallelism(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	rn.Workers = 4
+
+	var inFlight, peak int32
+	suite := valtest.NewSuite("H1")
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		name := name
+		suite.MustAdd(&valtest.FuncTest{
+			TestName: name, Cat: valtest.CatStandalone,
+			Fn: func(ctx *valtest.Context) valtest.Result {
+				n := atomic.AddInt32(&inFlight, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				atomic.AddInt32(&inFlight, -1)
+				return valtest.Result{Outcome: valtest.OutcomePass, Cost: time.Minute}
+			},
+		})
+	}
+	rec, err := rn.Run(suite, baseContext(store), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&peak); got < 2 {
+		t.Fatalf("peak parallelism = %d, want >= 2", got)
+	}
+	if got := atomic.LoadInt32(&peak); got > 4 {
+		t.Fatalf("peak parallelism = %d exceeds worker bound 4", got)
+	}
+	// Wall cost: 8 one-minute tests on 4 workers = 2 minutes, vs 8 serial.
+	if rec.SerialCost != 8*time.Minute {
+		t.Fatalf("serial cost = %v", rec.SerialCost)
+	}
+	if rec.WallCost != 2*time.Minute {
+		t.Fatalf("wall cost = %v, want 2m", rec.WallCost)
+	}
+}
+
+func TestChainSequentialCost(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("gen", valtest.CatChain, time.Minute))
+	suite.MustAdd(passTest("sim", valtest.CatChain, time.Minute, "gen"))
+	suite.MustAdd(passTest("reco", valtest.CatChain, time.Minute, "sim"))
+	rec, err := rn.Run(suite, baseContext(store), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WallCost != 3*time.Minute {
+		t.Fatalf("chain wall cost = %v, want 3m", rec.WallCost)
+	}
+}
+
+func TestJobsRecordedInTopologicalOrder(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("z-last", valtest.CatChain, 0, "a-first"))
+	suite.MustAdd(passTest("a-first", valtest.CatChain, 0))
+	rec, _ := rn.Run(suite, baseContext(store), "")
+	if rec.Jobs[0].Result.Test != "a-first" || rec.Jobs[1].Result.Test != "z-last" {
+		t.Fatalf("job order: %s, %s", rec.Jobs[0].Result.Test, rec.Jobs[1].Result.Test)
+	}
+}
+
+func TestPanickingTestContained(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(&valtest.FuncTest{
+		TestName: "boom-standalone", Cat: valtest.CatStandalone,
+		Fn: func(*valtest.Context) valtest.Result { panic("SIGSEGV") },
+	})
+	suite.MustAdd(&valtest.FuncTest{
+		TestName: "boom-chain", Cat: valtest.CatChain,
+		Fn: func(*valtest.Context) valtest.Result { panic("stack overflow") },
+	})
+	suite.MustAdd(passTest("survivor", valtest.CatStandalone, time.Second))
+
+	rec, err := rn.Run(suite, baseContext(store), "panics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"boom-standalone", "boom-chain"} {
+		job, ok := rec.Find(name)
+		if !ok || job.Result.Outcome != valtest.OutcomeError {
+			t.Fatalf("%s = %+v", name, job)
+		}
+		if !strings.Contains(job.Result.Detail, "crashed") {
+			t.Fatalf("%s detail = %q", name, job.Result.Detail)
+		}
+	}
+	if job, _ := rec.Find("survivor"); job.Result.Outcome != valtest.OutcomePass {
+		t.Fatal("survivor did not run after sibling crashes")
+	}
+}
+
+func TestRunRejectsCyclicSuite(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("a", valtest.CatChain, 0, "b"))
+	suite.MustAdd(passTest("b", valtest.CatChain, 0, "a"))
+	if _, err := rn.Run(suite, baseContext(store), ""); err == nil {
+		t.Fatal("cyclic suite accepted")
+	}
+}

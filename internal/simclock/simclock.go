@@ -1,0 +1,136 @@
+// Package simclock supplies simulated time to the sp-system.
+//
+// The paper's framework stamps every validation job with a Unix timestamp
+// and schedules work with cron; for a deterministic, replayable
+// reproduction no component may read the wall clock. A Clock starts at a
+// fixed epoch and only moves when explicitly advanced, so an entire
+// multi-year preservation campaign runs in microseconds and produces the
+// same timestamps every time.
+package simclock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is a simulated clock. The zero value is not usable; create one
+// with New. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// DefaultEpoch is the instant new clocks start at: the beginning of 2013,
+// the year the paper's validation campaign ran.
+var DefaultEpoch = time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// New returns a Clock set to DefaultEpoch.
+func New() *Clock { return NewAt(DefaultEpoch) }
+
+// NewAt returns a Clock set to the given instant.
+func NewAt(t time.Time) *Clock { return &Clock{now: t.UTC()} }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Unix returns the current simulated Unix timestamp in seconds.
+func (c *Clock) Unix() int64 { return c.Now().Unix() }
+
+// Advance moves the clock forward by d. It panics if d is negative:
+// simulated time, like real time, never runs backwards.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: cannot advance by negative duration %v", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to the instant t. It panics if t is
+// before the current instant.
+func (c *Clock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t = t.UTC()
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("simclock: cannot move backwards from %v to %v", c.now, t))
+	}
+	c.now = t
+	return c.now
+}
+
+// Event is a timestamped occurrence on a Timeline.
+type Event struct {
+	At   time.Time
+	Name string
+	// Payload carries arbitrary event context, e.g. an OS release record.
+	Payload any
+}
+
+// Timeline is an ordered sequence of future events, used to script
+// multi-year scenarios (OS releases, EOL dates, expert availability
+// windows). Events may be added in any order; they are replayed in
+// chronological order. Timeline is safe for concurrent use.
+type Timeline struct {
+	mu     sync.Mutex
+	events []Event
+	sorted bool
+}
+
+// Add schedules an event. Events sharing an instant replay in insertion
+// order.
+func (tl *Timeline) Add(at time.Time, name string, payload any) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.events = append(tl.events, Event{At: at.UTC(), Name: name, Payload: payload})
+	tl.sorted = false
+}
+
+// Len reports the number of events remaining on the timeline.
+func (tl *Timeline) Len() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return len(tl.events)
+}
+
+// PopUntil removes and returns, in chronological order, every event with
+// At <= t.
+func (tl *Timeline) PopUntil(t time.Time) []Event {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.sortLocked()
+	t = t.UTC()
+	i := sort.Search(len(tl.events), func(i int) bool { return tl.events[i].At.After(t) })
+	due := make([]Event, i)
+	copy(due, tl.events[:i])
+	tl.events = tl.events[i:]
+	return due
+}
+
+// Peek returns the next event without removing it, and false if the
+// timeline is empty.
+func (tl *Timeline) Peek() (Event, bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.sortLocked()
+	if len(tl.events) == 0 {
+		return Event{}, false
+	}
+	return tl.events[0], true
+}
+
+func (tl *Timeline) sortLocked() {
+	if tl.sorted {
+		return
+	}
+	sort.SliceStable(tl.events, func(i, j int) bool { return tl.events[i].At.Before(tl.events[j].At) })
+	tl.sorted = true
+}

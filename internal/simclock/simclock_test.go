@@ -1,0 +1,135 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewStartsAtEpoch(t *testing.T) {
+	c := New()
+	if !c.Now().Equal(DefaultEpoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), DefaultEpoch)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	got := c.Advance(48 * time.Hour)
+	want := DefaultEpoch.Add(48 * time.Hour)
+	if !got.Equal(want) {
+		t.Fatalf("Advance = %v, want %v", got, want)
+	}
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now after Advance = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	target := DefaultEpoch.AddDate(1, 0, 0)
+	c.AdvanceTo(target)
+	if !c.Now().Equal(target) {
+		t.Fatalf("Now = %v, want %v", c.Now(), target)
+	}
+}
+
+func TestAdvanceToBackwardsPanics(t *testing.T) {
+	c := New()
+	c.Advance(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	c.AdvanceTo(DefaultEpoch)
+}
+
+func TestUnixTimestamp(t *testing.T) {
+	c := NewAt(time.Unix(1382400000, 0)) // 2013-10-22, around the paper's submission
+	if c.Unix() != 1382400000 {
+		t.Fatalf("Unix = %d", c.Unix())
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(time.Minute)
+		}()
+	}
+	wg.Wait()
+	want := DefaultEpoch.Add(50 * time.Minute)
+	if !c.Now().Equal(want) {
+		t.Fatalf("after 50 concurrent 1m advances Now = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestTimelineOrdering(t *testing.T) {
+	var tl Timeline
+	t2 := DefaultEpoch.Add(2 * time.Hour)
+	t1 := DefaultEpoch.Add(1 * time.Hour)
+	t3 := DefaultEpoch.Add(3 * time.Hour)
+	tl.Add(t2, "b", nil)
+	tl.Add(t1, "a", nil)
+	tl.Add(t3, "c", nil)
+
+	due := tl.PopUntil(DefaultEpoch.Add(2 * time.Hour))
+	if len(due) != 2 || due[0].Name != "a" || due[1].Name != "b" {
+		t.Fatalf("PopUntil = %+v, want [a b]", due)
+	}
+	if tl.Len() != 1 {
+		t.Fatalf("remaining = %d, want 1", tl.Len())
+	}
+	rest := tl.PopUntil(t3)
+	if len(rest) != 1 || rest[0].Name != "c" {
+		t.Fatalf("second PopUntil = %+v", rest)
+	}
+}
+
+func TestTimelineStableOrderAtSameInstant(t *testing.T) {
+	var tl Timeline
+	at := DefaultEpoch.Add(time.Hour)
+	tl.Add(at, "first", nil)
+	tl.Add(at, "second", nil)
+	due := tl.PopUntil(at)
+	if len(due) != 2 || due[0].Name != "first" || due[1].Name != "second" {
+		t.Fatalf("same-instant events out of insertion order: %+v", due)
+	}
+}
+
+func TestTimelinePeek(t *testing.T) {
+	var tl Timeline
+	if _, ok := tl.Peek(); ok {
+		t.Fatal("Peek on empty timeline returned ok")
+	}
+	tl.Add(DefaultEpoch.Add(time.Hour), "x", 42)
+	ev, ok := tl.Peek()
+	if !ok || ev.Name != "x" || ev.Payload.(int) != 42 {
+		t.Fatalf("Peek = %+v, %v", ev, ok)
+	}
+	if tl.Len() != 1 {
+		t.Fatal("Peek must not remove the event")
+	}
+}
+
+func TestTimelinePopUntilEmptyBeforeFirst(t *testing.T) {
+	var tl Timeline
+	tl.Add(DefaultEpoch.Add(time.Hour), "x", nil)
+	if due := tl.PopUntil(DefaultEpoch); len(due) != 0 {
+		t.Fatalf("PopUntil before first event returned %+v", due)
+	}
+}

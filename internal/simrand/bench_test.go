@@ -1,0 +1,37 @@
+package simrand
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Norm(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Poisson(8)
+	}
+	_ = sink
+}
+
+func BenchmarkDerive(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Derive("pkg", "h1reco", "unit07")
+	}
+}

@@ -1,0 +1,185 @@
+// Package simrand provides a deterministic, seedable random number
+// generator and the statistical distributions used throughout the
+// sp-system simulation.
+//
+// Every stochastic component of the framework draws from a Source derived
+// from a named stream, so that any validation run can be replayed
+// bit-identically — a requirement the paper states explicitly ("ensures
+// reproducibility of previous results"). The generator is xoshiro256**
+// seeded via splitmix64, both public-domain algorithms with well-studied
+// statistical behaviour.
+package simrand
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Source is a deterministic pseudo-random number generator. It is not safe
+// for concurrent use; derive one Source per goroutine with Derive.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed. Two Sources created with
+// the same seed produce identical streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Derive returns a new Source whose stream is a deterministic function of
+// the receiver's seed material and the given labels. It does not advance
+// the receiver. Use it to give each (package, test, configuration) its own
+// independent stream so that adding a consumer never perturbs another.
+func (r *Source) Derive(labels ...string) *Source {
+	h := fnv.New64a()
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0})
+	}
+	mix := h.Sum64()
+	return New(r.s[0] ^ mix ^ (r.s[2] << 1))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *Source) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (r *Source) Norm(mean, sigma float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + sigma*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Source) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation above 30.
+func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	limit := math.Exp(-mean)
+	p := 1.0
+	n := -1
+	for p > limit {
+		p *= r.Float64()
+		n++
+	}
+	return n
+}
+
+// BreitWigner returns a value drawn from a relativistic-style Breit–Wigner
+// (Cauchy) distribution with the given peak mass and width, truncated to
+// [peak-50*width, peak+50*width] to keep the toy physics bounded.
+func (r *Source) BreitWigner(peak, width float64) float64 {
+	for {
+		u := r.Float64()
+		v := peak + width/2*math.Tan(math.Pi*(u-0.5))
+		if math.Abs(v-peak) <= 50*width {
+			return v
+		}
+	}
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using the given
+// swap function (Fisher–Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen index weighted by the given non-negative
+// weights. It panics if the weights sum to zero or any weight is negative.
+func (r *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("simrand: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("simrand: zero total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

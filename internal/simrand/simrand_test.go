@@ -1,0 +1,234 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	d1 := root.Derive("pkg", "h1reco")
+	d2 := root.Derive("pkg", "h1sim")
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different labels should differ")
+	}
+	// Deriving must not advance the parent.
+	before := New(7)
+	_ = before.Derive("x")
+	after := New(7)
+	if before.Uint64() != after.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := New(9).Derive("a", "b")
+	b := New(9).Derive("a", "b")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("derived streams with equal labels diverged at %d", i)
+		}
+	}
+}
+
+func TestDeriveLabelBoundaries(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide: labels are delimited.
+	a := New(3).Derive("ab", "c")
+	b := New(3).Derive("a", "bc")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("label concatenation collision")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Norm mean = %v, want ≈5", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("Norm variance = %v, want ≈4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(3)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.05 {
+		t.Errorf("Exp mean = %v, want ≈3", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(23)
+	for _, mean := range []float64{0.5, 4, 50} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestBreitWignerPeak(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	inWindow := 0
+	for i := 0; i < n; i++ {
+		v := r.BreitWigner(91.2, 2.5)
+		// A Cauchy with FWHM w has half its mass within peak±w/2.
+		if math.Abs(v-91.2) < 1.25 {
+			inWindow++
+		}
+		if math.Abs(v-91.2) > 50*2.5 {
+			t.Fatalf("BreitWigner outside truncation window: %v", v)
+		}
+	}
+	frac := float64(inWindow) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("mass within FWHM window = %v, want ≈0.5", frac)
+	}
+}
+
+func TestShufflePermutes(t *testing.T) {
+	r := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := New(37)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("Pick ignored weights: %v", counts)
+	}
+}
+
+func TestPickPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick with zero weights did not panic")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}
+
+func TestRangeProperty(t *testing.T) {
+	r := New(41)
+	f := func(lo, span uint8) bool {
+		l := float64(lo)
+		h := l + float64(span) + 1
+		v := r.Range(l, h)
+		return v >= l && v < h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(43)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate = %v", frac)
+	}
+}

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper: "the common storage allows communication between the
+// sp-system and the experiment tests using only a few shell variables.
+// These variables describe for example the location of the input file of
+// the tests, the test outputs and the external software on the client.
+// Using thin layers of scripts, a separation of the user part from the
+// details of the sp-system is possible."
+//
+// Env is that contract: the complete interface between the framework and
+// an experiment's test scripts. A test that consumes only these variables
+// can be ported in or out of the sp-system unchanged.
+
+// The well-known sp-system shell variables.
+const (
+	// EnvInput names the storage key holding the test's input artifact.
+	EnvInput = "SP_INPUT"
+	// EnvOutput names the storage key the test must write its output to.
+	EnvOutput = "SP_OUTPUT"
+	// EnvExternals describes the external software installed on the
+	// client, e.g. "CERNLIB-2006+ROOT-5.34".
+	EnvExternals = "SP_EXTERNALS"
+	// EnvConfig is the platform configuration label, e.g.
+	// "SL6/64bit gcc4.4".
+	EnvConfig = "SP_CONFIG"
+	// EnvRunID is the unique ID of the enclosing validation run.
+	EnvRunID = "SP_RUN_ID"
+	// EnvJobID is the unique ID of the test job.
+	EnvJobID = "SP_JOB_ID"
+	// EnvWorkDir is the job's scratch namespace in the store.
+	EnvWorkDir = "SP_WORKDIR"
+)
+
+// Env is a set of shell variables passed to a test job.
+type Env map[string]string
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// With returns a copy with the variable set.
+func (e Env) With(key, value string) Env {
+	out := e.Clone()
+	out[key] = value
+	return out
+}
+
+// Require returns an error naming the first missing or empty variable,
+// or nil if all are present.
+func (e Env) Require(keys ...string) error {
+	for _, k := range keys {
+		if e[k] == "" {
+			return fmt.Errorf("storage: required shell variable %s is unset", k)
+		}
+	}
+	return nil
+}
+
+// Render renders the environment as sorted KEY=VALUE lines, the form in
+// which it is recorded with each job for reproducibility.
+func (e Env) Render() string {
+	keys := make([]string, 0, len(e))
+	for k := range e {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, e[k])
+	}
+	return b.String()
+}
+
+// ParseEnv parses the Render form back into an Env. Blank lines and lines
+// starting with '#' are ignored.
+func ParseEnv(s string) (Env, error) {
+	e := make(Env)
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("storage: malformed env line %d: %q", i+1, line)
+		}
+		e[line[:eq]] = line[eq+1:]
+	}
+	return e, nil
+}

@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvRenderSorted(t *testing.T) {
+	e := Env{EnvOutput: "out", EnvInput: "in", EnvConfig: "SL5/32bit gcc4.1"}
+	got := e.Render()
+	want := "SP_CONFIG=SL5/32bit gcc4.1\nSP_INPUT=in\nSP_OUTPUT=out\n"
+	if got != want {
+		t.Fatalf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestEnvParseRoundTrip(t *testing.T) {
+	e := Env{
+		EnvInput:     "tests/h1/dst-read/input.dat",
+		EnvOutput:    "results/run-0042/dst-read",
+		EnvExternals: "CERNLIB-2006+ROOT-5.34",
+		EnvConfig:    "SL6/64bit gcc4.4",
+		EnvRunID:     "run-0042",
+	}
+	parsed, err := ParseEnv(e.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(e) {
+		t.Fatalf("parsed %d vars, want %d", len(parsed), len(e))
+	}
+	for k, v := range e {
+		if parsed[k] != v {
+			t.Errorf("%s = %q, want %q", k, parsed[k], v)
+		}
+	}
+}
+
+func TestEnvParseSkipsCommentsAndBlanks(t *testing.T) {
+	e, err := ParseEnv("# sp-system job env\n\nSP_RUN_ID=r1\n\n# end\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 1 || e[EnvRunID] != "r1" {
+		t.Fatalf("parsed = %v", e)
+	}
+}
+
+func TestEnvParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"NOEQUALS", "=value"} {
+		if _, err := ParseEnv(bad); err == nil {
+			t.Errorf("ParseEnv(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEnvRequire(t *testing.T) {
+	e := Env{EnvInput: "x", EnvOutput: ""}
+	if err := e.Require(EnvInput); err != nil {
+		t.Errorf("Require(SP_INPUT) = %v", err)
+	}
+	err := e.Require(EnvInput, EnvOutput)
+	if err == nil || !strings.Contains(err.Error(), EnvOutput) {
+		t.Errorf("Require should name the missing variable, got %v", err)
+	}
+	if err := e.Require(EnvRunID); err == nil {
+		t.Error("Require on absent variable passed")
+	}
+}
+
+func TestEnvWithDoesNotMutate(t *testing.T) {
+	e := Env{EnvInput: "a"}
+	e2 := e.With(EnvOutput, "b")
+	if _, ok := e[EnvOutput]; ok {
+		t.Fatal("With mutated the receiver")
+	}
+	if e2[EnvOutput] != "b" || e2[EnvInput] != "a" {
+		t.Fatalf("With result = %v", e2)
+	}
+}

@@ -1,0 +1,253 @@
+// Package storage implements the common sp-system storage.
+//
+// The paper requires that every client machine "have access to the common
+// sp-system storage where the tests from the experiments as well as the
+// test results are stored", and that all test inputs and outputs are
+// kept, permanently, keyed by job — "all scripts and input files used in
+// the test as well as all output files are kept. This allows the
+// validation of all versions against each other and ensures
+// reproducibility of previous results."
+//
+// The store is content-addressed: blobs are deduplicated by SHA-256, and
+// human-meaningful names (namespace + key) bind to blob hashes. Keeping
+// every version of every artifact is therefore cheap — identical build
+// products across runs share storage, exactly the property that makes the
+// paper's keep-everything policy sustainable.
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the shared content-addressed storage. It is safe for
+// concurrent use by any number of clients.
+type Store struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte // SHA-256 hex -> content
+	names map[string]string // "namespace/key" -> blob hash
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		blobs: make(map[string][]byte),
+		names: make(map[string]string),
+	}
+}
+
+// PutBlob stores content and returns its SHA-256 hash. Storing the same
+// content twice is free.
+func (s *Store) PutBlob(data []byte) string {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[hash]; !ok {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.blobs[hash] = cp
+	}
+	return hash
+}
+
+// GetBlob returns the content with the given hash.
+func (s *Store) GetBlob(hash string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.blobs[hash]
+	if !ok {
+		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// HasBlob reports whether the store holds content with the given hash.
+func (s *Store) HasBlob(hash string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[hash]
+	return ok
+}
+
+func nameKey(ns, key string) (string, error) {
+	if ns == "" || key == "" {
+		return "", fmt.Errorf("storage: empty namespace or key (ns=%q key=%q)", ns, key)
+	}
+	if strings.Contains(ns, "/") {
+		return "", fmt.Errorf("storage: namespace %q must not contain '/'", ns)
+	}
+	return ns + "/" + key, nil
+}
+
+// Put stores content under namespace/key and returns its hash. An
+// existing binding for the same name is replaced (the old blob remains
+// addressable by hash — nothing is ever lost).
+func (s *Store) Put(ns, key string, data []byte) (string, error) {
+	nk, err := nameKey(ns, key)
+	if err != nil {
+		return "", err
+	}
+	hash := s.PutBlob(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.names[nk] = hash
+	return hash, nil
+}
+
+// Bind points namespace/key at an existing blob.
+func (s *Store) Bind(ns, key, hash string) error {
+	nk, err := nameKey(ns, key)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[hash]; !ok {
+		return fmt.Errorf("storage: cannot bind %s to missing blob %s", nk, shortHash(hash))
+	}
+	s.names[nk] = hash
+	return nil
+}
+
+// Get returns the content bound to namespace/key.
+func (s *Store) Get(ns, key string) ([]byte, error) {
+	nk, err := nameKey(ns, key)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	hash, ok := s.names[nk]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: no entry %s", nk)
+	}
+	return s.GetBlob(hash)
+}
+
+// Hash returns the blob hash bound to namespace/key without fetching the
+// content.
+func (s *Store) Hash(ns, key string) (string, error) {
+	nk, err := nameKey(ns, key)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hash, ok := s.names[nk]
+	if !ok {
+		return "", fmt.Errorf("storage: no entry %s", nk)
+	}
+	return hash, nil
+}
+
+// Exists reports whether namespace/key is bound.
+func (s *Store) Exists(ns, key string) bool {
+	_, err := s.Hash(ns, key)
+	return err == nil
+}
+
+// List returns the keys bound in the namespace, sorted.
+func (s *Store) List(ns string) []string {
+	prefix := ns + "/"
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for nk := range s.names {
+		if strings.HasPrefix(nk, prefix) {
+			keys = append(keys, strings.TrimPrefix(nk, prefix))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Namespaces returns all namespaces with at least one binding, sorted.
+func (s *Store) Namespaces() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for nk := range s.names {
+		seen[nk[:strings.IndexByte(nk, '/')]] = true
+	}
+	out := make([]string, 0, len(seen))
+	for ns := range seen {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes store contents.
+type Stats struct {
+	// Blobs is the number of distinct contents stored.
+	Blobs int
+	// Bindings is the number of namespace/key names.
+	Bindings int
+	// Bytes is the total size of distinct blobs.
+	Bytes int64
+}
+
+// Stats returns current store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Blobs: len(s.blobs), Bindings: len(s.names)}
+	for _, b := range s.blobs {
+		st.Bytes += int64(len(b))
+	}
+	return st
+}
+
+// snapshot is the JSON shape of a serialized store.
+type snapshot struct {
+	Blobs map[string][]byte `json:"blobs"`
+	Names map[string]string `json:"names"`
+}
+
+// Snapshot serializes the entire store — the mechanism behind the paper's
+// final phase, where "the last working virtual image is conserved".
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.Marshal(snapshot{Blobs: s.blobs, Names: s.names})
+}
+
+// Restore returns a store reconstructed from a Snapshot. It verifies
+// every blob against its hash and every binding against the blob set, so
+// a corrupted archive is detected at load time rather than mid-campaign.
+func Restore(data []byte) (*Store, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("storage: corrupt snapshot: %w", err)
+	}
+	st := NewStore()
+	for hash, blob := range snap.Blobs {
+		sum := sha256.Sum256(blob)
+		if hex.EncodeToString(sum[:]) != hash {
+			return nil, fmt.Errorf("storage: snapshot blob %s fails hash verification", shortHash(hash))
+		}
+		st.blobs[hash] = blob
+	}
+	for nk, hash := range snap.Names {
+		if _, ok := st.blobs[hash]; !ok {
+			return nil, fmt.Errorf("storage: snapshot binding %s references missing blob %s", nk, shortHash(hash))
+		}
+		st.names[nk] = hash
+	}
+	return st, nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlobRoundTrip(t *testing.T) {
+	s := NewStore()
+	hash := s.PutBlob([]byte("hello hera"))
+	got, err := s.GetBlob(hash)
+	if err != nil || string(got) != "hello hera" {
+		t.Fatalf("GetBlob = %q, %v", got, err)
+	}
+	if !s.HasBlob(hash) {
+		t.Fatal("HasBlob = false for stored blob")
+	}
+	if _, err := s.GetBlob("deadbeef"); err == nil {
+		t.Fatal("GetBlob(missing) succeeded")
+	}
+}
+
+func TestBlobDeduplication(t *testing.T) {
+	s := NewStore()
+	h1 := s.PutBlob([]byte("same content"))
+	h2 := s.PutBlob([]byte("same content"))
+	if h1 != h2 {
+		t.Fatal("identical content produced different hashes")
+	}
+	if st := s.Stats(); st.Blobs != 1 {
+		t.Fatalf("Blobs = %d, want 1", st.Blobs)
+	}
+}
+
+func TestBlobIsolation(t *testing.T) {
+	s := NewStore()
+	data := []byte("mutable")
+	hash := s.PutBlob(data)
+	data[0] = 'X' // caller mutates after store
+	got, _ := s.GetBlob(hash)
+	if string(got) != "mutable" {
+		t.Fatal("store aliased caller's buffer on Put")
+	}
+	got[0] = 'Y' // caller mutates returned copy
+	again, _ := s.GetBlob(hash)
+	if string(again) != "mutable" {
+		t.Fatal("store aliased returned buffer on Get")
+	}
+}
+
+func TestNamedPutGet(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Put("results", "run-001/test-a", []byte("PASS")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("results", "run-001/test-a")
+	if err != nil || string(got) != "PASS" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !s.Exists("results", "run-001/test-a") {
+		t.Fatal("Exists = false")
+	}
+	if s.Exists("results", "nope") {
+		t.Fatal("Exists = true for missing key")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Put("", "k", nil); err == nil {
+		t.Error("empty namespace accepted")
+	}
+	if _, err := s.Put("ns", "", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := s.Put("a/b", "k", nil); err == nil {
+		t.Error("namespace with slash accepted")
+	}
+}
+
+func TestBind(t *testing.T) {
+	s := NewStore()
+	hash := s.PutBlob([]byte("artifact"))
+	if err := s.Bind("builds", "h1reco", hash); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("builds", "h1reco")
+	if string(got) != "artifact" {
+		t.Fatalf("Get after Bind = %q", got)
+	}
+	if err := s.Bind("builds", "x", "no-such-hash"); err == nil {
+		t.Fatal("Bind to missing blob succeeded")
+	}
+}
+
+func TestRebindKeepsOldBlob(t *testing.T) {
+	s := NewStore()
+	_, _ = s.Put("cfg", "current", []byte("v1"))
+	old, _ := s.Hash("cfg", "current")
+	_, _ = s.Put("cfg", "current", []byte("v2"))
+	got, _ := s.Get("cfg", "current")
+	if string(got) != "v2" {
+		t.Fatalf("current = %q", got)
+	}
+	// "nothing is ever lost": the old version stays addressable.
+	prev, err := s.GetBlob(old)
+	if err != nil || string(prev) != "v1" {
+		t.Fatalf("old blob = %q, %v", prev, err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		_, _ = s.Put("ns", k, []byte(k))
+	}
+	got := s.List("ns")
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != 3 {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+	if other := s.List("empty"); len(other) != 0 {
+		t.Fatalf("List(empty) = %v", other)
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	s := NewStore()
+	_, _ = s.Put("tests", "a", nil)
+	_, _ = s.Put("results", "b", nil)
+	got := s.Namespaces()
+	if len(got) != 2 || got[0] != "results" || got[1] != "tests" {
+		t.Fatalf("Namespaces = %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewStore()
+	_, _ = s.Put("tests", "t1", []byte("script"))
+	_, _ = s.Put("results", "r1", []byte("output"))
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Get("tests", "t1")
+	if err != nil || string(got) != "script" {
+		t.Fatalf("restored Get = %q, %v", got, err)
+	}
+	if restored.Stats() != s.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", restored.Stats(), s.Stats())
+	}
+}
+
+func TestRestoreDetectsCorruption(t *testing.T) {
+	s := NewStore()
+	_, _ = s.Put("ns", "k", []byte("good"))
+	snap, _ := s.Snapshot()
+	// Corrupt the blob content inside the snapshot. JSON base64 of "good"
+	// appears in the blob map; flip bytes crudely by replacing it.
+	bad := bytes.Replace(snap, []byte("Z29vZA=="), []byte("YmFkIQ=="), 1)
+	if bytes.Equal(bad, snap) {
+		t.Fatal("test setup: expected base64 payload not found")
+	}
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("Restore accepted corrupted snapshot")
+	}
+	if _, err := Restore([]byte("{not json")); err == nil {
+		t.Fatal("Restore accepted malformed JSON")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%03d", i)
+			if _, err := s.Put("ns", key, []byte(key)); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := s.Get("ns", key)
+			if err != nil || string(got) != key {
+				t.Errorf("Get(%s) = %q, %v", key, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.List("ns")); got != 32 {
+		t.Fatalf("keys = %d, want 32", got)
+	}
+}
+
+func TestKeepEverythingDeduplication(t *testing.T) {
+	// The paper's keep-everything policy is affordable because identical
+	// artifacts across runs share storage: binding the same content under
+	// many run-scoped names must not grow the blob count.
+	s := NewStore()
+	artifact := bytes.Repeat([]byte("binary"), 1024)
+	for run := 1; run <= 50; run++ {
+		if _, err := s.Put("results", fmt.Sprintf("run-%04d/output", run), artifact); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Bindings != 50 {
+		t.Fatalf("bindings = %d", st.Bindings)
+	}
+	if st.Blobs != 1 {
+		t.Fatalf("blobs = %d, want 1 (deduplicated)", st.Blobs)
+	}
+	if st.Bytes != int64(len(artifact)) {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, len(artifact))
+	}
+}
+
+func TestPutGetProperty(t *testing.T) {
+	s := NewStore()
+	f := func(data []byte) bool {
+		hash := s.PutBlob(data)
+		got, err := s.GetBlob(hash)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

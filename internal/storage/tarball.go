@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The paper: "the resulting binaries are stored as tar-balls on the
+// common storage within the sp-system". Tarballs here are real tar.gz
+// archives built with the standard library, so artifacts written by this
+// framework are inspectable with ordinary tools.
+
+// tarEpoch is the fixed modification time stamped on all tarball members.
+// A fixed stamp keeps archives byte-identical across runs, which the
+// content-addressed store turns into deduplication.
+var tarEpoch = time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// PackTarball builds a deterministic tar.gz archive from the given
+// file-name → content map. Entries are written in sorted-name order with
+// fixed metadata so that equal inputs produce byte-identical archives.
+func PackTarball(files map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		if name == "" {
+			return nil, fmt.Errorf("storage: tarball entry with empty name")
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	gz, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	tw := tar.NewWriter(gz)
+	for _, name := range names {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(files[name])),
+			ModTime: tarEpoch,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, fmt.Errorf("storage: tarball header %q: %w", name, err)
+		}
+		if _, err := tw.Write(files[name]); err != nil {
+			return nil, fmt.Errorf("storage: tarball body %q: %w", name, err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnpackTarball reads a tar.gz archive back into a file map.
+func UnpackTarball(data []byte) (map[string][]byte, error) {
+	gz, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("storage: not a gzip archive: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	files := make(map[string][]byte)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: corrupt tarball: %w", err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, fmt.Errorf("storage: reading %q: %w", hdr.Name, err)
+		}
+		files[hdr.Name] = body
+	}
+	return files, nil
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTarballRoundTrip(t *testing.T) {
+	files := map[string][]byte{
+		"bin/h1reco":    []byte("ELF...binary"),
+		"lib/libh1.a":   bytes.Repeat([]byte{0xAB}, 4096),
+		"etc/VERSION":   []byte("rev 42"),
+		"share/doc.txt": nil,
+	}
+	data, err := PackTarball(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackTarball(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(files) {
+		t.Fatalf("entries = %d, want %d", len(got), len(files))
+	}
+	for name, want := range files {
+		if !bytes.Equal(got[name], want) {
+			t.Errorf("entry %q content mismatch", name)
+		}
+	}
+}
+
+func TestTarballDeterministic(t *testing.T) {
+	files := map[string][]byte{"b": []byte("2"), "a": []byte("1"), "c": []byte("3")}
+	d1, err := PackTarball(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := PackTarball(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("tarballs of equal input differ — breaks storage deduplication")
+	}
+}
+
+func TestTarballRejectsEmptyName(t *testing.T) {
+	if _, err := PackTarball(map[string][]byte{"": []byte("x")}); err == nil {
+		t.Fatal("empty entry name accepted")
+	}
+}
+
+func TestUnpackRejectsGarbage(t *testing.T) {
+	if _, err := UnpackTarball([]byte("not a tarball")); err == nil {
+		t.Fatal("garbage accepted as tarball")
+	}
+}
+
+func TestTarballEmptyArchive(t *testing.T) {
+	data, err := PackTarball(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackTarball(data)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty archive round trip = %v, %v", got, err)
+	}
+}
+
+func TestTarballProperty(t *testing.T) {
+	f := func(a, b []byte) bool {
+		files := map[string][]byte{"a.dat": a, "sub/b.dat": b}
+		packed, err := PackTarball(files)
+		if err != nil {
+			return false
+		}
+		got, err := UnpackTarball(packed)
+		return err == nil && bytes.Equal(got["a.dat"], a) && bytes.Equal(got["sub/b.dat"], b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package swrepo
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/simrand"
+)
+
+// GenSpec parameterizes synthetic repository generation. The defaults in
+// the experiment definitions (internal/experiments) size these to match
+// the paper's Figure 2: H1's repository has "approximately 100 individual
+// H1 software packages" spanning generators, simulation, reconstruction
+// and analysis code.
+type GenSpec struct {
+	// Experiment names the owning collaboration.
+	Experiment string
+	// Packages is the total package count.
+	Packages int
+	// MinUnits and MaxUnits bound the source units per package.
+	MinUnits, MaxUnits int
+	// LegacyFraction is the probability that a unit is HERA-era legacy
+	// code carrying deprecated idioms (K&R declarations, writable string
+	// literals, FORTRAN 77).
+	LegacyFraction float64
+	// DefectRate is the per-unit probability of a latent portability
+	// defect (64-bit-unsafe casts, uninitialized reads, aliasing
+	// violations) — the "long-standing bugs" the paper reports the
+	// framework uncovering.
+	DefectRate float64
+	// SensitiveFraction is the per-unit probability of numerically
+	// delicate code whose results shift across floating-point
+	// environments.
+	SensitiveFraction float64
+	// ExternalAPIs is the pool of external API surfaces packages may
+	// link against. Roughly half the packages use one or two.
+	ExternalAPIs []string
+}
+
+// DefaultSpec returns a GenSpec sized like the paper's H1 repository.
+func DefaultSpec(experiment string) GenSpec {
+	return GenSpec{
+		Experiment:        experiment,
+		Packages:          100,
+		MinUnits:          3,
+		MaxUnits:          12,
+		LegacyFraction:    0.35,
+		DefectRate:        0.02,
+		SensitiveFraction: 0.08,
+		ExternalAPIs: []string{
+			"root/core", "root/hist", "root/tree", "root/io/v5", "root/math",
+			"cernlib/hbook", "cernlib/kernlib", "cernlib/geant3",
+			"mcgen/lepto", "mcgen/lund",
+		},
+	}
+}
+
+// layerPlan slices the package budget into the software-chain layers of
+// Figure 2. Fractions sum to 1.
+var layerPlan = []struct {
+	kind PackageKind
+	frac float64
+}{
+	{KindLibrary, 0.25},
+	{KindGenerator, 0.10},
+	{KindSimulation, 0.15},
+	{KindReconstruction, 0.20},
+	{KindAnalysis, 0.20},
+	{KindTool, 0.10},
+}
+
+// Generate builds a synthetic repository from the spec. Generation is a
+// pure function of the spec and the random source: the same inputs always
+// produce an identical repository, so every validation campaign is
+// replayable.
+func Generate(spec GenSpec, rng *simrand.Source) (*Repository, error) {
+	if spec.Packages <= 0 {
+		return nil, fmt.Errorf("swrepo: spec.Packages must be positive, got %d", spec.Packages)
+	}
+	if spec.MinUnits <= 0 || spec.MaxUnits < spec.MinUnits {
+		return nil, fmt.Errorf("swrepo: bad unit bounds [%d, %d]", spec.MinUnits, spec.MaxUnits)
+	}
+	repo := NewRepository(spec.Experiment)
+
+	// Slice the package budget into layers; remainders go to libraries.
+	counts := make([]int, len(layerPlan))
+	total := 0
+	for i, lp := range layerPlan {
+		counts[i] = int(lp.frac * float64(spec.Packages))
+		total += counts[i]
+	}
+	counts[0] += spec.Packages - total
+
+	var earlier []string // packages in previous layers, candidate deps
+	for li, lp := range layerPlan {
+		var thisLayer []string
+		for i := 0; i < counts[li]; i++ {
+			name := fmt.Sprintf("%s-%s%02d", spec.Experiment, lp.kind, i+1)
+			prng := rng.Derive("pkg", name)
+			pkg := generatePackage(name, lp.kind, spec, earlier, prng)
+			if err := repo.Add(pkg); err != nil {
+				return nil, err
+			}
+			thisLayer = append(thisLayer, name)
+		}
+		earlier = append(earlier, thisLayer...)
+	}
+	if err := repo.Validate(); err != nil {
+		return nil, fmt.Errorf("swrepo: generated repository invalid: %w", err)
+	}
+	return repo, nil
+}
+
+// MustGenerate is Generate that panics on error, for benchmarks and
+// examples with known-good specs.
+func MustGenerate(spec GenSpec, rng *simrand.Source) *Repository {
+	repo, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return repo
+}
+
+func generatePackage(name string, kind PackageKind, spec GenSpec, earlier []string, rng *simrand.Source) *Package {
+	p := &Package{Name: name, Kind: kind}
+
+	// Dependencies: up to 4 packages from earlier layers, favouring few.
+	if len(earlier) > 0 {
+		nDeps := rng.Intn(min(4, len(earlier)) + 1)
+		seen := make(map[string]bool)
+		for len(p.Deps) < nDeps {
+			d := earlier[rng.Intn(len(earlier))]
+			if !seen[d] {
+				seen[d] = true
+				p.Deps = append(p.Deps, d)
+			}
+		}
+	}
+
+	// External APIs: generators and simulation lean on CERNLIB/MCGen,
+	// analysis leans on ROOT; everything may use ROOT core.
+	if len(spec.ExternalAPIs) > 0 && rng.Bool(0.6) {
+		nAPIs := 1 + rng.Intn(2)
+		seen := make(map[string]bool)
+		for len(p.UsesAPIs) < nAPIs {
+			api := spec.ExternalAPIs[rng.Intn(len(spec.ExternalAPIs))]
+			if !seen[api] {
+				seen[api] = true
+				p.UsesAPIs = append(p.UsesAPIs, api)
+			}
+		}
+	}
+
+	nUnits := spec.MinUnits + rng.Intn(spec.MaxUnits-spec.MinUnits+1)
+	for i := 0; i < nUnits; i++ {
+		p.Units = append(p.Units, generateUnit(kind, i, spec, p, rng))
+	}
+	return p
+}
+
+func generateUnit(kind PackageKind, idx int, spec GenSpec, pkg *Package, rng *simrand.Source) *SourceUnit {
+	u := &SourceUnit{Lines: 150 + rng.Intn(2500)}
+
+	legacy := rng.Bool(spec.LegacyFraction)
+	switch kind {
+	case KindGenerator, KindSimulation:
+		// HERA-era generation and simulation is predominantly FORTRAN.
+		if legacy || rng.Bool(0.5) {
+			u.Language = LangFortran
+		} else {
+			u.Language = LangCxx
+		}
+	case KindAnalysis:
+		u.Language = LangCxx
+	default:
+		if rng.Bool(0.5) {
+			u.Language = LangC
+		} else {
+			u.Language = LangCxx
+		}
+	}
+
+	switch u.Language {
+	case LangC:
+		u.Name = fmt.Sprintf("unit%02d.c", idx+1)
+		u.Traits = append(u.Traits, platform.TraitANSIC)
+		if legacy {
+			if rng.Bool(0.5) {
+				u.Traits = append(u.Traits, platform.TraitKAndRDecl)
+			}
+			if rng.Bool(0.4) {
+				u.Traits = append(u.Traits, platform.TraitImplicitFuncDecl)
+			}
+			if rng.Bool(0.2) {
+				u.Traits = append(u.Traits, platform.TraitWritableStringLit)
+			}
+		}
+	case LangCxx:
+		u.Name = fmt.Sprintf("unit%02d.cc", idx+1)
+		u.Traits = append(u.Traits, platform.TraitCxx98)
+		if legacy && rng.Bool(0.3) {
+			u.Traits = append(u.Traits, platform.TraitAutoPtr)
+		}
+	case LangFortran:
+		u.Name = fmt.Sprintf("unit%02d.f", idx+1)
+		u.Traits = append(u.Traits, platform.TraitFortran77)
+	}
+
+	// Latent defects, independent of legacy status.
+	if rng.Bool(spec.DefectRate) {
+		defects := []platform.Trait{
+			platform.TraitPtrIntCast,
+			platform.TraitUninitMemory,
+			platform.TraitStrictAliasing,
+		}
+		u.Traits = append(u.Traits, defects[rng.Intn(len(defects))])
+	}
+	if rng.Bool(spec.SensitiveFraction) {
+		u.Traits = append(u.Traits, platform.TraitX87Sensitive)
+	}
+	// Units in packages linking the ROOT 5 I/O layer inherit its trait.
+	for _, api := range pkg.UsesAPIs {
+		if api == "root/io/v5" && rng.Bool(0.5) {
+			u.Traits = append(u.Traits, platform.TraitROOTIOv5)
+			break
+		}
+	}
+	return u
+}

@@ -1,0 +1,142 @@
+package swrepo
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/simrand"
+)
+
+func TestGenerateSizedLikeH1(t *testing.T) {
+	repo := MustGenerate(DefaultSpec("h1"), simrand.New(1))
+	if repo.Len() != 100 {
+		t.Fatalf("packages = %d, want 100 (Figure 2)", repo.Len())
+	}
+	if err := repo.Validate(); err != nil {
+		t.Fatalf("generated repo invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(DefaultSpec("h1"), simrand.New(7))
+	b := MustGenerate(DefaultSpec("h1"), simrand.New(7))
+	pa, pb := a.Packages(), b.Packages()
+	if len(pa) != len(pb) {
+		t.Fatalf("package counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Name != pb[i].Name {
+			t.Fatalf("package %d name differs: %s vs %s", i, pa[i].Name, pb[i].Name)
+		}
+		if len(pa[i].Units) != len(pb[i].Units) {
+			t.Fatalf("package %s unit count differs", pa[i].Name)
+		}
+		for j := range pa[i].Units {
+			ua, ub := pa[i].Units[j], pb[i].Units[j]
+			if ua.Name != ub.Name || ua.Lines != ub.Lines || len(ua.Traits) != len(ub.Traits) {
+				t.Fatalf("unit %s/%s differs between runs", pa[i].Name, ua.Name)
+			}
+			for k := range ua.Traits {
+				if ua.Traits[k] != ub.Traits[k] {
+					t.Fatalf("trait %d of %s/%s differs", k, pa[i].Name, ua.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(DefaultSpec("h1"), simrand.New(1))
+	b := MustGenerate(DefaultSpec("h1"), simrand.New(2))
+	// Same structure (names), but content should differ somewhere.
+	pa, pb := a.Packages(), b.Packages()
+	differs := false
+	for i := range pa {
+		if pa[i].TotalLines() != pb[i].TotalLines() {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced byte-identical repositories")
+	}
+}
+
+func TestGenerateCoversAllKinds(t *testing.T) {
+	repo := MustGenerate(DefaultSpec("h1"), simrand.New(3))
+	kinds := make(map[PackageKind]int)
+	for _, p := range repo.Packages() {
+		kinds[p.Kind]++
+	}
+	for _, k := range []PackageKind{KindLibrary, KindGenerator, KindSimulation, KindReconstruction, KindAnalysis, KindTool} {
+		if kinds[k] == 0 {
+			t.Errorf("no packages of kind %v generated", k)
+		}
+	}
+}
+
+func TestGenerateInjectsDefects(t *testing.T) {
+	spec := DefaultSpec("h1")
+	spec.DefectRate = 0.10
+	repo := MustGenerate(spec, simrand.New(5))
+	defects := 0
+	for _, tr := range []platform.Trait{platform.TraitPtrIntCast, platform.TraitUninitMemory, platform.TraitStrictAliasing} {
+		defects += len(repo.UnitsWithTrait(tr))
+	}
+	if defects == 0 {
+		t.Fatal("no latent defects injected at 10% rate")
+	}
+}
+
+func TestGenerateZeroDefectRate(t *testing.T) {
+	spec := DefaultSpec("h1")
+	spec.DefectRate = 0
+	repo := MustGenerate(spec, simrand.New(5))
+	for _, tr := range []platform.Trait{platform.TraitPtrIntCast, platform.TraitUninitMemory, platform.TraitStrictAliasing} {
+		if refs := repo.UnitsWithTrait(tr); len(refs) != 0 {
+			t.Fatalf("defect %v injected despite zero rate: %v", tr, refs)
+		}
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	bad := []GenSpec{
+		{Experiment: "x", Packages: 0, MinUnits: 1, MaxUnits: 2},
+		{Experiment: "x", Packages: 10, MinUnits: 0, MaxUnits: 2},
+		{Experiment: "x", Packages: 10, MinUnits: 5, MaxUnits: 2},
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec, simrand.New(1)); err == nil {
+			t.Errorf("spec %d accepted, want error", i)
+		}
+	}
+}
+
+func TestGenerateFortranInGeneratorLayer(t *testing.T) {
+	repo := MustGenerate(DefaultSpec("h1"), simrand.New(11))
+	fortran := 0
+	for _, p := range repo.Packages() {
+		if p.Kind != KindGenerator && p.Kind != KindSimulation {
+			continue
+		}
+		for _, u := range p.Units {
+			if u.Language == LangFortran {
+				fortran++
+			}
+		}
+	}
+	if fortran == 0 {
+		t.Fatal("HERA-era generator/simulation layers contain no FORTRAN")
+	}
+}
+
+func TestGenerateSmallRepo(t *testing.T) {
+	spec := GenSpec{Experiment: "tiny", Packages: 5, MinUnits: 1, MaxUnits: 2}
+	repo := MustGenerate(spec, simrand.New(1))
+	if repo.Len() != 5 {
+		t.Fatalf("packages = %d, want 5", repo.Len())
+	}
+	if err := repo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package swrepo
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/simrand"
+)
+
+// TestBuildOrderProperty checks, over randomly generated layered DAGs,
+// that BuildOrder returns a permutation of all packages in which every
+// dependency precedes its dependents.
+func TestBuildOrderProperty(t *testing.T) {
+	f := func(seed uint64, sizeByte uint8) bool {
+		size := int(sizeByte%40) + 2
+		rng := simrand.New(seed)
+		repo := NewRepository("prop")
+		names := make([]string, size)
+		for i := 0; i < size; i++ {
+			names[i] = fmt.Sprintf("p%03d", i)
+			var deps []string
+			// Depend only on earlier packages: guaranteed acyclic.
+			if i > 0 {
+				maxDeps := i
+				if maxDeps > 4 {
+					maxDeps = 4
+				}
+				nDeps := rng.Intn(maxDeps + 1)
+				seen := make(map[string]bool)
+				for len(deps) < nDeps {
+					d := names[rng.Intn(i)]
+					if !seen[d] {
+						seen[d] = true
+						deps = append(deps, d)
+					}
+				}
+			}
+			repo.MustAdd(&Package{Name: names[i], Deps: deps})
+		}
+		order, err := repo.BuildOrder()
+		if err != nil || len(order) != size {
+			return false
+		}
+		pos := make(map[string]int, size)
+		for i, p := range order {
+			if _, dup := pos[p.Name]; dup {
+				return false // not a permutation
+			}
+			pos[p.Name] = i
+		}
+		for _, p := range order {
+			for _, d := range p.Deps {
+				dp, ok := pos[d]
+				if !ok || dp >= pos[p.Name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGenerateProperty checks that Generate always yields a valid,
+// correctly sized repository for any seed.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed uint64, pkgByte uint8) bool {
+		spec := DefaultSpec("prop")
+		spec.Packages = int(pkgByte%60) + 6
+		repo, err := Generate(spec, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		return repo.Len() == spec.Packages && repo.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPatchRoundTripProperty: removing a trait and re-adding it restores
+// HasTrait, and the revision increases by one per applied patch.
+func TestPatchRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		spec := DefaultSpec("prop")
+		spec.Packages = 10
+		spec.DefectRate = 0.5
+		repo, err := Generate(spec, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		pkgs := repo.Packages()
+		pkg := pkgs[rng.Intn(len(pkgs))]
+		unit := pkg.Units[rng.Intn(len(pkg.Units))]
+		if len(unit.Traits) == 0 {
+			return true
+		}
+		tr := unit.Traits[rng.Intn(len(unit.Traits))]
+		rev := repo.Revision
+		err = repo.Apply(Patch{ID: "rm", Package: pkg.Name, Unit: unit.Name,
+			Remove: []platform.Trait{tr}})
+		if err != nil || unit.HasTrait(tr) || repo.Revision != rev+1 {
+			return false
+		}
+		err = repo.Apply(Patch{ID: "re", Package: pkg.Name, Unit: unit.Name,
+			Add: []platform.Trait{tr}})
+		return err == nil && unit.HasTrait(tr) && repo.Revision == rev+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package valtest defines the validation tests of the sp-system,
+// following the taxonomy of the paper's Figure 2: the compilation of the
+// experiment's software packages, then "a series of validation tests ...
+// on the full spectrum of the software, using the compiled software.
+// Whereas some of these tests examine the results of stand alone
+// executables and are run in parallel, many are run sequentially and
+// form discrete parts in one of several full analysis chains."
+//
+// A Test is a named unit of validation with declared dependencies; a
+// Suite is an experiment's ordered collection. Tests communicate with
+// the framework exclusively through the Context — the common storage and
+// the shell-variable environment — which is what makes them portable in
+// and out of the sp-system, as §4 of the paper emphasises.
+package valtest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/buildsys"
+	"repro/internal/externals"
+	"repro/internal/histo"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+// Category classifies a test along Figure 2's structure.
+type Category int
+
+const (
+	// CatCompile is a package-compilation check.
+	CatCompile Category = iota
+	// CatStandalone is an independent executable test, runnable in
+	// parallel with others.
+	CatStandalone
+	// CatChain is a stage in a sequential analysis chain.
+	CatChain
+)
+
+// String returns "compile", "standalone" or "chain".
+func (c Category) String() string {
+	switch c {
+	case CatCompile:
+		return "compile"
+	case CatStandalone:
+		return "standalone"
+	default:
+		return "chain"
+	}
+}
+
+// Outcome is a test verdict.
+type Outcome int
+
+const (
+	// OutcomePass means the test succeeded.
+	OutcomePass Outcome = iota
+	// OutcomeFail means the test ran and its check failed.
+	OutcomeFail
+	// OutcomeSkip means a prerequisite failed so the test was not run.
+	OutcomeSkip
+	// OutcomeError means the test could not run (infrastructure or
+	// crash).
+	OutcomeError
+)
+
+// String returns "pass", "fail", "skip" or "error".
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePass:
+		return "pass"
+	case OutcomeFail:
+		return "fail"
+	case OutcomeSkip:
+		return "skip"
+	default:
+		return "error"
+	}
+}
+
+// Passed reports whether the outcome is OutcomePass.
+func (o Outcome) Passed() bool { return o == OutcomePass }
+
+// Result is the recorded outcome of one test execution.
+type Result struct {
+	// Test is the test name.
+	Test string
+	// Category is the test's Figure 2 classification.
+	Category Category
+	// Outcome is the verdict.
+	Outcome Outcome
+	// Detail is the human-readable explanation linked from the status
+	// matrix cell.
+	Detail string
+	// Statistic carries the comparator statistic for data-validation
+	// tests.
+	Statistic float64
+	// OutputKey is the storage key of the test's output artifact, kept
+	// forever per the paper's bookkeeping policy ("all output files are
+	// kept").
+	OutputKey string
+	// Cost is the simulated execution time.
+	Cost time.Duration
+}
+
+// Context is everything a test may consult: the paper's thin interface
+// (storage + shell variables) plus the handles the framework itself uses
+// to simulate execution.
+type Context struct {
+	// Store is the common sp-system storage.
+	Store *storage.Store
+	// Env carries the shell variables (SP_*) for this job.
+	Env storage.Env
+	// Config is the platform configuration under test.
+	Config platform.Config
+	// Registry resolves compilers and OS releases.
+	Registry *platform.Registry
+	// Externals is the installed external software.
+	Externals *externals.Set
+	// Repo is the experiment software repository (current revision).
+	Repo *swrepo.Repository
+	// Build is the most recent build of Repo on Config, consulted by
+	// compile tests and by chain stages needing artifacts.
+	Build *buildsys.Result
+}
+
+// Test is a unit of validation.
+type Test interface {
+	// Name uniquely identifies the test within its suite.
+	Name() string
+	// Category classifies the test.
+	Category() Category
+	// DependsOn names tests that must pass before this one runs.
+	DependsOn() []string
+	// Run executes the test.
+	Run(ctx *Context) Result
+}
+
+// CompileTest checks that one package built successfully.
+type CompileTest struct {
+	// Pkg is the package whose build is checked.
+	Pkg string
+}
+
+// Name returns "compile/<package>".
+func (t *CompileTest) Name() string { return "compile/" + t.Pkg }
+
+// Category returns CatCompile.
+func (t *CompileTest) Category() Category { return CatCompile }
+
+// DependsOn returns nil: compile tests are roots.
+func (t *CompileTest) DependsOn() []string { return nil }
+
+// Run inspects the build result for the package.
+func (t *CompileTest) Run(ctx *Context) Result {
+	res := Result{Test: t.Name(), Category: CatCompile}
+	if ctx.Build == nil {
+		res.Outcome = OutcomeError
+		res.Detail = "no build result available"
+		return res
+	}
+	pr, ok := ctx.Build.Find(t.Pkg)
+	if !ok {
+		res.Outcome = OutcomeError
+		res.Detail = fmt.Sprintf("package %q not in build", t.Pkg)
+		return res
+	}
+	res.Cost = pr.Cost
+	switch pr.Status {
+	case buildsys.StatusOK, buildsys.StatusCached:
+		res.Outcome = OutcomePass
+		if w := pr.Warnings(); w > 0 {
+			res.Detail = fmt.Sprintf("built with %d warnings", w)
+		} else {
+			res.Detail = "built cleanly"
+		}
+		res.OutputKey = pr.ArtifactKey
+	case buildsys.StatusSkipped:
+		res.Outcome = OutcomeSkip
+		res.Detail = fmt.Sprintf("dependencies failed: %v", pr.FailedDeps)
+	default:
+		res.Outcome = OutcomeFail
+		if len(pr.MissingAPIs) > 0 {
+			res.Detail = fmt.Sprintf("missing external APIs: %v", pr.MissingAPIs)
+		} else if len(pr.Diagnostics) > 0 {
+			res.Detail = pr.Diagnostics[0].Message
+		} else {
+			res.Detail = "compilation failed"
+		}
+	}
+	return res
+}
+
+// FuncTest adapts a function into a Test; the chain engine and the
+// experiments' standalone tests are built from it.
+type FuncTest struct {
+	// TestName uniquely identifies the test.
+	TestName string
+	// Cat classifies the test.
+	Cat Category
+	// Deps names prerequisite tests.
+	Deps []string
+	// Fn is the test body.
+	Fn func(ctx *Context) Result
+}
+
+// Name returns the test's name.
+func (t *FuncTest) Name() string { return t.TestName }
+
+// Category returns the test's category.
+func (t *FuncTest) Category() Category { return t.Cat }
+
+// DependsOn returns the prerequisite test names.
+func (t *FuncTest) DependsOn() []string { return t.Deps }
+
+// Run invokes the test body, stamping the name and category into the
+// result so bodies cannot mislabel themselves.
+func (t *FuncTest) Run(ctx *Context) Result {
+	res := t.Fn(ctx)
+	res.Test = t.TestName
+	res.Category = t.Cat
+	return res
+}
+
+// Suite is an experiment's collection of tests.
+type Suite struct {
+	// Experiment is the owning collaboration.
+	Experiment string
+
+	tests map[string]Test
+	order []string // insertion order, for stable listings
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(experiment string) *Suite {
+	return &Suite{Experiment: experiment, tests: make(map[string]Test)}
+}
+
+// Add registers a test; duplicate names are an error.
+func (s *Suite) Add(t Test) error {
+	if t.Name() == "" {
+		return fmt.Errorf("valtest: test with empty name")
+	}
+	if _, dup := s.tests[t.Name()]; dup {
+		return fmt.Errorf("valtest: duplicate test %q", t.Name())
+	}
+	s.tests[t.Name()] = t
+	s.order = append(s.order, t.Name())
+	return nil
+}
+
+// MustAdd is Add that panics on error, for static suite construction.
+func (s *Suite) MustAdd(t Test) {
+	if err := s.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tests.
+func (s *Suite) Len() int { return len(s.tests) }
+
+// Get returns the named test.
+func (s *Suite) Get(name string) (Test, bool) {
+	t, ok := s.tests[name]
+	return t, ok
+}
+
+// Tests returns tests in insertion order.
+func (s *Suite) Tests() []Test {
+	out := make([]Test, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.tests[name])
+	}
+	return out
+}
+
+// CountByCategory tallies tests per category.
+func (s *Suite) CountByCategory() map[Category]int {
+	out := make(map[Category]int)
+	for _, t := range s.tests {
+		out[t.Category()]++
+	}
+	return out
+}
+
+// Validate checks that all dependencies exist and the dependency graph
+// is acyclic.
+func (s *Suite) Validate() error {
+	for _, t := range s.Tests() {
+		for _, d := range t.DependsOn() {
+			if _, ok := s.tests[d]; !ok {
+				return fmt.Errorf("valtest: test %q depends on unknown test %q", t.Name(), d)
+			}
+		}
+	}
+	_, err := s.Order()
+	return err
+}
+
+// Order returns the tests in a deterministic topological order:
+// dependencies first, ties broken by insertion order.
+func (s *Suite) Order() ([]Test, error) {
+	pos := make(map[string]int, len(s.order))
+	for i, name := range s.order {
+		pos[name] = i
+	}
+	indeg := make(map[string]int, len(s.tests))
+	dependents := make(map[string][]string)
+	for _, t := range s.Tests() {
+		indeg[t.Name()] += 0
+		for _, d := range t.DependsOn() {
+			indeg[t.Name()]++
+			dependents[d] = append(dependents[d], t.Name())
+		}
+	}
+	var ready []string
+	for name, n := range indeg {
+		if n == 0 {
+			ready = append(ready, name)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+
+	out := make([]Test, 0, len(s.tests))
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		out = append(out, s.tests[name])
+		var newly []string
+		for _, dep := range dependents[name] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				newly = append(newly, dep)
+			}
+		}
+		sort.Slice(newly, func(i, j int) bool { return pos[newly[i]] < pos[newly[j]] })
+		ready = append(ready, newly...)
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+	}
+	if len(out) != len(s.tests) {
+		for name, n := range indeg {
+			if n > 0 {
+				return nil, fmt.Errorf("valtest: dependency cycle involving test %q", name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CompareStoredHistograms fetches two histograms from storage and applies
+// the comparator — the shared core of every data-validation test.
+func CompareStoredHistograms(store *storage.Store, ns, refKey, candKey string, compare func(ref, cand *histo.H1D) (histo.Comparison, error)) (histo.Comparison, error) {
+	refData, err := store.Get(ns, refKey)
+	if err != nil {
+		return histo.Comparison{}, fmt.Errorf("valtest: reference: %w", err)
+	}
+	candData, err := store.Get(ns, candKey)
+	if err != nil {
+		return histo.Comparison{}, fmt.Errorf("valtest: candidate: %w", err)
+	}
+	ref, err := histo.UnmarshalH1D(refData)
+	if err != nil {
+		return histo.Comparison{}, fmt.Errorf("valtest: reference: %w", err)
+	}
+	cand, err := histo.UnmarshalH1D(candData)
+	if err != nil {
+		return histo.Comparison{}, fmt.Errorf("valtest: candidate: %w", err)
+	}
+	return compare(ref, cand)
+}

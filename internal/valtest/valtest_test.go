@@ -1,0 +1,208 @@
+package valtest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buildsys"
+	"repro/internal/externals"
+	"repro/internal/histo"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+func buildFixture(t *testing.T, traits ...platform.Trait) (*Context, *buildsys.Result) {
+	t.Helper()
+	store := storage.NewStore()
+	reg := platform.NewRegistry()
+	cat := externals.NewCatalogue()
+	root, _ := cat.Get(externals.ROOT, "5.34")
+	exts := externals.MustSet(root)
+
+	repo := swrepo.NewRepository("H1")
+	unit := &swrepo.SourceUnit{Name: "a.cc", Language: swrepo.LangCxx,
+		Traits: append([]platform.Trait{platform.TraitCxx98}, traits...), Lines: 200}
+	repo.MustAdd(&swrepo.Package{Name: "h1reco", Units: []*swrepo.SourceUnit{unit}})
+
+	cfg := platform.ReferenceConfig()
+	res, err := buildsys.NewBuilder(reg, store).Build(repo, cfg, exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{
+		Store:     store,
+		Env:       storage.Env{storage.EnvWorkDir: "run-0001", storage.EnvRunID: "run-0001"},
+		Config:    cfg,
+		Registry:  reg,
+		Externals: exts,
+		Repo:      repo,
+		Build:     res,
+	}
+	return ctx, res
+}
+
+func TestCompileTestPass(t *testing.T) {
+	ctx, _ := buildFixture(t)
+	test := &CompileTest{Pkg: "h1reco"}
+	res := test.Run(ctx)
+	if res.Outcome != OutcomePass {
+		t.Fatalf("outcome = %v (%s)", res.Outcome, res.Detail)
+	}
+	if res.Test != "compile/h1reco" || res.Category != CatCompile {
+		t.Fatalf("labels = %q %v", res.Test, res.Category)
+	}
+	if res.OutputKey == "" {
+		t.Fatal("no artifact key recorded")
+	}
+}
+
+func TestCompileTestWarnDetail(t *testing.T) {
+	ctx, _ := buildFixture(t, platform.TraitKAndRDecl) // warn on gcc4.1
+	res := (&CompileTest{Pkg: "h1reco"}).Run(ctx)
+	if res.Outcome != OutcomePass || !strings.Contains(res.Detail, "warning") {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCompileTestFail(t *testing.T) {
+	ctx, _ := buildFixture(t, platform.TraitCxx11) // error on gcc4.1
+	res := (&CompileTest{Pkg: "h1reco"}).Run(ctx)
+	if res.Outcome != OutcomeFail {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}
+
+func TestCompileTestErrors(t *testing.T) {
+	ctx, _ := buildFixture(t)
+	res := (&CompileTest{Pkg: "ghost"}).Run(ctx)
+	if res.Outcome != OutcomeError {
+		t.Fatalf("unknown package outcome = %v", res.Outcome)
+	}
+	ctx.Build = nil
+	res = (&CompileTest{Pkg: "h1reco"}).Run(ctx)
+	if res.Outcome != OutcomeError {
+		t.Fatalf("missing build outcome = %v", res.Outcome)
+	}
+}
+
+func TestFuncTestStampsIdentity(t *testing.T) {
+	ft := &FuncTest{
+		TestName: "standalone/dst-read",
+		Cat:      CatStandalone,
+		Fn: func(ctx *Context) Result {
+			return Result{Test: "liar", Category: CatCompile, Outcome: OutcomePass}
+		},
+	}
+	res := ft.Run(nil)
+	if res.Test != "standalone/dst-read" || res.Category != CatStandalone {
+		t.Fatalf("identity not stamped: %+v", res)
+	}
+}
+
+func TestSuiteAddAndDuplicates(t *testing.T) {
+	s := NewSuite("H1")
+	if err := s.Add(&CompileTest{Pkg: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&CompileTest{Pkg: "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := s.Add(&FuncTest{TestName: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSuiteValidateUnknownDep(t *testing.T) {
+	s := NewSuite("H1")
+	s.MustAdd(&FuncTest{TestName: "b", Cat: CatChain, Deps: []string{"missing"},
+		Fn: func(*Context) Result { return Result{} }})
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestSuiteOrderTopological(t *testing.T) {
+	s := NewSuite("H1")
+	mk := func(name string, deps ...string) *FuncTest {
+		return &FuncTest{TestName: name, Cat: CatChain, Deps: deps,
+			Fn: func(*Context) Result { return Result{} }}
+	}
+	s.MustAdd(mk("validate", "analysis"))
+	s.MustAdd(mk("gen"))
+	s.MustAdd(mk("analysis", "reco"))
+	s.MustAdd(mk("reco", "gen"))
+	s.MustAdd(mk("standalone-x"))
+
+	order, err := s.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, tt := range order {
+		pos[tt.Name()] = i
+	}
+	if !(pos["gen"] < pos["reco"] && pos["reco"] < pos["analysis"] && pos["analysis"] < pos["validate"]) {
+		t.Fatalf("bad order: %v", pos)
+	}
+}
+
+func TestSuiteOrderCycle(t *testing.T) {
+	s := NewSuite("H1")
+	mk := func(name string, deps ...string) *FuncTest {
+		return &FuncTest{TestName: name, Cat: CatChain, Deps: deps,
+			Fn: func(*Context) Result { return Result{} }}
+	}
+	s.MustAdd(mk("a", "b"))
+	s.MustAdd(mk("b", "a"))
+	if _, err := s.Order(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Order = %v, want cycle error", err)
+	}
+}
+
+func TestSuiteCountByCategory(t *testing.T) {
+	s := NewSuite("H1")
+	s.MustAdd(&CompileTest{Pkg: "a"})
+	s.MustAdd(&CompileTest{Pkg: "b"})
+	s.MustAdd(&FuncTest{TestName: "sa", Cat: CatStandalone, Fn: func(*Context) Result { return Result{} }})
+	counts := s.CountByCategory()
+	if counts[CatCompile] != 2 || counts[CatStandalone] != 1 || counts[CatChain] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomePass.String() != "pass" || OutcomeFail.String() != "fail" ||
+		OutcomeSkip.String() != "skip" || OutcomeError.String() != "error" {
+		t.Fatal("outcome strings wrong")
+	}
+	if !OutcomePass.Passed() || OutcomeFail.Passed() {
+		t.Fatal("Passed() wrong")
+	}
+}
+
+func TestCompareStoredHistograms(t *testing.T) {
+	store := storage.NewStore()
+	h := histo.NewH1D("m", 10, 0, 10)
+	h.Fill(5)
+	blob, _ := h.MarshalBinary()
+	_, _ = store.Put("refs", "ref", blob)
+	_, _ = store.Put("refs", "cand", blob)
+
+	cmp, err := CompareStoredHistograms(store, "refs", "ref", "cand", func(a, b *histo.H1D) (histo.Comparison, error) {
+		return histo.Identical(a, b)
+	})
+	if err != nil || !cmp.Compatible {
+		t.Fatalf("cmp = %+v, %v", cmp, err)
+	}
+	if _, err := CompareStoredHistograms(store, "refs", "nope", "cand", nil); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+	_, _ = store.Put("refs", "junk", []byte("junk"))
+	if _, err := CompareStoredHistograms(store, "refs", "junk", "cand", nil); err == nil {
+		t.Fatal("junk reference accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package vmhost models the virtualisation layer of the sp-system: "a
+// framework capable of hosting a number of virtual machine images, built
+// with different configurations of operating systems and the relevant
+// software, including any necessary external dependencies."
+//
+// An Image is a platform configuration plus an installed external
+// software set; a Client is a machine (virtual or physical) booted from
+// an image. The paper's client contract is deliberately thin — "the only
+// requirement of a new machine is to have access to the common sp-system
+// storage ... as well as the ability to run a cron-job on the client" —
+// and the types here enforce exactly that: a client cannot be attached
+// without a storage handle, and carries a cron specification.
+package vmhost
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+// Image is a bootable machine image: an OS/compiler configuration with
+// external software installed.
+type Image struct {
+	// ID is derived from the image contents; two images with the same
+	// configuration and externals are the same image.
+	ID string
+	// Config is the platform configuration.
+	Config platform.Config
+	// Externals is the installed external software.
+	Externals *externals.Set
+	// BuiltAt records when the image was produced.
+	BuiltAt time.Time
+	// Frozen marks the image as conserved — the paper's final phase,
+	// after which the image is kept but no longer maintained.
+	Frozen bool
+}
+
+// Label returns the human-readable image description used in reports,
+// e.g. "SL6/64bit gcc4.4 [CERNLIB-2006+ROOT-5.34]".
+func (im *Image) Label() string {
+	return fmt.Sprintf("%s [%s]", im.Config, im.Externals)
+}
+
+// Recipe renders the image's build prescription — the artifact the
+// paper says the sp-system supplies to production systems: "it can help
+// to prepare a production system by supplying the successfully validated
+// recipe of the latest configuration".
+func (im *Image) Recipe() string {
+	s := fmt.Sprintf("os: %s\narch: %s\ncompiler: %s\n", im.Config.OS, im.Config.Arch, im.Config.Compiler)
+	for _, r := range im.Externals.Releases() {
+		s += fmt.Sprintf("external: %s\n", r.ID())
+	}
+	return s
+}
+
+// BuildImage validates and constructs an image for the configuration and
+// externals at the given instant.
+func BuildImage(reg *platform.Registry, cfg platform.Config, exts *externals.Set, at time.Time) (*Image, error) {
+	if err := cfg.Validate(reg); err != nil {
+		return nil, fmt.Errorf("vmhost: %w", err)
+	}
+	if err := exts.InstallableOn(cfg, reg); err != nil {
+		return nil, fmt.Errorf("vmhost: %w", err)
+	}
+	o, err := reg.OS(cfg.OS)
+	if err != nil {
+		return nil, err
+	}
+	if at.Before(o.Released) {
+		return nil, fmt.Errorf("vmhost: %s not released until %s", cfg.OS, o.Released.Format("2006-01-02"))
+	}
+	for _, r := range exts.Releases() {
+		if at.Before(r.Released) {
+			return nil, fmt.Errorf("vmhost: %s not released until %s", r.ID(), r.Released.Format("2006-01-02"))
+		}
+	}
+	sum := sha256.Sum256([]byte(cfg.Key() + "|" + exts.Key()))
+	return &Image{
+		ID:        hex.EncodeToString(sum[:8]),
+		Config:    cfg,
+		Externals: exts,
+		BuiltAt:   at,
+	}, nil
+}
+
+// ClientKind distinguishes virtual machines from physical worker nodes;
+// the paper supports both ("as a virtual machine or a normal physical
+// machine like a batch or grid worker node").
+type ClientKind int
+
+const (
+	// VM is a hosted virtual machine.
+	VM ClientKind = iota
+	// Physical is a batch or grid worker node running the image recipe
+	// natively.
+	Physical
+)
+
+// String returns "vm" or "physical".
+func (k ClientKind) String() string {
+	if k == VM {
+		return "vm"
+	}
+	return "physical"
+}
+
+// Client is a machine attached to the sp-system.
+type Client struct {
+	// Name identifies the client within the host.
+	Name string
+	// Kind is VM or Physical.
+	Kind ClientKind
+	// Image is the environment the client runs.
+	Image *Image
+	// CronSpec is the client's cron entry for periodic validation, in
+	// standard five-field cron syntax.
+	CronSpec string
+
+	store *storage.Store
+}
+
+// Env returns the client's execution environment: the shell variables a
+// test job inherits from the machine it runs on.
+func (c *Client) Env() storage.Env {
+	return storage.Env{
+		storage.EnvConfig:    c.Image.Config.String(),
+		storage.EnvExternals: c.Image.Externals.String(),
+	}
+}
+
+// Store returns the client's handle to the common storage.
+func (c *Client) Store() *storage.Store { return c.store }
+
+// Host is the sp-system's machine inventory. It is safe for concurrent
+// use.
+type Host struct {
+	mu      sync.RWMutex
+	store   *storage.Store
+	images  map[string]*Image
+	clients map[string]*Client
+}
+
+// NewHost returns a host whose clients share the given common storage.
+func NewHost(store *storage.Store) *Host {
+	return &Host{
+		store:   store,
+		images:  make(map[string]*Image),
+		clients: make(map[string]*Client),
+	}
+}
+
+// AddImage registers an image. Adding the same image twice is a no-op;
+// adding a different image with a colliding ID is an error.
+func (h *Host) AddImage(im *Image) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if prev, ok := h.images[im.ID]; ok && prev != im {
+		return fmt.Errorf("vmhost: image ID collision on %s", im.ID)
+	}
+	h.images[im.ID] = im
+	return nil
+}
+
+// Image returns the image with the given ID.
+func (h *Host) Image(id string) (*Image, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	im, ok := h.images[id]
+	if !ok {
+		return nil, fmt.Errorf("vmhost: no image %s", id)
+	}
+	return im, nil
+}
+
+// Images returns all images sorted by label.
+func (h *Host) Images() []*Image {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*Image, 0, len(h.images))
+	for _, im := range h.images {
+		out = append(out, im)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label() < out[j].Label() })
+	return out
+}
+
+// Boot attaches a new client running the given image. It enforces the
+// paper's two-requirement contract: the host's common storage (implicit)
+// and a cron specification.
+func (h *Host) Boot(name string, kind ClientKind, imageID, cronSpec string) (*Client, error) {
+	if name == "" {
+		return nil, fmt.Errorf("vmhost: client needs a name")
+	}
+	if cronSpec == "" {
+		return nil, fmt.Errorf("vmhost: client %q needs a cron specification — it is one of the two integration requirements", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	im, ok := h.images[imageID]
+	if !ok {
+		return nil, fmt.Errorf("vmhost: no image %s", imageID)
+	}
+	if _, dup := h.clients[name]; dup {
+		return nil, fmt.Errorf("vmhost: client %q already attached", name)
+	}
+	c := &Client{Name: name, Kind: kind, Image: im, CronSpec: cronSpec, store: h.store}
+	h.clients[name] = c
+	return c, nil
+}
+
+// Shutdown detaches a client.
+func (h *Host) Shutdown(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.clients[name]; !ok {
+		return fmt.Errorf("vmhost: no client %q", name)
+	}
+	delete(h.clients, name)
+	return nil
+}
+
+// Clients returns attached clients sorted by name.
+func (h *Host) Clients() []*Client {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*Client, 0, len(h.clients))
+	for _, c := range h.clients {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// frozenNS is the storage namespace holding conserved images.
+const frozenNS = "frozen"
+
+// Freeze conserves an image: its recipe is written to the common storage
+// and the image is marked frozen. This is the paper's final phase —
+// "the last working virtual image is conserved and constitutes the last
+// version of the experimental software and environment."
+func (h *Host) Freeze(imageID string, at time.Time) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	im, ok := h.images[imageID]
+	if !ok {
+		return fmt.Errorf("vmhost: no image %s", imageID)
+	}
+	recipe := fmt.Sprintf("# frozen %s\n%s", at.Format(time.RFC3339), im.Recipe())
+	if _, err := h.store.Put(frozenNS, im.ID, []byte(recipe)); err != nil {
+		return err
+	}
+	im.Frozen = true
+	return nil
+}
+
+// FrozenRecipe retrieves the conserved recipe of a frozen image.
+func (h *Host) FrozenRecipe(imageID string) (string, error) {
+	data, err := h.store.Get(frozenNS, imageID)
+	if err != nil {
+		return "", fmt.Errorf("vmhost: image %s is not frozen: %w", imageID, err)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,218 @@
+package vmhost
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+var mid2013 = time.Date(2013, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testImage(t *testing.T, cfg platform.Config) *Image {
+	t.Helper()
+	cat := externals.NewCatalogue()
+	root, err := cat.Get(externals.ROOT, "5.34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := BuildImage(platform.NewRegistry(), cfg, externals.MustSet(root), mid2013)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestBuildImageForAllPaperConfigs(t *testing.T) {
+	for _, cfg := range platform.PaperConfigs() {
+		im := testImage(t, cfg)
+		if im.ID == "" {
+			t.Fatalf("%v: empty image ID", cfg)
+		}
+		if !strings.Contains(im.Label(), cfg.String()) {
+			t.Fatalf("label %q missing config", im.Label())
+		}
+	}
+}
+
+func TestBuildImageDeterministicID(t *testing.T) {
+	a := testImage(t, platform.ReferenceConfig())
+	b := testImage(t, platform.ReferenceConfig())
+	if a.ID != b.ID {
+		t.Fatal("same spec produced different image IDs")
+	}
+	c := testImage(t, platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"})
+	if c.ID == a.ID {
+		t.Fatal("different configs share an image ID")
+	}
+}
+
+func TestBuildImageRejectsInvalid(t *testing.T) {
+	reg := platform.NewRegistry()
+	cat := externals.NewCatalogue()
+	root, _ := cat.Get(externals.ROOT, "5.34")
+	root6, _ := cat.Get(externals.ROOT, "6.02")
+
+	// Invalid config.
+	if _, err := BuildImage(reg, platform.Config{OS: "SL9", Arch: platform.X8664, Compiler: "gcc4.4"},
+		externals.MustSet(root), mid2013); err == nil {
+		t.Error("unknown OS accepted")
+	}
+	// Externals incompatible with compiler.
+	if _, err := BuildImage(reg, platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"},
+		externals.MustSet(root6), mid2013); err == nil {
+		t.Error("ROOT 6 on gcc4.4 accepted")
+	}
+	// OS not yet released.
+	if _, err := BuildImage(reg, platform.Config{OS: "SL7", Arch: platform.X8664, Compiler: "gcc4.8"},
+		externals.MustSet(root), mid2013); err == nil {
+		t.Error("SL7 image built in 2013")
+	}
+	// External not yet released.
+	if _, err := BuildImage(reg, platform.ReferenceConfig(),
+		externals.MustSet(root6), mid2013); err == nil {
+		t.Error("ROOT 6 image built in 2013")
+	}
+}
+
+func TestRecipeListsEverything(t *testing.T) {
+	im := testImage(t, platform.ReferenceConfig())
+	r := im.Recipe()
+	for _, want := range []string{"os: SL5", "arch: x86_64", "compiler: gcc4.1", "external: ROOT-5.34"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("recipe missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestBootRequiresCron(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	im := testImage(t, platform.ReferenceConfig())
+	if err := h.AddImage(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Boot("vm01", VM, im.ID, ""); err == nil {
+		t.Fatal("client booted without a cron spec")
+	}
+	c, err := h.Boot("vm01", VM, im.ID, "0 3 * * *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Store() == nil {
+		t.Fatal("client has no storage access")
+	}
+}
+
+func TestBootUnknownImage(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	if _, err := h.Boot("vm01", VM, "nope", "0 3 * * *"); err == nil {
+		t.Fatal("boot from unknown image succeeded")
+	}
+}
+
+func TestBootDuplicateName(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	im := testImage(t, platform.ReferenceConfig())
+	_ = h.AddImage(im)
+	if _, err := h.Boot("vm01", VM, im.ID, "0 3 * * *"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Boot("vm01", Physical, im.ID, "0 4 * * *"); err == nil {
+		t.Fatal("duplicate client name accepted")
+	}
+}
+
+func TestClientEnv(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	im := testImage(t, platform.ReferenceConfig())
+	_ = h.AddImage(im)
+	c, _ := h.Boot("grid-wn-12", Physical, im.ID, "30 2 * * *")
+	env := c.Env()
+	if env[storage.EnvConfig] != "SL5/64bit gcc4.1" {
+		t.Fatalf("SP_CONFIG = %q", env[storage.EnvConfig])
+	}
+	if env[storage.EnvExternals] != "ROOT-5.34" {
+		t.Fatalf("SP_EXTERNALS = %q", env[storage.EnvExternals])
+	}
+	if c.Kind.String() != "physical" {
+		t.Fatalf("kind = %q", c.Kind)
+	}
+}
+
+func TestClientsSortedAndShutdown(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	im := testImage(t, platform.ReferenceConfig())
+	_ = h.AddImage(im)
+	for _, n := range []string{"vm03", "vm01", "vm02"} {
+		if _, err := h.Boot(n, VM, im.ID, "0 1 * * *"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := h.Clients()
+	if len(cs) != 3 || cs[0].Name != "vm01" || cs[2].Name != "vm03" {
+		t.Fatalf("clients = %v", names(cs))
+	}
+	if err := h.Shutdown("vm02"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Clients()) != 2 {
+		t.Fatal("shutdown did not remove client")
+	}
+	if err := h.Shutdown("vm02"); err == nil {
+		t.Fatal("double shutdown succeeded")
+	}
+}
+
+func names(cs []*Client) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func TestFreezeConservesRecipe(t *testing.T) {
+	store := storage.NewStore()
+	h := NewHost(store)
+	im := testImage(t, platform.ReferenceConfig())
+	_ = h.AddImage(im)
+
+	if err := h.Freeze(im.ID, mid2013); err != nil {
+		t.Fatal(err)
+	}
+	if !im.Frozen {
+		t.Fatal("image not marked frozen")
+	}
+	recipe, err := h.FrozenRecipe(im.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(recipe, "compiler: gcc4.1") {
+		t.Fatalf("frozen recipe incomplete:\n%s", recipe)
+	}
+	if err := h.Freeze("nope", mid2013); err == nil {
+		t.Fatal("freezing unknown image succeeded")
+	}
+	if _, err := h.FrozenRecipe("never-frozen"); err == nil {
+		t.Fatal("recipe for unfrozen image returned")
+	}
+}
+
+func TestImagesSorted(t *testing.T) {
+	h := NewHost(storage.NewStore())
+	for _, cfg := range platform.PaperConfigs() {
+		_ = h.AddImage(testImage(t, cfg))
+	}
+	ims := h.Images()
+	if len(ims) != len(platform.PaperConfigs()) {
+		t.Fatalf("images = %d", len(ims))
+	}
+	for i := 1; i < len(ims); i++ {
+		if ims[i].Label() < ims[i-1].Label() {
+			t.Fatal("images not sorted by label")
+		}
+	}
+}
