@@ -8,11 +8,13 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/bookkeep"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cron"
 	"repro/internal/experiments"
@@ -170,20 +172,18 @@ func BenchmarkFigure3HERAMatrix(b *testing.B) {
 		}
 		exts := mustStdSet(b, sys)
 		// Baselines on the experiments' original platform, then
-		// adapt-and-validate across the remaining paper configurations.
-		for _, exp := range sys.Experiments() {
-			if _, err := sys.Validate(exp, platform.OriginalConfig(), exts, "baseline"); err != nil {
-				b.Fatal(err)
-			}
+		// adapt-and-validate across the remaining paper configurations —
+		// the standard matrix plan, executed on the concurrent campaign
+		// engine the way the sp-system's many clients worked the matrix.
+		plan := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+			platform.PaperConfigs(), []*externals.Set{exts})
+		sum, err := campaign.New(sys, runtime.NumCPU()).Run(plan)
+		if err != nil {
+			b.Fatal(err)
 		}
-		for _, cfg := range platform.PaperConfigs() {
-			if cfg == platform.OriginalConfig() {
-				continue
-			}
-			for _, exp := range sys.Experiments() {
-				if _, err := sys.MigrateExperiment(exp, cfg, exts, fmt.Sprintf("matrix %v", cfg)); err != nil {
-					b.Fatal(err)
-				}
+		for _, o := range sum.Outcomes {
+			if o.Err != nil {
+				b.Fatalf("%s %v: %v", o.Cell.Experiment, o.Cell.Config, o.Err)
 			}
 		}
 		// The paper's ">300 runs over sets of pre-defined tests": after the
@@ -223,6 +223,64 @@ func BenchmarkFigure3HERAMatrix(b *testing.B) {
 	})
 	b.ReportMetric(float64(len(cells)), "cells")
 	b.ReportMetric(float64(totalRuns), "runs")
+}
+
+// ---------------------------------------------------------------------
+// F3b — the campaign engine under parallelism: the same Figure 3 work
+// matrix executed with one worker versus one worker per CPU. The
+// bookkeeping totals (matrix cells and recorded runs) must be identical
+// — per-experiment ordering barriers preserve the serial repository
+// history — while the wall time drops with the worker count on
+// multi-core hardware.
+
+func BenchmarkCampaignParallelMatrix(b *testing.B) {
+	type totals struct{ cells, runs int }
+	runMatrix := func(b *testing.B, workers int) totals {
+		var tt totals
+		for i := 0; i < b.N; i++ {
+			sys := core.New()
+			for _, def := range experiments.All() {
+				if err := sys.RegisterExperiment(scaledDef(def, 12, 300, 10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			exts := mustStdSet(b, sys)
+			plan := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+				platform.PaperConfigs(), []*externals.Set{exts})
+			sum, err := campaign.New(sys, workers).Run(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range sum.Outcomes {
+				if o.Err != nil {
+					b.Fatalf("%s %v: %v", o.Cell.Experiment, o.Cell.Config, o.Err)
+				}
+			}
+			tt = totals{cells: len(sum.Matrix), runs: sum.TotalRuns}
+		}
+		b.ReportMetric(float64(tt.cells), "cells")
+		b.ReportMetric(float64(tt.runs), "runs")
+		return tt
+	}
+
+	var serial, parallel totals
+	b.Run("workers=1", func(b *testing.B) { serial = runMatrix(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.NumCPU()), func(b *testing.B) {
+		parallel = runMatrix(b, runtime.NumCPU())
+	})
+	// When both variants ran (no -bench sub-filter), their bookkeeping
+	// must agree exactly: parallelism may never change what was recorded.
+	if serial != (totals{}) && parallel != (totals{}) && serial != parallel {
+		b.Fatalf("bookkeeping diverged: workers=1 recorded %+v, workers=%d recorded %+v",
+			serial, runtime.NumCPU(), parallel)
+	}
+	if serial != (totals{}) && parallel != (totals{}) {
+		once("campaign-parallel", func() {
+			fmt.Println("\n=== Campaign engine: serial vs parallel matrix ===")
+			fmt.Printf("  matrix cells: %d, validation runs: %d — identical for workers=1 and workers=%d\n",
+				serial.cells, serial.runs, runtime.NumCPU())
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

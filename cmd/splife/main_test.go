@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunShortHorizon drives the full freeze-vs-migrate comparison over
+// a shortened horizon — the command's single main path.
+func TestRunShortHorizon(t *testing.T) {
+	if err := run(2017, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(1.0); got != "##########" {
+		t.Fatalf("bar(1.0) = %q", got)
+	}
+	if got := bar(0); got != "" {
+		t.Fatalf("bar(0) = %q", got)
+	}
+}

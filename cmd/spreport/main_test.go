@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+)
+
+// writeSnapshot produces a small real storage snapshot the way
+// `spsys campaign -save` would: one validated experiment.
+func writeSnapshot(t *testing.T, path string) {
+	t.Helper()
+	sys := core.New()
+	def := experiments.H1()
+	def.RepoSpec.Packages = 10
+	def.ChainEvents = 200
+	def.StandaloneTests = 5
+	if err := sys.RegisterExperiment(def); err != nil {
+		t.Fatal(err)
+	}
+	exts, err := experiments.StandardSet(sys.Catalogue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Validate("H1", platform.ReferenceConfig(), exts, "snapshot fixture"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := sys.Store.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegeneratesSite(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "campaign.json")
+	writeSnapshot(t, snap)
+
+	out := filepath.Join(dir, "site")
+	if err := run(snap, out, "test status"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
+		t.Fatalf("index.html not written: %v", err)
+	}
+}
+
+func TestRunRequiresSnapshot(t *testing.T) {
+	if err := run("", t.TempDir(), "t"); err == nil {
+		t.Fatal("missing -snapshot accepted")
+	}
+}
+
+func TestRunRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(snap, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(snap, filepath.Join(dir, "site"), "t"); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	spsys campaign  [-quick] [-save FILE]    run the full Figure 3 campaign
+//	spsys campaign  [-quick] [-workers N] [-save FILE]   run the full Figure 3 campaign
 //	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
 //	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
 //	spsys matrix    [-save FILE]             print the status matrix
@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/bookkeep"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/externals"
@@ -119,6 +121,7 @@ func runCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "scale workloads down for a fast demonstration")
 	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent campaign workers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,42 +134,49 @@ func runCampaign(args []string) error {
 		return err
 	}
 
-	// Phase 1: baseline capture on the experiments' original platform.
-	for _, exp := range sys.Experiments() {
-		rec, err := sys.Validate(exp, platform.OriginalConfig(), exts, "baseline capture")
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-7s baseline %s: passed=%t jobs=%d\n", exp, rec.RunID, rec.Passed(), len(rec.Jobs))
-	}
-
-	// Phase 2: adapt-and-validate across the remaining paper configs.
-	for _, cfg := range platform.PaperConfigs() {
-		if cfg == platform.OriginalConfig() {
-			continue
-		}
-		for _, exp := range sys.Experiments() {
-			rep, err := sys.MigrateExperiment(exp, cfg, exts, fmt.Sprintf("campaign %v", cfg))
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-7s %v: converged=%t iterations=%d interventions=%d\n",
-				exp, cfg, rep.Succeeded, len(rep.Iterations), rep.TotalInterventions())
-		}
-	}
-
-	cells, err := sys.Matrix()
+	// The full matrix — baseline captures on the experiments' original
+	// platform, then adapt-and-validate migrations across the remaining
+	// paper configurations — executed on the concurrent campaign engine.
+	plan := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+		platform.PaperConfigs(), []*externals.Set{exts})
+	fmt.Printf("campaign: %d cells on %d workers\n", len(plan), *workers)
+	sum, err := campaign.New(sys, *workers).Run(plan)
 	if err != nil {
 		return err
 	}
+	var cellErrs int
+	for _, o := range sum.Outcomes {
+		switch {
+		case o.Err != nil:
+			cellErrs++
+			fmt.Printf("%-7s %v: error: %v\n", o.Cell.Experiment, o.Cell.Config, o.Err)
+		case o.Cell.Mode == campaign.ModeMigrate:
+			fmt.Printf("%-7s %v: converged=%t iterations=%d interventions=%d\n",
+				o.Cell.Experiment, o.Cell.Config, o.Passed, len(o.Report.Iterations),
+				o.Report.TotalInterventions())
+		default:
+			fmt.Printf("%-7s baseline %s: passed=%t jobs=%d\n",
+				o.Cell.Experiment, o.RunID, o.Passed, len(o.Record.Jobs))
+		}
+	}
+
 	fmt.Println()
-	fmt.Print(report.TextMatrix(cells))
-	fmt.Printf("\ntotal validation runs: %d\n", sys.Book.TotalRuns())
+	fmt.Print(report.TextMatrix(sum.Matrix))
+	fmt.Printf("\ntotal validation runs: %d (%d from this campaign, %d cells failed)\n",
+		sum.TotalRuns, sum.CampaignRuns(), sum.Failed())
 
 	if _, err := sys.PublishReports("sp-system validation status"); err != nil {
 		return err
 	}
-	return saveSnapshot(sys, *save)
+	if err := saveSnapshot(sys, *save); err != nil {
+		return err
+	}
+	// A cell that could not execute at all is a command failure, matching
+	// the serial loop's behaviour (a failing-but-recorded run is not).
+	if cellErrs > 0 {
+		return fmt.Errorf("%d campaign cells failed to execute", cellErrs)
+	}
+	return nil
 }
 
 func runValidate(args []string) error {

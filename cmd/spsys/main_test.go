@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The smoke tests drive each spsys subcommand through its real
+// entrypoint (the same function main dispatches to), at -quick scale.
+
+func TestCampaignCommand(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "campaign.json")
+	if err := runCampaign([]string{"-quick", "-workers", "2", "-save", snap}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("snapshot is empty")
+	}
+}
+
+func TestCampaignCommandSerialWorker(t *testing.T) {
+	if err := runCampaign([]string{"-quick", "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCommand(t *testing.T) {
+	err := runValidate([]string{"-quick", "-experiment", "H1", "-config", "SL5/64bit gcc4.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCommandRejectsBadConfig(t *testing.T) {
+	if err := runValidate([]string{"-quick", "-config", "not-a-config"}); err == nil {
+		t.Fatal("malformed config accepted")
+	}
+}
+
+func TestMigrateCommand(t *testing.T) {
+	err := runMigrate([]string{"-quick", "-experiment", "H1", "-config", "SL6/64bit gcc4.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixCommand(t *testing.T) {
+	if err := runMatrix(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunsCommand(t *testing.T) {
+	if err := runRuns(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryCommand(t *testing.T) {
+	if err := runHistory([]string{"-experiment", "H1"}); err != nil {
+		t.Fatal(err)
+	}
+}

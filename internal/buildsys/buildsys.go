@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/externals"
@@ -163,7 +164,11 @@ func (r *Result) Find(name string) (*PackageResult, bool) {
 }
 
 // Builder compiles repositories. The zero value is not usable; create
-// one with NewBuilder.
+// one with NewBuilder. A Builder is safe for concurrent use: the
+// underlying store is thread-safe, and concurrent Build calls with
+// identical inputs (same repository revision, configuration and
+// externals) are coalesced — one worker compiles, the rest wait and
+// share its result rather than rebuilding.
 type Builder struct {
 	reg   *platform.Registry
 	store *storage.Store
@@ -172,21 +177,83 @@ type Builder struct {
 	UseCache bool
 	// compileSpeed is simulated lines compiled per second.
 	compileSpeed float64
+
+	// inflight coalesces concurrent identical builds (singleflight).
+	mu        sync.Mutex
+	inflight  map[string]*buildCall
+	dedupHits int64
+}
+
+// buildCall is one in-flight Build shared by duplicate concurrent calls.
+type buildCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // NewBuilder returns a Builder writing artifacts to the given store.
 func NewBuilder(reg *platform.Registry, store *storage.Store) *Builder {
-	return &Builder{reg: reg, store: store, UseCache: true, compileSpeed: 20000}
+	return &Builder{
+		reg: reg, store: store, UseCache: true, compileSpeed: 20000,
+		inflight: make(map[string]*buildCall),
+	}
 }
 
 // artifactNS is the storage namespace holding build tarballs.
 const artifactNS = "artifacts"
 
+// DedupHits reports how many Build calls were answered by waiting on an
+// identical concurrent build instead of compiling.
+func (b *Builder) DedupHits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dedupHits
+}
+
+// buildKey identifies a build for concurrent deduplication: repository
+// identity and revision, configuration and externals. Two Validate calls
+// racing on the same cell compile once.
+func buildKey(repo *swrepo.Repository, cfg platform.Config, exts *externals.Set) string {
+	return fmt.Sprintf("%p@%d|%s|%s", repo, repo.Revision, cfg.Key(), exts.Key())
+}
+
 // Build compiles the repository on the configuration against the
 // externals, in dependency order. It returns an error only for
 // invalid inputs (unknown platform, cyclic repository); compile failures
 // are reported in the Result.
+//
+// Concurrent Build calls with the same repository revision,
+// configuration and externals share a single compilation; sequential
+// repeat builds still re-walk the repository and hit the per-package
+// tar-ball cache instead (StatusCached), preserving the cache ablation's
+// cold/warm distinction.
 func (b *Builder) Build(repo *swrepo.Repository, cfg platform.Config, exts *externals.Set) (*Result, error) {
+	key := buildKey(repo, cfg, exts)
+	b.mu.Lock()
+	if b.inflight == nil {
+		b.inflight = make(map[string]*buildCall)
+	}
+	if c, ok := b.inflight[key]; ok {
+		b.dedupHits++
+		b.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &buildCall{done: make(chan struct{})}
+	b.inflight[key] = c
+	b.mu.Unlock()
+
+	c.res, c.err = b.build(repo, cfg, exts)
+
+	b.mu.Lock()
+	delete(b.inflight, key)
+	b.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}
+
+// build performs the actual compilation walk.
+func (b *Builder) build(repo *swrepo.Repository, cfg platform.Config, exts *externals.Set) (*Result, error) {
 	if err := cfg.Validate(b.reg); err != nil {
 		return nil, fmt.Errorf("buildsys: %w", err)
 	}

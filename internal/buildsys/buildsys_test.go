@@ -2,7 +2,9 @@ package buildsys
 
 import (
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/externals"
 	"repro/internal/platform"
@@ -45,6 +47,22 @@ func cleanPackage(name string, deps ...string) *swrepo.Package {
 }
 
 func sl5ref() platform.Config { return platform.ReferenceConfig() }
+
+// genRepo generates a clean repository of n packages for concurrency
+// tests (no legacy code or defects, so builds succeed everywhere).
+func genRepo(t *testing.T, n int) *swrepo.Repository {
+	t.Helper()
+	spec := swrepo.DefaultSpec("H1")
+	spec.Packages = n
+	spec.LegacyFraction = 0
+	spec.DefectRate = 0
+	spec.SensitiveFraction = 0
+	repo, err := swrepo.Generate(spec, simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
 
 func sl6() platform.Config {
 	return platform.Config{OS: "SL6", Arch: platform.X8664, Compiler: "gcc4.4"}
@@ -330,5 +348,110 @@ func TestDiagnosticMessagesNameThePackage(t *testing.T) {
 	pr, _ := res.Find("legacy")
 	if len(pr.Diagnostics) == 0 || !strings.Contains(pr.Diagnostics[0].Message, "legacy") {
 		t.Fatalf("diagnostics = %+v", pr.Diagnostics)
+	}
+}
+
+// TestConcurrentIdenticalBuildsCoalesce checks the singleflight layer:
+// many workers asking for the same (repository revision, configuration,
+// externals) build must share one compilation instead of each paying for
+// it. Run with -race.
+func TestConcurrentIdenticalBuildsCoalesce(t *testing.T) {
+	b, cat, _ := fixture(t)
+	exts := root534Set(t, cat)
+	repo := genRepo(t, 30)
+
+	// Pre-register the in-flight call so every worker is guaranteed to
+	// arrive while the build is "running" — this makes the coalescing
+	// deterministic instead of depending on scheduler interleaving.
+	key := buildKey(repo, platform.ReferenceConfig(), exts)
+	c := &buildCall{done: make(chan struct{})}
+	b.mu.Lock()
+	b.inflight[key] = c
+	b.mu.Unlock()
+
+	const workers = 8
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := b.Build(repo, platform.ReferenceConfig(), exts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = res
+		}(w)
+	}
+	// Wait until every worker has joined the in-flight call, then let the
+	// one real compilation complete.
+	for b.DedupHits() < workers {
+		time.Sleep(time.Millisecond)
+	}
+	res0, err := b.build(repo, platform.ReferenceConfig(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.res = res0
+	b.mu.Lock()
+	delete(b.inflight, key)
+	b.mu.Unlock()
+	close(c.done)
+	wg.Wait()
+
+	for _, res := range results {
+		if res != res0 {
+			t.Fatal("a worker did not share the coalesced build result")
+		}
+		if !res.Succeeded() {
+			t.Fatal("the coalesced build failed")
+		}
+	}
+	if hits := b.DedupHits(); hits != workers {
+		t.Fatalf("DedupHits = %d, want %d", hits, workers)
+	}
+	// A sequential rebuild afterwards is a fresh walk that hits the
+	// per-package tar-ball cache, not the singleflight.
+	res, err := b.Build(repo, platform.ReferenceConfig(), exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, cached := res.Counts()
+	if cached != len(res.Packages) {
+		t.Fatalf("sequential rebuild: %d/%d packages cached", cached, len(res.Packages))
+	}
+}
+
+// TestConcurrentDistinctBuildsDoNotCoalesce makes sure different
+// configurations never share a result.
+func TestConcurrentDistinctBuildsDoNotCoalesce(t *testing.T) {
+	b, cat, _ := fixture(t)
+	exts := root534Set(t, cat)
+	repo := genRepo(t, 10)
+
+	cfgs := platform.PaperConfigs()
+	results := make([]*Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg platform.Config) {
+			defer wg.Done()
+			res, err := b.Build(repo, cfg, exts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("build %d missing", i)
+		}
+		if res.Config != cfgs[i] {
+			t.Fatalf("build %d got config %v, want %v", i, res.Config, cfgs[i])
+		}
 	}
 }

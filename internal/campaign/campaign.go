@@ -1,0 +1,282 @@
+// Package campaign is the concurrent campaign engine of the sp-system:
+// it executes a work matrix of validation cells — experiments × platform
+// configurations × external software sets — on a bounded worker pool and
+// aggregates the per-cell outcomes into the bookkeeping matrix. This is
+// how the paper's ">300 validation runs" campaign actually ran: many
+// client machines working the matrix at once against one common storage,
+// not one client grinding through it serially.
+//
+// # Worker-pool design
+//
+// Every cell becomes one job. Jobs start in submission order, run on at
+// most Workers goroutines, and publish their outcome at their cell's
+// index, so results are deterministic regardless of scheduling.
+//
+// Cells of *different* experiments never share mutable state — the
+// store, runner, builder and clock are all thread-safe — so they run
+// fully in parallel. Within one experiment the engine inserts ordering
+// barriers: a migration cell mutates the experiment's software
+// repository (interventions are source patches), so it waits for every
+// earlier cell of that experiment and blocks every later one. Validation
+// cells between two barriers only read the repository and therefore run
+// concurrently with each other. The result is exactly the serial
+// campaign's per-experiment history — same repository state before each
+// migration, hence the same iterations, runs and matrix totals — with
+// all the parallelism that is actually safe.
+//
+// # Build deduplication
+//
+// Concurrent cells frequently demand the same build (same repository
+// revision, configuration and externals): every standalone-test client
+// of an experiment needs the identical tar-balls. The builder
+// (internal/buildsys) coalesces identical concurrent builds in a
+// singleflight layer, so one worker compiles and the rest share its
+// result; the engine simply rides on that. Run and job IDs stay unique
+// under this parallelism because the ID counters are incremented
+// atomically inside the common storage itself (storage.Increment).
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bookkeep"
+	"repro/internal/core"
+	"repro/internal/externals"
+	"repro/internal/migrate"
+	"repro/internal/platform"
+	"repro/internal/runner"
+)
+
+// Mode selects what a cell does.
+type Mode int
+
+const (
+	// ModeValidate runs one full validation (build + suite) of the cell.
+	ModeValidate Mode = iota
+	// ModeMigrate runs an adapt-and-validate migration campaign to the
+	// cell's configuration, applying source interventions until the
+	// suite is green or the iteration budget is exhausted.
+	ModeMigrate
+)
+
+// String returns "validate" or "migrate".
+func (m Mode) String() string {
+	if m == ModeMigrate {
+		return "migrate"
+	}
+	return "validate"
+}
+
+// Cell is one unit of campaign work: an experiment on a platform
+// configuration with an externals set.
+type Cell struct {
+	Experiment string
+	Config     platform.Config
+	Externals  *externals.Set
+	Mode       Mode
+	// Tag describes the cell's runs in the bookkeeping.
+	Tag string
+}
+
+// Outcome is the recorded result of one cell.
+type Outcome struct {
+	Cell Cell
+	// RunID is the cell's final validation run.
+	RunID string
+	// Passed reports a green validation or a converged migration.
+	Passed bool
+	// Runs counts the validation runs the cell produced (a migration
+	// produces one per iteration).
+	Runs int
+	// Record is the run record (ModeValidate).
+	Record *runner.RunRecord
+	// Report is the migration report (ModeMigrate).
+	Report *migrate.Report
+	// Err is set when the cell could not execute at all (unknown
+	// experiment, invalid configuration); a failing-but-recorded run is
+	// not an error.
+	Err error
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	// Outcomes holds one entry per submitted cell, in submission order.
+	Outcomes []Outcome
+	// Matrix is the bookkeeping status matrix after the campaign — the
+	// paper's Figure 3 aggregation over the common storage.
+	Matrix []bookkeep.Cell
+	// TotalRuns is the number of validation runs recorded in the
+	// bookkeeping after the campaign (including any pre-existing runs).
+	TotalRuns int
+}
+
+// CampaignRuns sums the validation runs produced by this campaign's
+// cells alone.
+func (s *Summary) CampaignRuns() int {
+	n := 0
+	for _, o := range s.Outcomes {
+		n += o.Runs
+	}
+	return n
+}
+
+// Failed counts cells that errored or did not end green.
+func (s *Summary) Failed() int {
+	n := 0
+	for _, o := range s.Outcomes {
+		if o.Err != nil || !o.Passed {
+			n++
+		}
+	}
+	return n
+}
+
+// Engine executes campaigns against one sp-system instance.
+type Engine struct {
+	sys *core.SPSystem
+	// Workers bounds cell parallelism; values below 1 mean 1.
+	Workers int
+}
+
+// New returns an Engine over the system with the given worker count.
+func New(sys *core.SPSystem, workers int) *Engine {
+	return &Engine{sys: sys, Workers: workers}
+}
+
+// Run executes every cell and returns the aggregated summary. Cell
+// failures are reported per-outcome, not as an error: a broken cell is a
+// meaningful campaign result. The returned error covers only systemic
+// problems (no system, or the final matrix aggregation failing).
+func (e *Engine) Run(cells []Cell) (*Summary, error) {
+	if e.sys == nil {
+		return nil, fmt.Errorf("campaign: engine has no system")
+	}
+	workers := e.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	outcomes := make([]Outcome, len(cells))
+	done := make([]chan struct{}, len(cells))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	deps := dependencies(cells)
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(done[i])
+			for _, d := range deps[i] {
+				<-done[d]
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] = e.runCell(cells[i])
+		}(i)
+	}
+	wg.Wait()
+
+	matrix, err := e.sys.Matrix()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: aggregating matrix: %w", err)
+	}
+	return &Summary{
+		Outcomes:  outcomes,
+		Matrix:    matrix,
+		TotalRuns: e.sys.Book.TotalRuns(),
+	}, nil
+}
+
+// dependencies computes the per-experiment ordering barriers: a
+// migration depends on every earlier same-experiment cell and becomes
+// the barrier for every later one; a validation depends only on the
+// latest barrier before it.
+func dependencies(cells []Cell) [][]int {
+	deps := make([][]int, len(cells))
+	lastBarrier := make(map[string]int)
+	sinceBarrier := make(map[string][]int)
+	for i, c := range cells {
+		if b, ok := lastBarrier[c.Experiment]; ok {
+			deps[i] = append(deps[i], b)
+		}
+		if c.Mode == ModeMigrate {
+			deps[i] = append(deps[i], sinceBarrier[c.Experiment]...)
+			lastBarrier[c.Experiment] = i
+			sinceBarrier[c.Experiment] = nil
+		} else {
+			sinceBarrier[c.Experiment] = append(sinceBarrier[c.Experiment], i)
+		}
+	}
+	return deps
+}
+
+// runCell executes one cell.
+func (e *Engine) runCell(c Cell) Outcome {
+	out := Outcome{Cell: c}
+	tag := c.Tag
+	if tag == "" {
+		tag = fmt.Sprintf("campaign %s %s on %v", c.Mode, c.Experiment, c.Config)
+	}
+	switch c.Mode {
+	case ModeMigrate:
+		rep, err := e.sys.MigrateExperiment(c.Experiment, c.Config, c.Externals, tag)
+		if err != nil {
+			out.Err = err
+			if rep != nil {
+				out.Report = rep
+				out.RunID = rep.FinalRunID
+				out.Runs = len(rep.Iterations)
+			}
+			return out
+		}
+		out.Report = rep
+		out.RunID = rep.FinalRunID
+		out.Runs = len(rep.Iterations)
+		out.Passed = rep.Succeeded
+	default:
+		rec, err := e.sys.Validate(c.Experiment, c.Config, c.Externals, tag)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		out.Record = rec
+		out.RunID = rec.RunID
+		out.Runs = 1
+		out.Passed = rec.Passed()
+	}
+	return out
+}
+
+// MatrixPlan builds the standard campaign work matrix over experiments ×
+// configurations × externals sets: for every externals set, a baseline
+// validation of each experiment on the baseline configuration, then an
+// adapt-and-validate migration of each experiment to every other
+// configuration. This is the cell structure behind the paper's Figure 3.
+func MatrixPlan(exps []string, baseline platform.Config, configs []platform.Config, extSets []*externals.Set) []Cell {
+	var cells []Cell
+	for _, exts := range extSets {
+		for _, exp := range exps {
+			cells = append(cells, Cell{
+				Experiment: exp, Config: baseline, Externals: exts,
+				Mode: ModeValidate, Tag: "baseline",
+			})
+		}
+		for _, cfg := range configs {
+			if cfg == baseline {
+				continue
+			}
+			for _, exp := range exps {
+				cells = append(cells, Cell{
+					Experiment: exp, Config: cfg, Externals: exts,
+					Mode: ModeMigrate, Tag: fmt.Sprintf("matrix %v", cfg),
+				})
+			}
+		}
+	}
+	return cells
+}

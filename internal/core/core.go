@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bookkeep"
@@ -75,6 +76,7 @@ type SPSystem struct {
 	// Docs is the level 1 documentation archive (Table 1).
 	Docs *docsys.Archive
 
+	mu   sync.RWMutex
 	exps map[string]*ExperimentState
 }
 
@@ -110,7 +112,12 @@ func NewWithRegistry(reg *platform.Registry) *SPSystem {
 // RegisterExperiment generates the experiment's software repository and
 // validation suite and adds it to the system.
 func (s *SPSystem) RegisterExperiment(def experiments.Definition) error {
-	if _, dup := s.exps[def.Name]; dup {
+	// Cheap pre-check before the expensive generation; the authoritative
+	// check below runs under the write lock.
+	s.mu.RLock()
+	_, dup := s.exps[def.Name]
+	s.mu.RUnlock()
+	if dup {
 		return fmt.Errorf("core: experiment %q already registered", def.Name)
 	}
 	repo, err := swrepo.Generate(def.RepoSpec, simrand.New(def.Seed))
@@ -121,13 +128,20 @@ func (s *SPSystem) RegisterExperiment(def experiments.Definition) error {
 	if err != nil {
 		return fmt.Errorf("core: building %s suite: %w", def.Name, err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.exps[def.Name]; dup {
+		return fmt.Errorf("core: experiment %q already registered", def.Name)
+	}
 	s.exps[def.Name] = &ExperimentState{Def: def, Repo: repo, Suite: suite}
 	return nil
 }
 
 // Experiment returns a registered experiment's state.
 func (s *SPSystem) Experiment(name string) (*ExperimentState, error) {
+	s.mu.RLock()
 	st, ok := s.exps[name]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: experiment %q not registered", name)
 	}
@@ -136,10 +150,12 @@ func (s *SPSystem) Experiment(name string) (*ExperimentState, error) {
 
 // Experiments returns registered experiment names, sorted.
 func (s *SPSystem) Experiments() []string {
+	s.mu.RLock()
 	out := make([]string, 0, len(s.exps))
 	for name := range s.exps {
 		out = append(out, name)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -189,6 +205,14 @@ func (s *SPSystem) context(st *ExperimentState, cfg platform.Config, exts *exter
 // "regular build of the experimental software ... according to the
 // current prescription of the working environment" plus its validation
 // tests.
+//
+// Validate is safe to call concurrently: the store, runner, builder and
+// clock are all thread-safe, and identical concurrent builds are
+// deduplicated by the builder. The one caveat is MigrateExperiment,
+// which mutates the experiment's software repository between runs —
+// callers running a mixed workload must order same-experiment work so a
+// migration never overlaps other runs of that experiment (the campaign
+// engine in internal/campaign does exactly this).
 func (s *SPSystem) Validate(experiment string, cfg platform.Config, exts *externals.Set, tag string) (*runner.RunRecord, error) {
 	st, err := s.Experiment(experiment)
 	if err != nil {

@@ -101,15 +101,14 @@ const (
 	metaNS = "meta"
 )
 
-// Runner executes suites. It is safe for concurrent use, though runs are
-// internally ordered.
+// Runner executes suites. It is safe for concurrent use: any number of
+// goroutines (or Runner instances sharing a store) may call Run at once,
+// and every run and job still receives a unique ID.
 type Runner struct {
 	store *storage.Store
 	clock *simclock.Clock
 	// Workers bounds standalone-test parallelism.
 	Workers int
-
-	mu sync.Mutex
 }
 
 // New returns a Runner recording into the given store and stamping times
@@ -118,21 +117,14 @@ func New(store *storage.Store, clock *simclock.Clock) *Runner {
 	return &Runner{store: store, clock: clock, Workers: 4}
 }
 
-// nextSeq atomically increments a named persistent counter, so IDs stay
-// unique across Runner instances sharing a store.
+// nextSeq increments a named persistent counter. The increment is atomic
+// inside the store itself, so IDs stay unique across concurrent runs and
+// across Runner instances sharing a store — a Runner-local mutex could
+// not give the second guarantee.
 func (rn *Runner) nextSeq(name string) (int, error) {
-	rn.mu.Lock()
-	defer rn.mu.Unlock()
-	n := 0
-	if data, err := rn.store.Get(metaNS, name); err == nil {
-		if err := json.Unmarshal(data, &n); err != nil {
-			return 0, fmt.Errorf("runner: corrupt counter %s: %w", name, err)
-		}
-	}
-	n++
-	data, _ := json.Marshal(n)
-	if _, err := rn.store.Put(metaNS, name, data); err != nil {
-		return 0, err
+	n, err := rn.store.Increment(metaNS, name)
+	if err != nil {
+		return 0, fmt.Errorf("runner: counter %s: %w", name, err)
 	}
 	return n, nil
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -282,5 +283,65 @@ func TestRunRejectsCyclicSuite(t *testing.T) {
 	suite.MustAdd(passTest("b", valtest.CatChain, 0, "a"))
 	if _, err := rn.Run(suite, baseContext(store), ""); err == nil {
 		t.Fatal("cyclic suite accepted")
+	}
+}
+
+// TestConcurrentRunsMintUniqueIDs exercises the paper's many-clients
+// scenario: several Runner instances sharing one common storage execute
+// runs concurrently, and every run and job ID must still be unique.
+// Run with -race: the ID counters live in the store and are incremented
+// atomically there.
+func TestConcurrentRunsMintUniqueIDs(t *testing.T) {
+	store := storage.NewStore()
+	clock := simclock.New()
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(passTest("a", valtest.CatStandalone, time.Second))
+	suite.MustAdd(passTest("b", valtest.CatStandalone, time.Second))
+	suite.MustAdd(passTest("c", valtest.CatChain, time.Second, "a"))
+
+	const clients, runsPer = 8, 5
+	recs := make([][]*RunRecord, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rn := New(store, clock) // each client has its own Runner
+			for i := 0; i < runsPer; i++ {
+				rec, err := rn.Run(suite, baseContext(store), "concurrent")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				recs[c] = append(recs[c], rec)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	runIDs := make(map[string]bool)
+	jobIDs := make(map[string]bool)
+	for _, client := range recs {
+		for _, rec := range client {
+			if runIDs[rec.RunID] {
+				t.Fatalf("duplicate run ID %s", rec.RunID)
+			}
+			runIDs[rec.RunID] = true
+			for _, j := range rec.Jobs {
+				if jobIDs[j.JobID] {
+					t.Fatalf("duplicate job ID %s", j.JobID)
+				}
+				jobIDs[j.JobID] = true
+			}
+		}
+	}
+	if want := clients * runsPer; len(runIDs) != want {
+		t.Fatalf("recorded %d runs, want %d", len(runIDs), want)
+	}
+	if want := clients * runsPer * 3; len(jobIDs) != want {
+		t.Fatalf("recorded %d jobs, want %d", len(jobIDs), want)
+	}
+	if got := len(ListRuns(store)); got != clients*runsPer {
+		t.Fatalf("store holds %d runs, want %d", got, clients*runsPer)
 	}
 }

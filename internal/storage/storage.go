@@ -44,10 +44,16 @@ func NewStore() *Store {
 // PutBlob stores content and returns its SHA-256 hash. Storing the same
 // content twice is free.
 func (s *Store) PutBlob(data []byte) string {
-	sum := sha256.Sum256(data)
-	hash := hex.EncodeToString(sum[:])
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.putBlobLocked(data)
+}
+
+// putBlobLocked inserts a blob (copying the caller's slice) and returns
+// its hash. The caller must hold s.mu.
+func (s *Store) putBlobLocked(data []byte) string {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
 	if _, ok := s.blobs[hash]; !ok {
 		cp := make([]byte, len(data))
 		copy(cp, data)
@@ -130,6 +136,33 @@ func (s *Store) Get(ns, key string) ([]byte, error) {
 		return nil, fmt.Errorf("storage: no entry %s", nk)
 	}
 	return s.GetBlob(hash)
+}
+
+// Increment atomically increments the integer counter bound to
+// namespace/key and returns the new value. A missing binding counts from
+// zero. The read-modify-write happens under the store's write lock, so
+// concurrent increments — from any number of clients sharing the store —
+// never observe the same value twice. The counter is stored as JSON, so
+// it remains readable with Get and survives Snapshot/Restore.
+func (s *Store) Increment(ns, key string) (int, error) {
+	nk, err := nameKey(ns, key)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if hash, ok := s.names[nk]; ok {
+		if data, ok := s.blobs[hash]; ok {
+			if err := json.Unmarshal(data, &n); err != nil {
+				return 0, fmt.Errorf("storage: counter %s is not an integer: %w", nk, err)
+			}
+		}
+	}
+	n++
+	data, _ := json.Marshal(n)
+	s.names[nk] = s.putBlobLocked(data)
+	return n, nil
 }
 
 // Hash returns the blob hash bound to namespace/key without fetching the

@@ -239,3 +239,71 @@ func TestPutGetProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIncrementSequential(t *testing.T) {
+	s := NewStore()
+	for want := 1; want <= 5; want++ {
+		n, err := s.Increment("meta", "seq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("Increment = %d, want %d", n, want)
+		}
+	}
+	// The counter stays readable as plain JSON through Get.
+	data, err := s.Get("meta", "seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "5" {
+		t.Fatalf("stored counter = %q, want \"5\"", data)
+	}
+}
+
+func TestIncrementRejectsNonCounter(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Put("meta", "seq", []byte("not a number")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Increment("meta", "seq"); err == nil {
+		t.Fatal("Increment over non-integer binding succeeded")
+	}
+	if _, err := s.Increment("", "seq"); err == nil {
+		t.Fatal("Increment with empty namespace succeeded")
+	}
+}
+
+func TestIncrementConcurrent(t *testing.T) {
+	s := NewStore()
+	const goroutines, perG = 16, 50
+	var wg sync.WaitGroup
+	values := make([][]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n, err := s.Increment("meta", "seq")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				values[g] = append(values[g], n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int]bool)
+	for _, vs := range values {
+		for _, n := range vs {
+			if seen[n] {
+				t.Fatalf("value %d handed out twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d distinct values, want %d", len(seen), goroutines*perG)
+	}
+}
