@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/storage"
 	"repro/internal/valtest"
 	"repro/internal/vmhost"
 )
@@ -281,6 +283,62 @@ func BenchmarkCampaignParallelMatrix(b *testing.B) {
 				serial.cells, serial.runs, runtime.NumCPU())
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// F3c — the storage axis of the Figure 3 matrix: the identical campaign
+// recorded through the in-memory backend versus the durable on-disk
+// content-addressed backend. Durability is the paper's core requirement
+// ("all scripts and input files ... as well as all output files are
+// kept"), and this benchmark prices it: the perf trajectory gains a
+// storage dimension alongside the worker-count one.
+
+func BenchmarkStoreBackends(b *testing.B) {
+	runMatrix := func(b *testing.B, open func() (*storage.Store, error)) {
+		var st storage.Stats
+		for i := 0; i < b.N; i++ {
+			store, err := open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := core.NewWith(store, platform.NewRegistry())
+			for _, def := range experiments.All() {
+				if err := sys.RegisterExperiment(scaledDef(def, 12, 300, 10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			exts := mustStdSet(b, sys)
+			plan := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+				platform.PaperConfigs(), []*externals.Set{exts})
+			sum, err := campaign.New(sys, runtime.NumCPU()).Run(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range sum.Outcomes {
+				if o.Err != nil {
+					b.Fatalf("%s %v: %v", o.Cell.Experiment, o.Cell.Config, o.Err)
+				}
+			}
+			st = store.Stats()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Blobs), "blobs")
+		b.ReportMetric(float64(st.Bytes), "storedBytes")
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		runMatrix(b, func() (*storage.Store, error) { return storage.NewStore(), nil })
+	})
+	b.Run("disk", func(b *testing.B) {
+		root := b.TempDir()
+		n := 0
+		runMatrix(b, func() (*storage.Store, error) {
+			n++
+			return storage.Open(filepath.Join(root, fmt.Sprintf("iter-%04d", n)))
+		})
+	})
 }
 
 // ---------------------------------------------------------------------

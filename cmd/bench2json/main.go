@@ -1,0 +1,111 @@
+// Command bench2json converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON document (written to stdout), so
+// CI can archive every benchmark run as an artifact and the perf
+// trajectory accumulates comparable data points instead of log files.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 3x . | bench2json > BENCH_ci.json
+//
+// Benchmark result lines ("BenchmarkX-8  3  123 ns/op  4 B/op ...") are
+// parsed into name/iterations/metrics records, including any custom
+// metrics reported with b.ReportMetric; goos/goarch/pkg/cpu header
+// lines become document metadata; everything else (the artifact text
+// the repository's benchmarks print) is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkStoreBackends/disk-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op" -> 123456, including
+	// custom metrics from b.ReportMetric.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the JSON shape bench2json emits.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test bench output and collects header metadata and
+// benchmark result lines.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResult(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseResult parses one benchmark result line: a name field, an
+// iteration count, then (value, unit) pairs.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = val
+	}
+	return res, true
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+
+=== Figure 3: HERA validation summary matrix ===
+          SL5/32 gcc4.1  SL6/64 gcc4.4
+H1        OK             OK
+
+BenchmarkFigure3HERAMatrix-8   	       3	 552131933 ns/op	        15.00 cells	       327.0 runs
+BenchmarkStoreBackends/memory-8        1	 134460935 ns/op	      1398 blobs	   1117272 storedBytes
+BenchmarkStoreBackends/disk-8          1	 671933872 ns/op	      1398 blobs	   1117272 storedBytes
+PASS
+ok  	repro	4.938s
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("metadata = %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	f3 := doc.Benchmarks[0]
+	if f3.Name != "BenchmarkFigure3HERAMatrix-8" || f3.Iterations != 3 {
+		t.Fatalf("first result = %+v", f3)
+	}
+	if f3.Metrics["ns/op"] != 552131933 || f3.Metrics["cells"] != 15 || f3.Metrics["runs"] != 327 {
+		t.Fatalf("metrics = %v", f3.Metrics)
+	}
+	disk := doc.Benchmarks[2]
+	if disk.Name != "BenchmarkStoreBackends/disk-8" {
+		t.Fatalf("third result = %+v", disk)
+	}
+	if disk.Metrics["blobs"] != 1398 {
+		t.Fatalf("disk metrics = %v", disk.Metrics)
+	}
+}
+
+func TestParseIgnoresArtifactText(t *testing.T) {
+	doc, err := parse(strings.NewReader("random line\nBenchmark garbage\nnot even close\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v, want none", doc.Benchmarks)
+	}
+}
+
+func TestParseRejectsMalformedPairs(t *testing.T) {
+	// Odd field count and non-numeric values must be skipped, not crash.
+	doc, err := parse(strings.NewReader("BenchmarkX-8 2 100 ns/op trailing\nBenchmarkY-8 two 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v, want none", doc.Benchmarks)
+	}
+}

@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	splife [-end 2030] [-grace 4]
+//	splife [-end 2030] [-grace 4] [-store DIR]
+//
+// With -store DIR the study's validation runs are recorded onto the
+// durable on-disk common storage at DIR (shared with spsys/spreport)
+// instead of process memory.
 package main
 
 import (
@@ -21,23 +25,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lifetime"
+	"repro/internal/storage"
 	"repro/internal/swrepo"
 )
 
 func main() {
 	endYear := flag.Int("end", 2030, "horizon end year")
 	grace := flag.Float64("grace", 4, "years a frozen platform stays usable past vendor EOL")
+	storeDir := flag.String("store", "", "directory of the durable on-disk common storage (default: in-memory)")
 	flag.Parse()
 
-	if err := run(*endYear, *grace); err != nil {
+	if err := run(*endYear, *grace, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "splife:", err)
 		os.Exit(1)
 	}
 }
 
-func run(endYear int, grace float64) error {
+func run(endYear int, grace float64, storeDir string) (err error) {
 	reg := lifetime.ExtendedRegistry()
-	sys := core.NewWithRegistry(reg)
+	store, err := storage.OpenOrMemory(storeDir)
+	if err != nil {
+		return err
+	}
+	// Close performs the disk backend's final journal sync; its failure
+	// means the recorded runs may not be durable and must surface.
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	sys := core.NewWith(store, reg)
 
 	def := experiments.H1()
 	def.RepoSpec.Packages = 20 // scaled for a fast CLI run

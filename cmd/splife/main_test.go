@@ -1,12 +1,33 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
 
 // TestRunShortHorizon drives the full freeze-vs-migrate comparison over
 // a shortened horizon — the command's single main path.
 func TestRunShortHorizon(t *testing.T) {
-	if err := run(2017, 2); err != nil {
+	if err := run(2017, 2, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRecordsOntoDiskStore points the study at a durable store and
+// checks the validation runs it performed were actually persisted.
+func TestRunRecordsOntoDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(2016, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	store, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if runs := store.List("runs"); len(runs) == 0 {
+		t.Fatal("no runs persisted to the disk store")
 	}
 }
 

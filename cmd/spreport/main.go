@@ -1,11 +1,20 @@
-// Command spreport regenerates the sp-system's status web pages from a
-// storage snapshot (produced with `spsys campaign -save FILE`) and
+// Command spreport regenerates the sp-system's status web pages and
 // writes them to a directory — the paper's "script-based web pages",
-// rebuildable at any time from the bookkeeping alone.
+// rebuildable at any time from the bookkeeping alone. It reads the
+// bookkeeping either from a durable on-disk common storage shared with
+// other sp-system clients (produced with `spsys campaign -store DIR`)
+// or from a one-file storage snapshot (produced with `spsys campaign
+// -save FILE`).
 //
 // Usage:
 //
+//	spreport -store ./spstore -out ./site
 //	spreport -snapshot campaign.json -out ./site
+//
+// The -store form is the paper's actual workflow: the campaign runner
+// and the report generator are independent clients of one common
+// storage, so the site can be rebuilt at any time by a fresh process
+// without the campaign process being involved.
 package main
 
 import (
@@ -21,29 +30,57 @@ import (
 )
 
 func main() {
-	snapshot := flag.String("snapshot", "", "storage snapshot file (required)")
+	snapshot := flag.String("snapshot", "", "storage snapshot file (alternative to -store)")
+	storeDir := flag.String("store", "", "directory of the durable on-disk common storage (alternative to -snapshot)")
 	out := flag.String("out", "site", "output directory for HTML pages")
 	title := flag.String("title", "sp-system validation status", "page title")
 	flag.Parse()
 
-	if err := run(*snapshot, *out, *title); err != nil {
+	if err := run(*snapshot, *storeDir, *out, *title); err != nil {
 		fmt.Fprintln(os.Stderr, "spreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(snapshotPath, outDir, title string) error {
-	if snapshotPath == "" {
-		return fmt.Errorf("-snapshot is required")
+// openSource returns the common storage named by exactly one of
+// snapshotPath and storeDir.
+func openSource(snapshotPath, storeDir string) (*storage.Store, error) {
+	switch {
+	case snapshotPath == "" && storeDir == "":
+		return nil, fmt.Errorf("one of -store or -snapshot is required")
+	case snapshotPath != "" && storeDir != "":
+		return nil, fmt.Errorf("-store and -snapshot are mutually exclusive")
+	case storeDir != "":
+		// A missing directory is a mistyped path, not a request to
+		// create an empty store (which storage.Open would happily do)
+		// and render an all-blank site from it. Note spreport is not
+		// purely read-only: like every sp-system client it regenerates
+		// the status pages onto the common storage it opens.
+		if _, err := os.Stat(filepath.Join(storeDir, "names.log")); err != nil {
+			return nil, fmt.Errorf("%s is not an sp-system store (no names.log): %w", storeDir, err)
+		}
+		return storage.Open(storeDir)
+	default:
+		data, err := os.ReadFile(snapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		return storage.Restore(data)
 	}
-	data, err := os.ReadFile(snapshotPath)
+}
+
+func run(snapshotPath, storeDir, outDir, title string) (err error) {
+	store, err := openSource(snapshotPath, storeDir)
 	if err != nil {
 		return err
 	}
-	store, err := storage.Restore(data)
-	if err != nil {
-		return err
-	}
+	// Close syncs the disk backend's journal (the regenerated pages'
+	// bindings); a failure there must not exit 0.
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	if _, err := report.PublishSite(store, title); err != nil {
 		return err

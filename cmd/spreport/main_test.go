@@ -8,13 +8,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/storage"
 )
 
-// writeSnapshot produces a small real storage snapshot the way
-// `spsys campaign -save` would: one validated experiment.
-func writeSnapshot(t *testing.T, path string) {
+// populate runs one scaled-down validated experiment against the given
+// store — the state `spsys campaign` leaves behind.
+func populate(t *testing.T, store *storage.Store) *core.SPSystem {
 	t.Helper()
-	sys := core.New()
+	sys := core.NewWith(store, platform.NewRegistry())
 	def := experiments.H1()
 	def.RepoSpec.Packages = 10
 	def.ChainEvents = 200
@@ -26,9 +28,17 @@ func writeSnapshot(t *testing.T, path string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Validate("H1", platform.ReferenceConfig(), exts, "snapshot fixture"); err != nil {
+	if _, err := sys.Validate("H1", platform.ReferenceConfig(), exts, "report fixture"); err != nil {
 		t.Fatal(err)
 	}
+	return sys
+}
+
+// writeSnapshot produces a small real storage snapshot the way
+// `spsys campaign -save` would: one validated experiment.
+func writeSnapshot(t *testing.T, path string) {
+	t.Helper()
+	sys := populate(t, storage.NewStore())
 	data, err := sys.Store.Snapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -38,13 +48,13 @@ func writeSnapshot(t *testing.T, path string) {
 	}
 }
 
-func TestRunRegeneratesSite(t *testing.T) {
+func TestRunRegeneratesSiteFromSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "campaign.json")
 	writeSnapshot(t, snap)
 
 	out := filepath.Join(dir, "site")
-	if err := run(snap, out, "test status"); err != nil {
+	if err := run(snap, "", out, "test status"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
@@ -52,9 +62,72 @@ func TestRunRegeneratesSite(t *testing.T) {
 	}
 }
 
-func TestRunRequiresSnapshot(t *testing.T) {
-	if err := run("", t.TempDir(), "t"); err == nil {
-		t.Fatal("missing -snapshot accepted")
+// TestRunRegeneratesSiteFromStore is the paper's cross-process workflow:
+// one process records a campaign onto the durable common storage and
+// exits; a fresh spreport process renders the status site from the same
+// directory, producing the same matrix the recording process saw.
+func TestRunRegeneratesSiteFromStore(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "spstore")
+
+	store, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := populate(t, store)
+	cells, err := sys.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMatrix := report.TextMatrix(cells)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "site")
+	if err := run("", storeDir, out, "test status"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
+		t.Fatalf("index.html not written: %v", err)
+	}
+
+	// The fresh process reads the identical matrix back.
+	re, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	reSys := core.NewWith(re, platform.NewRegistry())
+	reCells, err := reSys.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.TextMatrix(reCells); got != wantMatrix {
+		t.Fatalf("matrix from reopened store differs:\n got:\n%s\nwant:\n%s", got, wantMatrix)
+	}
+}
+
+func TestRunRequiresSource(t *testing.T) {
+	if err := run("", "", t.TempDir(), "t"); err == nil {
+		t.Fatal("missing -snapshot/-store accepted")
+	}
+}
+
+func TestRunRejectsMissingStoreDir(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "spstroe") // typo'd path
+	if err := run("", missing, t.TempDir(), "t"); err == nil {
+		t.Fatal("nonexistent store directory accepted")
+	}
+	// The read-only consumer must not have created a store there.
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatal("spreport created a store at the mistyped path")
+	}
+}
+
+func TestRunRejectsBothSources(t *testing.T) {
+	if err := run("a.json", "dir", t.TempDir(), "t"); err == nil {
+		t.Fatal("-snapshot together with -store accepted")
 	}
 }
 
@@ -64,7 +137,7 @@ func TestRunRejectsCorruptSnapshot(t *testing.T) {
 	if err := os.WriteFile(snap, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(snap, filepath.Join(dir, "site"), "t"); err == nil {
+	if err := run(snap, "", filepath.Join(dir, "site"), "t"); err == nil {
 		t.Fatal("corrupt snapshot accepted")
 	}
 }

@@ -5,11 +5,18 @@
 //
 // Usage:
 //
-//	spsys campaign  [-quick] [-workers N] [-save FILE]   run the full Figure 3 campaign
-//	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
-//	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34]
-//	spsys matrix    [-save FILE]             print the status matrix
-//	spsys runs                               list recorded runs
+//	spsys campaign  [-quick] [-workers N] [-save FILE] [-store DIR]   run the full Figure 3 campaign
+//	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
+//	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
+//	spsys matrix    [-save FILE] [-store DIR]    print the status matrix
+//	spsys runs      [-store DIR]                 list recorded runs
+//
+// Every subcommand accepts -store DIR: the common sp-system storage is
+// then the durable on-disk store rooted at DIR instead of process
+// memory, so everything the command records — runs, job environments,
+// artifacts, counters, status pages — survives the process and is
+// readable by any later invocation sharing the directory (for example
+// `spreport -store DIR`, which renders the status site from it).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/externals"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -66,13 +74,32 @@ commands:
   migrate    adapt-and-validate migration campaign
   matrix     print the Figure 3 status matrix
   runs       list recorded validation runs
-  history    show one test's outcomes across a quick campaign`)
+  history    show one test's outcomes across a quick campaign
+
+every command accepts -store DIR to record onto (and read back from)
+the durable on-disk common storage at DIR instead of process memory`)
 }
 
-// newSystem builds an SPSystem with all three HERA experiments
-// registered, optionally scaled down for quick runs.
-func newSystem(quick bool) (*core.SPSystem, error) {
-	sys := core.New()
+// storeFlag registers the -store flag on a subcommand's flag set.
+func storeFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", "", "directory of the durable on-disk common storage (default: in-memory)")
+}
+
+// closeStore propagates a store Close failure into the command's
+// error: on the disk backend, Close performs the final journal sync, so
+// a failure there means recorded bookkeeping may not be durable and
+// must not exit 0.
+func closeStore(store *storage.Store, retErr *error) {
+	if cerr := store.Close(); cerr != nil && *retErr == nil {
+		*retErr = cerr
+	}
+}
+
+// newSystem builds an SPSystem over the given common storage with all
+// three HERA experiments registered, optionally scaled down for quick
+// runs.
+func newSystem(quick bool, store *storage.Store) (*core.SPSystem, error) {
+	sys := core.NewWith(store, platform.NewRegistry())
 	for _, def := range experiments.All() {
 		if quick {
 			def.RepoSpec.Packages = min(def.RepoSpec.Packages, 20)
@@ -117,15 +144,21 @@ func saveSnapshot(sys *core.SPSystem, path string) error {
 	return nil
 }
 
-func runCampaign(args []string) error {
+func runCampaign(args []string) (err error) {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "scale workloads down for a fast demonstration")
 	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent campaign workers")
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := newSystem(*quick)
+	store, err := storage.OpenOrMemory(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	sys, err := newSystem(*quick, store)
 	if err != nil {
 		return err
 	}
@@ -179,16 +212,22 @@ func runCampaign(args []string) error {
 	return nil
 }
 
-func runValidate(args []string) error {
+func runValidate(args []string) (err error) {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	exp := fs.String("experiment", "H1", "experiment name (H1, ZEUS, HERMES)")
 	cfgStr := fs.String("config", "SL5/64bit gcc4.1", "platform configuration")
 	rootV := fs.String("root", "5.34", "ROOT version")
 	quick := fs.Bool("quick", false, "scale workloads down")
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := newSystem(*quick)
+	store, err := storage.OpenOrMemory(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	sys, err := newSystem(*quick, store)
 	if err != nil {
 		return err
 	}
@@ -215,16 +254,22 @@ func runValidate(args []string) error {
 	return nil
 }
 
-func runMigrate(args []string) error {
+func runMigrate(args []string) (err error) {
 	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
 	exp := fs.String("experiment", "H1", "experiment name")
 	cfgStr := fs.String("config", "SL6/64bit gcc4.4", "target configuration")
 	rootV := fs.String("root", "5.34", "ROOT version")
 	quick := fs.Bool("quick", false, "scale workloads down")
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := newSystem(*quick)
+	store, err := storage.OpenOrMemory(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	sys, err := newSystem(*quick, store)
 	if err != nil {
 		return err
 	}
@@ -256,26 +301,35 @@ func runMigrate(args []string) error {
 	return nil
 }
 
-func runMatrix(args []string) error {
+func runMatrix(args []string) (err error) {
 	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
 	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// A fresh system has an empty matrix; run a quick campaign to have
-	// something to show.
-	fmt.Println("(running quick campaign to populate the matrix)")
-	sys, err := newSystem(true)
+	store, err := storage.OpenOrMemory(*storeDir)
 	if err != nil {
 		return err
 	}
-	exts, err := externalSet(sys, "5.34")
+	defer closeStore(store, &err)
+	sys, err := newSystem(true, store)
 	if err != nil {
 		return err
 	}
-	for _, exp := range sys.Experiments() {
-		if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "matrix baseline"); err != nil {
+	// A store with recorded runs is inspected as-is; only an empty one
+	// (always the case in-memory) gets a quick demo campaign, so pointing
+	// -store at a recorded campaign never mutates its bookkeeping.
+	if sys.Book.TotalRuns() == 0 {
+		fmt.Println("(running quick campaign to populate the matrix)")
+		exts, err := externalSet(sys, "5.34")
+		if err != nil {
 			return err
+		}
+		for _, exp := range sys.Experiments() {
+			if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "matrix baseline"); err != nil {
+				return err
+			}
 		}
 	}
 	cells, err := sys.Matrix()
@@ -286,34 +340,43 @@ func runMatrix(args []string) error {
 	return saveSnapshot(sys, *save)
 }
 
-func runHistory(args []string) error {
+func runHistory(args []string) (err error) {
 	fs := flag.NewFlagSet("history", flag.ExitOnError)
 	exp := fs.String("experiment", "H1", "experiment name")
 	test := fs.String("test", "", "test name (defaults to the first chain's validate stage)")
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Build history by running a quick two-config campaign.
-	sys, err := newSystem(true)
+	store, err := storage.OpenOrMemory(*storeDir)
 	if err != nil {
 		return err
 	}
-	exts, err := externalSet(sys, "5.34")
+	defer closeStore(store, &err)
+	sys, err := newSystem(true, store)
 	if err != nil {
 		return err
 	}
-	if _, err := sys.Validate(*exp, platform.OriginalConfig(), exts, "baseline"); err != nil {
-		return err
-	}
-	sl6, err := platform.ParseConfig("SL6/64bit gcc4.4")
-	if err != nil {
-		return err
-	}
-	if _, err := sys.Validate(*exp, sl6, exts, "raw SL6 attempt"); err != nil {
-		return err
-	}
-	if _, err := sys.MigrateExperiment(*exp, sl6, exts, "SL6 campaign"); err != nil {
-		return err
+	// With a recorded store, query the existing history; otherwise build
+	// one by running a quick two-config campaign.
+	if sys.Book.TotalRuns() == 0 {
+		exts, err := externalSet(sys, "5.34")
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Validate(*exp, platform.OriginalConfig(), exts, "baseline"); err != nil {
+			return err
+		}
+		sl6, err := platform.ParseConfig("SL6/64bit gcc4.4")
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Validate(*exp, sl6, exts, "raw SL6 attempt"); err != nil {
+			return err
+		}
+		if _, err := sys.MigrateExperiment(*exp, sl6, exts, "SL6 campaign"); err != nil {
+			return err
+		}
 	}
 
 	name := *test
@@ -336,22 +399,32 @@ func runHistory(args []string) error {
 	return nil
 }
 
-func runRuns(args []string) error {
+func runRuns(args []string) (err error) {
 	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := newSystem(true)
+	store, err := storage.OpenOrMemory(*storeDir)
 	if err != nil {
 		return err
 	}
-	exts, err := externalSet(sys, "5.34")
+	defer closeStore(store, &err)
+	sys, err := newSystem(true, store)
 	if err != nil {
 		return err
 	}
-	for _, exp := range sys.Experiments() {
-		if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "demo run"); err != nil {
+	// List what is recorded; only an empty (e.g. in-memory) store gets
+	// demo runs so there is something to show.
+	if sys.Book.TotalRuns() == 0 {
+		exts, err := externalSet(sys, "5.34")
+		if err != nil {
 			return err
+		}
+		for _, exp := range sys.Experiments() {
+			if _, err := sys.Validate(exp, platform.ReferenceConfig(), exts, "demo run"); err != nil {
+				return err
+			}
 		}
 	}
 	runs, err := sys.Book.Runs()

@@ -4,6 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/bookkeep"
+	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 // The smoke tests drive each spsys subcommand through its real
@@ -20,6 +24,91 @@ func TestCampaignCommand(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("snapshot is empty")
+	}
+}
+
+// TestCampaignCommandDiskStore records a campaign onto the durable
+// on-disk store and verifies a *fresh* process-equivalent (a new store
+// handle over the same directory) reads back the same status matrix the
+// snapshot captured — the acceptance path for `spsys campaign -store`
+// feeding a later `spreport -store`.
+func TestCampaignCommandDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "spstore")
+	snap := filepath.Join(dir, "campaign.json")
+	if err := runCampaign([]string{"-quick", "-workers", "2", "-store", storeDir, "-save", snap}); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatalf("reopening campaign store: %v", err)
+	}
+	defer store.Close()
+	cells, err := bookkeep.New(store).Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no matrix cells persisted")
+	}
+	fromStore := report.TextMatrix(cells)
+
+	// The -save snapshot captured the matrix at process exit; the disk
+	// store must render the identical one.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := storage.Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapCells, err := bookkeep.New(restored).Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSnap := report.TextMatrix(snapCells); fromSnap != fromStore {
+		t.Fatalf("disk store matrix differs from snapshot matrix:\n got:\n%s\nwant:\n%s", fromStore, fromSnap)
+	}
+
+	// The published status site is on the common storage too.
+	if pages := store.List(report.WebNS); len(pages) == 0 {
+		t.Fatal("no status pages persisted to the disk store")
+	}
+}
+
+// TestInspectionCommandsDoNotMutateRecordedStore: runs/matrix/history
+// against a store that already holds a campaign must read it back, not
+// append demo runs to the durable bookkeeping.
+func TestInspectionCommandsDoNotMutateRecordedStore(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "spstore")
+	if err := runCampaign([]string{"-quick", "-workers", "2", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	countRuns := func() int {
+		store, err := storage.Open(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		return len(store.List("runs"))
+	}
+	before := countRuns()
+	if before == 0 {
+		t.Fatal("campaign recorded no runs")
+	}
+	if err := runRuns([]string{"-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMatrix([]string{"-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runHistory([]string{"-experiment", "H1", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if after := countRuns(); after != before {
+		t.Fatalf("inspection commands grew the recorded store: %d runs -> %d", before, after)
 	}
 }
 

@@ -5,7 +5,15 @@
 // experiments' validation suites, keeps complete bookkeeping, and powers
 // the adapt-and-validate preservation strategy.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// The common storage is pluggable (internal/storage.Backend): in-memory
+// by default, or a durable content-addressed on-disk store via the
+// -store DIR flag every command accepts — `spsys campaign -store DIR`
+// records a campaign that a separate `spreport -store DIR` process
+// renders later, the paper's workflow of independent clients sharing
+// one common storage.
+//
+// See DESIGN.md for the system inventory (including the storage backend
+// contract and on-disk layout), EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the harnesses that
 // regenerate every table and figure.
 package repro

@@ -81,11 +81,28 @@ type SPSystem struct {
 }
 
 // New returns an SPSystem with the paper's platform and external
-// catalogues, an empty common storage and a clock at the 2013 epoch.
+// catalogues, an empty in-memory common storage and a clock at the 2013
+// epoch.
 func New() *SPSystem {
-	store := storage.NewStore()
+	return NewWith(storage.NewStore(), platform.NewRegistry())
+}
+
+// NewWith returns an SPSystem recording onto the given common storage —
+// which may be the in-memory store or a durable one opened with
+// storage.Open — over a custom platform registry. Every component
+// (runner, builder, bookkeeping, VM host, docs, reports) shares this
+// one store, so pointing it at a disk directory makes the whole
+// system's output survive the process: the paper's workflow of
+// independent clients sharing common storage.
+//
+// Simulated time restarts at the 2013 epoch in every process (the
+// clock is deliberately not wall-bound or persisted — determinism
+// first), so runs appended to a shared store by successive processes
+// can carry repeated timestamps. Bookkeeping order is defined by run
+// IDs, which are minted from counters persisted in the store itself
+// and therefore strictly increase across processes.
+func NewWith(store *storage.Store, reg *platform.Registry) *SPSystem {
 	clock := simclock.New()
-	reg := platform.NewRegistry()
 	return &SPSystem{
 		Registry:  reg,
 		Catalogue: externals.NewCatalogue(),
@@ -103,10 +120,7 @@ func New() *SPSystem {
 // NewWithRegistry returns an SPSystem over a custom platform registry
 // (e.g. lifetime.ExtendedRegistry for long-horizon studies).
 func NewWithRegistry(reg *platform.Registry) *SPSystem {
-	s := New()
-	s.Registry = reg
-	s.Builder = buildsys.NewBuilder(reg, s.Store)
-	return s
+	return NewWith(storage.NewStore(), reg)
 }
 
 // RegisterExperiment generates the experiment's software repository and

@@ -1,0 +1,413 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FSBackend is the durable, on-disk content-addressed backend: the form
+// of the common sp-system storage that actually satisfies the paper's
+// long-term preservation mandate. A campaign recorded through it can be
+// closed and reopened — by the same process, a later process, or a
+// different program entirely — with identical contents.
+//
+// # On-disk layout
+//
+//	<dir>/blobs/<hh>/<hash>   blob content, sharded by the first two hex
+//	                          digits of its SHA-256 so no directory grows
+//	                          unboundedly
+//	<dir>/tmp/                staging area for atomic writes
+//	<dir>/names.log           append-only JSON-lines journal of name
+//	                          bindings; replayed at Open (last binding
+//	                          for a name wins)
+//
+// Blob writes are atomic and durable: content is staged under tmp/,
+// synced, and renamed into place, so a crash never leaves a partial or
+// empty blob addressable. Because the store is content-addressed and
+// blobs are immutable, every read re-verifies the content against its
+// hash — bit-rot is detected at access time, not silently propagated
+// into validation results. Name bindings (including the atomic run/job
+// ID counters, which are ordinary JSON blob bindings) are appended to
+// the journal as they happen and the journal is synced on Close: the
+// journal is durable against process exit, while a hard power loss
+// mid-run can lose recent bindings (never corrupt replayed state — a
+// torn final line is ignored at replay, interior corruption is an
+// Open-time error, and the referenced blobs remain addressable by
+// hash).
+//
+// # One live writer per directory
+//
+// Atomicity guarantees are per-process: the name index is replayed at
+// Open and appended through this handle, so two *concurrently live*
+// processes over one directory would not see each other's bindings and
+// could mint duplicate IDs. Share a store directory sequentially — the
+// paper's record-then-report workflow (`spsys campaign -store DIR`,
+// then `spreport -store DIR`) — or through one process.
+type FSBackend struct {
+	dir string
+
+	mu        sync.RWMutex
+	names     map[string]string // replayed + live journal state
+	counters  map[string]int    // cached Increment values (avoids per-increment disk reads)
+	log       *os.File          // append-only names.log handle
+	logFailed bool              // a journal append failed; the tail may be torn
+
+	statsMu   sync.Mutex
+	blobCount int
+	blobBytes int64
+}
+
+// journalEntry is one names.log line.
+type journalEntry struct {
+	Name string `json:"n"`
+	Hash string `json:"h"`
+}
+
+// OpenFSBackend opens (creating if necessary) the on-disk backend rooted
+// at dir and replays its name journal.
+func OpenFSBackend(dir string) (*FSBackend, error) {
+	for _, sub := range []string{"blobs", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("storage: opening fs store: %w", err)
+		}
+	}
+	b := &FSBackend{dir: dir, names: make(map[string]string), counters: make(map[string]int)}
+	if err := b.replayJournal(); err != nil {
+		return nil, err
+	}
+	if err := b.scanBlobs(); err != nil {
+		return nil, err
+	}
+	log, err := os.OpenFile(b.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening name journal: %w", err)
+	}
+	b.log = log
+	return b, nil
+}
+
+func (b *FSBackend) journalPath() string { return filepath.Join(b.dir, "names.log") }
+
+func (b *FSBackend) blobPath(hash string) string {
+	return filepath.Join(b.dir, "blobs", hash[:2], hash)
+}
+
+// replayJournal loads names.log into memory. Bindings are applied in
+// order, so the last write for a name wins — exactly the Put/Bind
+// semantics. A truncated final line (torn write from a crash) is
+// tolerated; corruption anywhere else is an error.
+func (b *FSBackend) replayJournal() error {
+	f, err := os.Open(b.journalPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: opening name journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return pendingErr // a malformed line was *not* the last one
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(raw, &e); err != nil || !validName(e.Name) || e.Hash == "" {
+			pendingErr = fmt.Errorf("storage: name journal line %d is corrupt", line)
+			continue
+		}
+		b.names[e.Name] = e.Hash
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("storage: reading name journal: %w", err)
+	}
+	return nil
+}
+
+// scanBlobs walks the blob tree once to establish stats and to clear any
+// staging leftovers from a crashed writer.
+func (b *FSBackend) scanBlobs() error {
+	err := filepath.WalkDir(filepath.Join(b.dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		b.blobCount++
+		b.blobBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("storage: scanning blobs: %w", err)
+	}
+	// Staged files from a crashed writer are garbage by construction:
+	// anything that mattered was renamed into blobs/ first.
+	leftovers, err := os.ReadDir(filepath.Join(b.dir, "tmp"))
+	if err != nil {
+		return err
+	}
+	for _, l := range leftovers {
+		os.Remove(filepath.Join(b.dir, "tmp", l.Name()))
+	}
+	return nil
+}
+
+// PutBlob stages the content in tmp/ and renames it into the sharded
+// blob tree. The expensive work — hashing (done by the caller) and the
+// write of the content itself — happens outside any lock; only the
+// exists-check plus rename is serialized.
+func (b *FSBackend) PutBlob(hash string, data []byte) error {
+	target := b.blobPath(hash)
+	if _, err := os.Stat(target); err == nil {
+		return nil // dedup fast path
+	}
+	tmp, err := os.CreateTemp(filepath.Join(b.dir, "tmp"), "blob-*")
+	if err != nil {
+		return fmt.Errorf("storage: staging blob: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: staging blob: %w", err)
+	}
+	// Sync before rename: otherwise the rename can become durable before
+	// the data and a power loss would leave an empty file answering for
+	// this hash — a permanently lost artifact that HasBlob still claims.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: syncing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: staging blob: %w", err)
+	}
+	shard := filepath.Dir(target)
+	if _, err := os.Stat(shard); os.IsNotExist(err) {
+		if err := os.MkdirAll(shard, 0o755); err != nil {
+			os.Remove(tmpName)
+			return err
+		}
+		// First blob of this shard: make the new shard directory's own
+		// entry durable too.
+		if err := syncDir(filepath.Join(b.dir, "blobs")); err != nil {
+			os.Remove(tmpName)
+			return err
+		}
+	}
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	if _, err := os.Stat(target); err == nil {
+		// A concurrent writer won the race; our staged copy is identical
+		// (same hash), so just drop it.
+		os.Remove(tmpName)
+		return nil
+	}
+	if err := os.Rename(tmpName, target); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: committing blob: %w", err)
+	}
+	// Sync the shard directory so the rename itself is durable before
+	// any journal line referencing this hash can reach disk; otherwise a
+	// power loss could replay a binding whose blob entry never made it.
+	if err := syncDir(filepath.Dir(target)); err != nil {
+		return err
+	}
+	b.blobCount++
+	b.blobBytes += int64(len(data))
+	return nil
+}
+
+// syncDir fsyncs a directory, making recently renamed-in entries
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: syncing %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing %s: %w", dir, err)
+	}
+	return nil
+}
+
+// GetBlob reads the content and re-verifies it against its hash, so
+// on-disk corruption surfaces as an error at the point of access.
+func (b *FSBackend) GetBlob(hash string) ([]byte, error) {
+	if len(hash) < 3 {
+		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
+	}
+	data, err := os.ReadFile(b.blobPath(hash))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading blob %s: %w", shortHash(hash), err)
+	}
+	if HashBytes(data) != hash {
+		return nil, fmt.Errorf("storage: blob %s fails hash verification (on-disk corruption)", shortHash(hash))
+	}
+	return data, nil
+}
+
+// HasBlob reports whether the blob file exists.
+func (b *FSBackend) HasBlob(hash string) bool {
+	if len(hash) < 3 {
+		return false
+	}
+	_, err := os.Stat(b.blobPath(hash))
+	return err == nil
+}
+
+// ListBlobs walks the blob tree and returns all hashes, sorted.
+func (b *FSBackend) ListBlobs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(filepath.Join(b.dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		out = append(out, d.Name())
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing blobs: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// BindName records the binding in memory and appends it to the journal.
+func (b *FSBackend) BindName(name, hash string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An explicit rebind may overwrite a counter with arbitrary content;
+	// drop the cache so the next Increment re-reads the binding.
+	delete(b.counters, name)
+	return b.bindLocked(name, hash)
+}
+
+// bindLocked appends a journal entry and updates the in-memory index.
+// The caller must hold b.mu.
+func (b *FSBackend) bindLocked(name, hash string) error {
+	if b.log == nil {
+		return fmt.Errorf("storage: fs store at %s is closed", b.dir)
+	}
+	if b.logFailed {
+		// A previous append may have left a torn line at the journal
+		// tail. Appending more lines would strand that tear mid-file,
+		// which replay treats as fatal corruption; by refusing, the tear
+		// stays final and the next Open tolerates it.
+		return fmt.Errorf("storage: name journal at %s is in a failed state after a write error", b.dir)
+	}
+	line, err := json.Marshal(journalEntry{Name: name, Hash: hash})
+	if err != nil {
+		return err
+	}
+	if _, err := b.log.Write(append(line, '\n')); err != nil {
+		b.logFailed = true
+		return fmt.Errorf("storage: appending to name journal: %w", err)
+	}
+	b.names[name] = hash
+	return nil
+}
+
+// ResolveName returns the hash bound to the name.
+func (b *FSBackend) ResolveName(name string) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	hash, ok := b.names[name]
+	return hash, ok
+}
+
+// ListNames returns all bound names, sorted.
+func (b *FSBackend) ListNames() ([]string, error) {
+	b.mu.RLock()
+	out := make([]string, 0, len(b.names))
+	for nk := range b.names {
+		out = append(out, nk)
+	}
+	b.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// Increment performs the counter read-modify-write under the name lock,
+// so concurrent increments from any number of goroutines sharing the
+// backend hand out strictly unique values. The current value is cached
+// after the first read, so steady-state increments pay only the tiny
+// blob write and journal append, not a disk read + hash verification
+// per ID minted. The new counter value is committed as a blob before
+// its binding enters the journal, preserving the invariant that the
+// journal never references a missing blob.
+func (b *FSBackend) Increment(name string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, cached := b.counters[name]
+	if !cached {
+		if hash, ok := b.names[name]; ok {
+			data, err := b.GetBlob(hash)
+			if err != nil {
+				return 0, fmt.Errorf("storage: counter %s: %w", name, err)
+			}
+			if err := json.Unmarshal(data, &n); err != nil {
+				return 0, fmt.Errorf("storage: counter %s is not an integer: %w", name, err)
+			}
+		}
+	}
+	n++
+	data, _ := json.Marshal(n)
+	hash := HashBytes(data)
+	if err := b.PutBlob(hash, data); err != nil {
+		return 0, err
+	}
+	if err := b.bindLocked(name, hash); err != nil {
+		return 0, err
+	}
+	b.counters[name] = n
+	return n, nil
+}
+
+// Stats returns blob statistics maintained incrementally (established by
+// a single walk at Open) plus the live binding count.
+func (b *FSBackend) Stats() (Stats, error) {
+	b.mu.RLock()
+	bindings := len(b.names)
+	b.mu.RUnlock()
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return Stats{Blobs: b.blobCount, Bindings: bindings, Bytes: b.blobBytes}, nil
+}
+
+// Close syncs the name journal to stable media and releases the handle.
+// Using the backend after Close returns errors.
+func (b *FSBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.log == nil {
+		return nil
+	}
+	syncErr := b.log.Sync()
+	closeErr := b.log.Close()
+	b.log = nil
+	if syncErr != nil {
+		return fmt.Errorf("storage: syncing name journal: %w", syncErr)
+	}
+	return closeErr
+}

@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func openFS(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFSReopenIdenticalContents(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("tests", "t1", []byte("script")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("results", "run-0001/out", []byte("output")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Increment("meta", "runseq"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantStats := s.Stats()
+	wantNames, _ := s.Backend().ListNames()
+	wantSnap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openFS(t, dir)
+	defer re.Close()
+	if got := re.Stats(); got != wantStats {
+		t.Fatalf("stats after reopen = %+v, want %+v", got, wantStats)
+	}
+	gotNames, _ := re.Backend().ListNames()
+	if !reflect.DeepEqual(gotNames, wantNames) {
+		t.Fatalf("names after reopen = %v, want %v", gotNames, wantNames)
+	}
+	gotSnap, err := re.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSnap) != string(wantSnap) {
+		t.Fatal("snapshot after reopen differs from pre-close snapshot")
+	}
+	// The counter continues from its persisted value, not from zero:
+	// run/job IDs stay unique across process restarts.
+	n, err := re.Increment("meta", "runseq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("counter after reopen = %d, want 8", n)
+	}
+}
+
+func TestFSBlobLayout(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	defer s.Close()
+	hash, err := s.PutBlob([]byte("layout probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blobs", hash[:2], hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("blob not at sharded path %s: %v", path, err)
+	}
+	if string(data) != "layout probe" {
+		t.Fatalf("on-disk blob = %q", data)
+	}
+	// Atomic writes: nothing may linger in the staging area.
+	leftovers, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("staging area not empty after Put: %d files", len(leftovers))
+	}
+}
+
+func TestFSDetectsBlobCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	defer s.Close()
+	hash, err := s.PutBlob([]byte("pristine content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blobs", hash[:2], hash)
+	if err := os.WriteFile(path, []byte("bit-rotted content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBlob(hash); err == nil {
+		t.Fatal("GetBlob returned corrupted content without error")
+	}
+}
+
+func TestFSJournalLastBindingWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("cfg", "current", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("cfg", "current", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openFS(t, dir)
+	defer re.Close()
+	got, err := re.Get("cfg", "current")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("replayed binding = %q, %v; want v2", got, err)
+	}
+}
+
+func TestFSToleratesTornFinalJournalLine(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("ns", "k", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial JSON line at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, "names.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"n":"ns/torn","h":"abc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openFS(t, dir)
+	defer re.Close()
+	if got, err := re.Get("ns", "k"); err != nil || string(got) != "kept" {
+		t.Fatalf("intact binding lost after torn tail: %q, %v", got, err)
+	}
+	if re.Exists("ns", "torn") {
+		t.Fatal("torn binding replayed")
+	}
+}
+
+func TestFSRejectsMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("ns", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log := filepath.Join(dir, "names.log")
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(log, append([]byte("garbage line\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted corrupt journal interior")
+	}
+}
+
+func TestFSRejectsMalformedJournalName(t *testing.T) {
+	// A well-formed JSON line whose name lacks the namespace/key shape is
+	// corruption: tolerated only as the torn final line, fatal elsewhere.
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("ns", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log := filepath.Join(dir, "names.log")
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(`{"n":"noslash","h":"abcdef"}` + "\n")
+	if err := os.WriteFile(log, append(bad, data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a journal binding without namespace/key shape")
+	}
+}
+
+func TestFSClosedStoreErrors(t *testing.T) {
+	s := openFS(t, t.TempDir())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("ns", "k", []byte("x")); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if _, err := s.Increment("meta", "seq"); err == nil {
+		t.Fatal("Increment on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func TestFSOpenCleansStagingLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer leaves staged files behind; Open must clear them.
+	stale := filepath.Join(dir, "tmp", "blob-crashed")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := openFS(t, dir)
+	defer re.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("staging leftover survived Open")
+	}
+}
+
+func TestFSStatsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put("ns", fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("content-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openFS(t, dir)
+	defer re.Close()
+	if got := re.Stats(); got != want {
+		t.Fatalf("stats after reopen = %+v, want %+v", got, want)
+	}
+}

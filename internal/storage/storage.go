@@ -13,74 +13,90 @@
 // every version of every artifact is therefore cheap — identical build
 // products across runs share storage, exactly the property that makes the
 // paper's keep-everything policy sustainable.
+//
+// Store is a thin facade over a pluggable Backend. NewStore keeps
+// everything in memory (fast, ephemeral — for tests and simulations);
+// Open lays the same content-addressed model out on disk so that a
+// validation campaign recorded by one process can be read back — years
+// later or merely by a separate reporting process — with identical
+// contents. That durable form is what the paper's long-term-preservation
+// mandate actually calls for.
 package storage
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // Store is the shared content-addressed storage. It is safe for
-// concurrent use by any number of clients.
+// concurrent use by any number of clients. The zero value is not usable;
+// construct with NewStore (in-memory), Open (on-disk) or NewStoreWith
+// (any Backend).
 type Store struct {
-	mu    sync.RWMutex
-	blobs map[string][]byte // SHA-256 hex -> content
-	names map[string]string // "namespace/key" -> blob hash
+	backend Backend
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store.
 func NewStore() *Store {
-	return &Store{
-		blobs: make(map[string][]byte),
-		names: make(map[string]string),
-	}
+	return &Store{backend: NewMemoryBackend()}
 }
+
+// NewStoreWith returns a store over the given backend.
+func NewStoreWith(b Backend) *Store {
+	return &Store{backend: b}
+}
+
+// Open returns a store over the on-disk content-addressed backend rooted
+// at dir, creating the layout if needed. The returned store can be
+// closed and reopened with identical contents — this is how independent
+// sp-system clients (a campaign runner, a report generator) share one
+// common storage across processes.
+func Open(dir string) (*Store, error) {
+	b, err := OpenFSBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{backend: b}, nil
+}
+
+// OpenOrMemory is the store selection every CLI applies to its -store
+// flag: the durable on-disk store at dir when dir is non-empty, a fresh
+// in-memory store otherwise.
+func OpenOrMemory(dir string) (*Store, error) {
+	if dir == "" {
+		return NewStore(), nil
+	}
+	return Open(dir)
+}
+
+// Backend returns the store's underlying backend.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Close flushes and releases the underlying backend. Closing the
+// in-memory store is a no-op.
+func (s *Store) Close() error { return s.backend.Close() }
 
 // PutBlob stores content and returns its SHA-256 hash. Storing the same
-// content twice is free.
-func (s *Store) PutBlob(data []byte) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.putBlobLocked(data)
-}
-
-// putBlobLocked inserts a blob (copying the caller's slice) and returns
-// its hash. The caller must hold s.mu.
-func (s *Store) putBlobLocked(data []byte) string {
-	sum := sha256.Sum256(data)
-	hash := hex.EncodeToString(sum[:])
-	if _, ok := s.blobs[hash]; !ok {
-		cp := make([]byte, len(data))
-		copy(cp, data)
-		s.blobs[hash] = cp
+// content twice is free. The hash is computed here, before the backend
+// takes any lock, so concurrent writers never serialize on SHA-256.
+func (s *Store) PutBlob(data []byte) (string, error) {
+	hash := HashBytes(data)
+	if err := s.backend.PutBlob(hash, data); err != nil {
+		return "", err
 	}
-	return hash
+	return hash, nil
 }
 
 // GetBlob returns the content with the given hash.
 func (s *Store) GetBlob(hash string) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	data, ok := s.blobs[hash]
-	if !ok {
-		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
-	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	return cp, nil
+	return s.backend.GetBlob(hash)
 }
 
 // HasBlob reports whether the store holds content with the given hash.
 func (s *Store) HasBlob(hash string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.blobs[hash]
-	return ok
+	return s.backend.HasBlob(hash)
 }
 
 func nameKey(ns, key string) (string, error) {
@@ -101,10 +117,13 @@ func (s *Store) Put(ns, key string, data []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	hash := s.PutBlob(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.names[nk] = hash
+	hash, err := s.PutBlob(data)
+	if err != nil {
+		return "", err
+	}
+	if err := s.backend.BindName(nk, hash); err != nil {
+		return "", err
+	}
 	return hash, nil
 }
 
@@ -114,13 +133,12 @@ func (s *Store) Bind(ns, key, hash string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.blobs[hash]; !ok {
+	// Blobs are never deleted, so existence checked here still holds
+	// when the backend records the binding.
+	if !s.backend.HasBlob(hash) {
 		return fmt.Errorf("storage: cannot bind %s to missing blob %s", nk, shortHash(hash))
 	}
-	s.names[nk] = hash
-	return nil
+	return s.backend.BindName(nk, hash)
 }
 
 // Get returns the content bound to namespace/key.
@@ -129,40 +147,26 @@ func (s *Store) Get(ns, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	hash, ok := s.names[nk]
-	s.mu.RUnlock()
+	hash, ok := s.backend.ResolveName(nk)
 	if !ok {
 		return nil, fmt.Errorf("storage: no entry %s", nk)
 	}
-	return s.GetBlob(hash)
+	return s.backend.GetBlob(hash)
 }
 
 // Increment atomically increments the integer counter bound to
 // namespace/key and returns the new value. A missing binding counts from
-// zero. The read-modify-write happens under the store's write lock, so
+// zero. The read-modify-write is atomic inside the backend, so
 // concurrent increments — from any number of clients sharing the store —
 // never observe the same value twice. The counter is stored as JSON, so
-// it remains readable with Get and survives Snapshot/Restore.
+// it remains readable with Get and survives Snapshot/Restore (and, on
+// the disk backend, process restarts).
 func (s *Store) Increment(ns, key string) (int, error) {
 	nk, err := nameKey(ns, key)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	if hash, ok := s.names[nk]; ok {
-		if data, ok := s.blobs[hash]; ok {
-			if err := json.Unmarshal(data, &n); err != nil {
-				return 0, fmt.Errorf("storage: counter %s is not an integer: %w", nk, err)
-			}
-		}
-	}
-	n++
-	data, _ := json.Marshal(n)
-	s.names[nk] = s.putBlobLocked(data)
-	return n, nil
+	return s.backend.Increment(nk)
 }
 
 // Hash returns the blob hash bound to namespace/key without fetching the
@@ -172,9 +176,7 @@ func (s *Store) Hash(ns, key string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hash, ok := s.names[nk]
+	hash, ok := s.backend.ResolveName(nk)
 	if !ok {
 		return "", fmt.Errorf("storage: no entry %s", nk)
 	}
@@ -187,27 +189,34 @@ func (s *Store) Exists(ns, key string) bool {
 	return err == nil
 }
 
-// List returns the keys bound in the namespace, sorted.
+// List returns the keys bound in the namespace, sorted. It is
+// best-effort by signature (every consumer treats enumeration as
+// infallible): a backend whose name index fails to enumerate reads as
+// empty here — both shipped backends serve names from memory and cannot
+// fail this call; data-bearing reads (Get, GetBlob) do report errors.
 func (s *Store) List(ns string) []string {
+	names, err := s.backend.ListNames()
+	if err != nil {
+		return nil
+	}
 	prefix := ns + "/"
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var keys []string
-	for nk := range s.names {
+	for _, nk := range names {
 		if strings.HasPrefix(nk, prefix) {
 			keys = append(keys, strings.TrimPrefix(nk, prefix))
 		}
 	}
-	sort.Strings(keys)
 	return keys
 }
 
 // Namespaces returns all namespaces with at least one binding, sorted.
 func (s *Store) Namespaces() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	names, err := s.backend.ListNames()
+	if err != nil {
+		return nil
+	}
 	seen := make(map[string]bool)
-	for nk := range s.names {
+	for _, nk := range names {
 		seen[nk[:strings.IndexByte(nk, '/')]] = true
 	}
 	out := make([]string, 0, len(seen))
@@ -228,13 +237,12 @@ type Stats struct {
 	Bytes int64
 }
 
-// Stats returns current store statistics.
+// Stats returns current store statistics. Like List, it is best-effort:
+// a backend stats failure reads as an empty Stats, never an error.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{Blobs: len(s.blobs), Bindings: len(s.names)}
-	for _, b := range s.blobs {
-		st.Bytes += int64(len(b))
+	st, err := s.backend.Stats()
+	if err != nil {
+		return Stats{}
 	}
 	return st
 }
@@ -246,16 +254,53 @@ type snapshot struct {
 }
 
 // Snapshot serializes the entire store — the mechanism behind the paper's
-// final phase, where "the last working virtual image is conserved".
+// final phase, where "the last working virtual image is conserved". It
+// works over any backend, so an in-memory campaign can be archived and a
+// disk store can be exported as one portable file.
 func (s *Store) Snapshot() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return json.Marshal(snapshot{Blobs: s.blobs, Names: s.names})
+	hashes, err := s.backend.ListBlobs()
+	if err != nil {
+		return nil, err
+	}
+	snap := snapshot{
+		Blobs: make(map[string][]byte, len(hashes)),
+		Names: make(map[string]string),
+	}
+	for _, h := range hashes {
+		data, err := s.backend.GetBlob(h)
+		if err != nil {
+			return nil, err
+		}
+		snap.Blobs[h] = data
+	}
+	names, err := s.backend.ListNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, nk := range names {
+		hash, ok := s.backend.ResolveName(nk)
+		if !ok {
+			continue
+		}
+		// A binding recorded after the blob listing above may point at a
+		// blob the listing missed; fetch it individually so the snapshot
+		// stays self-consistent under concurrent writes.
+		if _, have := snap.Blobs[hash]; !have {
+			data, err := s.backend.GetBlob(hash)
+			if err != nil {
+				return nil, fmt.Errorf("storage: snapshot: binding %s: %w", nk, err)
+			}
+			snap.Blobs[hash] = data
+		}
+		snap.Names[nk] = hash
+	}
+	return json.Marshal(snap)
 }
 
-// Restore returns a store reconstructed from a Snapshot. It verifies
-// every blob against its hash and every binding against the blob set, so
-// a corrupted archive is detected at load time rather than mid-campaign.
+// Restore returns an in-memory store reconstructed from a Snapshot. It
+// verifies every blob against its hash and every binding against the
+// blob set, so a corrupted archive is detected at load time rather than
+// mid-campaign.
 func Restore(data []byte) (*Store, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -263,19 +308,36 @@ func Restore(data []byte) (*Store, error) {
 	}
 	st := NewStore()
 	for hash, blob := range snap.Blobs {
-		sum := sha256.Sum256(blob)
-		if hex.EncodeToString(sum[:]) != hash {
+		if HashBytes(blob) != hash {
 			return nil, fmt.Errorf("storage: snapshot blob %s fails hash verification", shortHash(hash))
 		}
-		st.blobs[hash] = blob
+		if err := st.backend.PutBlob(hash, blob); err != nil {
+			return nil, err
+		}
 	}
 	for nk, hash := range snap.Names {
-		if _, ok := st.blobs[hash]; !ok {
+		if !validName(nk) {
+			return nil, fmt.Errorf("storage: snapshot binding %q is not a namespace/key name", nk)
+		}
+		if !st.backend.HasBlob(hash) {
 			return nil, fmt.Errorf("storage: snapshot binding %s references missing blob %s", nk, shortHash(hash))
 		}
-		st.names[nk] = hash
+		if err := st.backend.BindName(nk, hash); err != nil {
+			return nil, err
+		}
 	}
 	return st, nil
+}
+
+// validName reports whether nk has the "namespace/key" shape every
+// bound name must satisfy (non-empty namespace and key). Names from the
+// Store API are constructed by nameKey and always valid; this guards
+// the load boundaries — snapshots and journals — where hand-edited or
+// corrupt data could otherwise smuggle in a name that later breaks
+// Namespaces.
+func validName(nk string) bool {
+	i := strings.IndexByte(nk, '/')
+	return i > 0 && i < len(nk)-1
 }
 
 func shortHash(h string) string {
