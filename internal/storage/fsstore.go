@@ -2,8 +2,10 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -26,6 +28,8 @@ import (
 //	<dir>/names.log           append-only JSON-lines journal of name
 //	                          bindings; replayed at Open (last binding
 //	                          for a name wins)
+//	<dir>/lock                advisory lock file enforcing the
+//	                          one-live-writer rule below
 //
 // Blob writes are atomic and durable: content is staged under tmp/,
 // synced, and renamed into place, so a crash never leaves a partial or
@@ -37,7 +41,8 @@ import (
 // the journal as they happen and the journal is synced on Close: the
 // journal is durable against process exit, while a hard power loss
 // mid-run can lose recent bindings (never corrupt replayed state — a
-// torn final line is ignored at replay, interior corruption is an
+// torn final line is truncated away at replay, so later appends start
+// from a clean newline-terminated tail; interior corruption is an
 // Open-time error, and the referenced blobs remain addressable by
 // hash).
 //
@@ -46,11 +51,17 @@ import (
 // Atomicity guarantees are per-process: the name index is replayed at
 // Open and appended through this handle, so two *concurrently live*
 // processes over one directory would not see each other's bindings and
-// could mint duplicate IDs. Share a store directory sequentially — the
-// paper's record-then-report workflow (`spsys campaign -store DIR`,
-// then `spreport -store DIR`) — or through one process.
+// could mint duplicate IDs. On platforms with flock (Linux, the BSDs,
+// macOS) Open therefore takes an exclusive advisory lock on <dir>/lock
+// and fails fast when another live process holds it (the lock dies with
+// its process, so a crash never wedges the store); elsewhere the rule
+// is a documented convention only. Share a store directory
+// sequentially — the paper's record-then-report workflow
+// (`spsys campaign -store DIR`, then `spreport -store DIR`) — or
+// through one process.
 type FSBackend struct {
-	dir string
+	dir  string
+	lock *os.File // held flock enforcing one live writer (nil where unsupported)
 
 	mu        sync.RWMutex
 	names     map[string]string // replayed + live journal state
@@ -70,23 +81,35 @@ type journalEntry struct {
 }
 
 // OpenFSBackend opens (creating if necessary) the on-disk backend rooted
-// at dir and replays its name journal.
+// at dir, takes the store's exclusive writer lock, and replays its name
+// journal. It fails fast when another live process already holds the
+// store open.
 func OpenFSBackend(dir string) (*FSBackend, error) {
 	for _, sub := range []string{"blobs", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("storage: opening fs store: %w", err)
 		}
 	}
-	b := &FSBackend{dir: dir, names: make(map[string]string), counters: make(map[string]int)}
-	if err := b.replayJournal(); err != nil {
+	lock, err := lockStoreDir(dir)
+	if err != nil {
 		return nil, err
 	}
-	if err := b.scanBlobs(); err != nil {
+	b := &FSBackend{dir: dir, lock: lock, names: make(map[string]string), counters: make(map[string]int)}
+	fail := func(err error) (*FSBackend, error) {
+		if lock != nil {
+			lock.Close()
+		}
 		return nil, err
+	}
+	if err := b.replayJournal(); err != nil {
+		return fail(err)
+	}
+	if err := b.scanBlobs(); err != nil {
+		return fail(err)
 	}
 	log, err := os.OpenFile(b.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("storage: opening name journal: %w", err)
+		return fail(fmt.Errorf("storage: opening name journal: %w", err))
 	}
 	b.log = log
 	return b, nil
@@ -100,10 +123,14 @@ func (b *FSBackend) blobPath(hash string) string {
 
 // replayJournal loads names.log into memory. Bindings are applied in
 // order, so the last write for a name wins — exactly the Put/Bind
-// semantics. A truncated final line (torn write from a crash) is
-// tolerated; corruption anywhere else is an error.
+// semantics. A torn final line (a crash mid-append left the tail
+// malformed or without its newline) was never acknowledged: it is not
+// applied, and the journal is truncated back to the last good entry so
+// later appends never concatenate onto the tear and strand it mid-file
+// — which the next Open would have to treat as fatal corruption.
+// Corruption anywhere before the final line is an error.
 func (b *FSBackend) replayJournal() error {
-	f, err := os.Open(b.journalPath())
+	f, err := os.OpenFile(b.journalPath(), os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -111,28 +138,51 @@ func (b *FSBackend) replayJournal() error {
 		return fmt.Errorf("storage: opening name journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	r := bufio.NewReader(f)
+	// validEnd is the byte offset just past the last well-formed,
+	// newline-terminated entry — the offset the journal is truncated to
+	// if anything torn follows it.
+	var validEnd, offset int64
 	var pendingErr error
 	line := 0
-	for sc.Scan() {
-		line++
-		if pendingErr != nil {
-			return pendingErr // a malformed line was *not* the last one
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			if pendingErr != nil {
+				return pendingErr // a malformed line was *not* the last one
+			}
+			offset += int64(len(raw))
+			switch entry := bytes.TrimRight(raw, "\r\n"); {
+			case raw[len(raw)-1] != '\n':
+				// Unterminated tail: a torn write, dropped by truncation
+				// below even if the fragment happens to parse.
+			case len(entry) == 0:
+				validEnd = offset
+			default:
+				var e journalEntry
+				if err := json.Unmarshal(entry, &e); err != nil || !validName(e.Name) || e.Hash == "" {
+					pendingErr = fmt.Errorf("storage: name journal line %d is corrupt", line)
+					continue
+				}
+				b.names[e.Name] = e.Hash
+				validEnd = offset
+			}
 		}
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+		if rerr == io.EOF {
+			break
 		}
-		var e journalEntry
-		if err := json.Unmarshal(raw, &e); err != nil || !validName(e.Name) || e.Hash == "" {
-			pendingErr = fmt.Errorf("storage: name journal line %d is corrupt", line)
-			continue
+		if rerr != nil {
+			return fmt.Errorf("storage: reading name journal: %w", rerr)
 		}
-		b.names[e.Name] = e.Hash
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("storage: reading name journal: %w", err)
+	if validEnd < offset {
+		if err := f.Truncate(validEnd); err != nil {
+			return fmt.Errorf("storage: truncating torn name journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("storage: truncating torn name journal tail: %w", err)
+		}
 	}
 	return nil
 }
@@ -173,8 +223,12 @@ func (b *FSBackend) scanBlobs() error {
 // exists-check plus rename is serialized.
 func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	target := b.blobPath(hash)
-	if _, err := os.Stat(target); err == nil {
-		return nil // dedup fast path
+	// Dedup fast path. The size check is a cheap sanity test: a truncated
+	// or padded on-disk blob (external damage) must not mask re-storing
+	// the correct bytes, so any size mismatch falls through to the
+	// staging path, which renames the good copy over the bad one.
+	if fi, err := os.Stat(target); err == nil && fi.Size() == int64(len(data)) {
+		return nil
 	}
 	tmp, err := os.CreateTemp(filepath.Join(b.dir, "tmp"), "blob-*")
 	if err != nil {
@@ -213,12 +267,15 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	}
 	b.statsMu.Lock()
 	defer b.statsMu.Unlock()
-	if _, err := os.Stat(target); err == nil {
+	prior, priorErr := os.Stat(target)
+	if priorErr == nil && prior.Size() == int64(len(data)) {
 		// A concurrent writer won the race; our staged copy is identical
 		// (same hash), so just drop it.
 		os.Remove(tmpName)
 		return nil
 	}
+	// Either the blob is new, or a damaged copy (wrong size) sits at the
+	// target; the rename installs or repairs it atomically either way.
 	if err := os.Rename(tmpName, target); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: committing blob: %w", err)
@@ -229,8 +286,12 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	if err := syncDir(filepath.Dir(target)); err != nil {
 		return err
 	}
-	b.blobCount++
-	b.blobBytes += int64(len(data))
+	if priorErr == nil {
+		b.blobBytes += int64(len(data)) - prior.Size() // repaired in place
+	} else {
+		b.blobCount++
+		b.blobBytes += int64(len(data))
+	}
 	return nil
 }
 
@@ -395,8 +456,9 @@ func (b *FSBackend) Stats() (Stats, error) {
 	return Stats{Blobs: b.blobCount, Bindings: bindings, Bytes: b.blobBytes}, nil
 }
 
-// Close syncs the name journal to stable media and releases the handle.
-// Using the backend after Close returns errors.
+// Close syncs the name journal to stable media, releases the handle,
+// and drops the store's writer lock so another process may open the
+// directory. Using the backend after Close returns errors.
 func (b *FSBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -406,6 +468,10 @@ func (b *FSBackend) Close() error {
 	syncErr := b.log.Sync()
 	closeErr := b.log.Close()
 	b.log = nil
+	if b.lock != nil {
+		b.lock.Close() // releases the flock
+		b.lock = nil
+	}
 	if syncErr != nil {
 		return fmt.Errorf("storage: syncing name journal: %w", syncErr)
 	}

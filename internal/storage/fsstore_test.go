@@ -160,6 +160,109 @@ func TestFSToleratesTornFinalJournalLine(t *testing.T) {
 	}
 }
 
+func TestFSTornTailTruncatedBeforeAppend(t *testing.T) {
+	// The torn-tail guarantee must survive *writing* after recovery: the
+	// tear has to be truncated away at Open, or the first append after a
+	// crash concatenates onto the partial line (losing that acknowledged
+	// binding on the next replay) and a second append strands malformed
+	// bytes mid-file, which every later Open rejects as corruption — a
+	// permanent store lockout.
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := s.Put("ns", "k", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "names.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"n":"ns/torn","h":"abc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openFS(t, dir)
+	if _, err := re.Put("ns", "after-crash-1", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Put("ns", "after-crash-2", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re2 := openFS(t, dir) // must not report journal corruption
+	defer re2.Close()
+	for key, want := range map[string]string{"k": "kept", "after-crash-1": "first", "after-crash-2": "second"} {
+		if got, err := re2.Get("ns", key); err != nil || string(got) != want {
+			t.Fatalf("ns/%s after torn-tail recovery + append + reopen = %q, %v; want %q", key, got, err, want)
+		}
+	}
+	if re2.Exists("ns", "torn") {
+		t.Fatal("torn binding replayed")
+	}
+}
+
+func TestFSSecondLiveOpenFailsFast(t *testing.T) {
+	if !lockSupported {
+		t.Skip("no advisory store locking on this platform")
+	}
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second live Open of the same store dir succeeded; want fail-fast lock error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential sharing — the paper's record-then-report workflow —
+	// must still work once the first holder closes.
+	re := openFS(t, dir)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSPutBlobRepairsDamagedBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := openFS(t, dir)
+	content := []byte("full pristine content")
+	hash, err := s.PutBlob(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// External damage: the on-disk blob is truncated.
+	path := filepath.Join(dir, "blobs", hash[:2], hash)
+	if err := os.WriteFile(path, content[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openFS(t, dir)
+	defer re.Close()
+	// Re-storing the correct bytes must not be masked by the dedup fast
+	// path trusting the damaged file.
+	if _, err := re.PutBlob(content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.GetBlob(hash)
+	if err != nil {
+		t.Fatalf("blob still damaged after re-store: %v", err)
+	}
+	if string(got) != string(content) {
+		t.Fatalf("repaired blob = %q, want %q", got, content)
+	}
+	if st := re.Stats(); st.Blobs != 1 || st.Bytes != int64(len(content)) {
+		t.Fatalf("stats after repair = %+v, want 1 blob of %d bytes", st, len(content))
+	}
+}
+
 func TestFSRejectsMidJournalCorruption(t *testing.T) {
 	dir := t.TempDir()
 	s := openFS(t, dir)

@@ -1,0 +1,16 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package storage
+
+import "os"
+
+// lockSupported reports whether this platform enforces the
+// one-live-writer rule with an OS advisory lock.
+const lockSupported = false
+
+// lockStoreDir is a no-op where the standard library exposes no flock:
+// the one-live-writer rule on FSBackend falls back to being a
+// documented convention there. (A plain O_EXCL lock file is
+// deliberately not used — it would outlive a crashed writer and
+// permanently wedge the store, which is worse than no lock.)
+func lockStoreDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,36 @@
+// Restricted to the platforms whose stdlib syscall package actually
+// provides flock — the broader `unix` tag also matches solaris and aix,
+// which lack it and would fail to compile.
+//go:build darwin || dragonfly || freebsd || linux || netbsd || openbsd
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockSupported reports whether this platform enforces the
+// one-live-writer rule with an OS advisory lock.
+const lockSupported = true
+
+// lockStoreDir takes an exclusive, non-blocking advisory lock on
+// <dir>/lock, enforcing the one-live-writer-per-directory rule
+// documented on FSBackend: a second live process opening the same store
+// fails fast here instead of silently losing the first one's bindings
+// or minting duplicate IDs. The lock is tied to the open file
+// description, so it is released by Close and — crucially — by process
+// death: a crashed writer never wedges the store.
+func lockStoreDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening store lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: store at %s is already open in another live process (close it, or give this one its own -store directory): %w", dir, err)
+	}
+	return f, nil
+}
