@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -338,6 +339,88 @@ func BenchmarkStoreBackends(b *testing.B) {
 			n++
 			return storage.Open(filepath.Join(root, fmt.Sprintf("iter-%04d", n)))
 		})
+	})
+}
+
+// ---------------------------------------------------------------------
+// B1 — bookkeeping at production scale: the paper's ">300 runs" record
+// grown to ~1000 runs, queried through the full-rescan Book (every
+// query re-lists and re-loads all N records) versus the incremental
+// bookkeep.Index (each record loaded once, queries answered from
+// memory). The index is what lets spserve and a republishing campaign
+// scale: an O(N) rescan per query is O(N²) per campaign.
+
+func BenchmarkBookkeepIndex(b *testing.B) {
+	const nRuns = 1000
+	store := storage.NewStore()
+	exps := []string{"H1", "ZEUS", "HERMES"}
+	for i := 1; i <= nRuns; i++ {
+		rec := runner.RunRecord{
+			RunID:       fmt.Sprintf("run-%04d", i),
+			Description: "bench campaign",
+			Experiment:  exps[i%len(exps)],
+			Config:      fmt.Sprintf("SL%d/64bit", 5+(i/400)),
+			Externals:   "ROOT-5.34",
+			Timestamp:   int64(1356998400 + i),
+		}
+		for j := 0; j < 8; j++ {
+			out := valtest.OutcomePass
+			if i%5 == 0 && j == 3 { // every fifth run regresses one test
+				out = valtest.OutcomeFail
+			}
+			rec.Jobs = append(rec.Jobs, runner.JobRecord{
+				JobID:  fmt.Sprintf("job-%06d", i*8+j),
+				RunID:  rec.RunID,
+				Result: valtest.Result{Test: fmt.Sprintf("t%02d", j), Outcome: out},
+			})
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Put(runner.RunsNS, rec.RunID, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// One status-page query: the matrix plus the latest run's diff
+	// baseline — what every spserve page view or per-run republish asks.
+	var cells int
+	b.Run("rescan", func(b *testing.B) {
+		book := bookkeep.New(store)
+		for i := 0; i < b.N; i++ {
+			m, err := book.Matrix()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := book.LastSuccessful("H1", ""); err != nil {
+				b.Fatal(err)
+			}
+			cells = len(m)
+		}
+		b.ReportMetric(float64(cells), "cells")
+	})
+	b.Run("index", func(b *testing.B) {
+		x, err := bookkeep.BuildIndex(store) // one-time load, amortized over the campaign
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := x.Refresh(); err != nil { // steady-state catch-up is part of the query cost
+				b.Fatal(err)
+			}
+			m := x.Matrix()
+			if _, err := x.LastSuccessful("H1", ""); err != nil {
+				b.Fatal(err)
+			}
+			cells = len(m)
+		}
+		b.ReportMetric(float64(cells), "cells")
+	})
+	once("bookkeepindex", func() {
+		fmt.Printf("\n=== bookkeeping at %d runs: full rescan vs incremental index ===\n", nRuns)
+		fmt.Printf("  matrix cells: %d (see ns/op above: the index answers from memory)\n", cells)
 	})
 }
 

@@ -13,8 +13,11 @@
 //
 // The -store form is the paper's actual workflow: the campaign runner
 // and the report generator are independent clients of one common
-// storage, so the site can be rebuilt at any time by a fresh process
-// without the campaign process being involved.
+// storage. spreport opens the store through storage.OpenReadOnly — the
+// shared-lock read view — so it works while a campaign process holds
+// the exclusive writer lock, and it renders pages straight to -out
+// without writing anything back to the store. (For a continuously
+// refreshing live view of the same directory, see spserve.)
 package main
 
 import (
@@ -43,7 +46,7 @@ func main() {
 }
 
 // openSource returns the common storage named by exactly one of
-// snapshotPath and storeDir.
+// snapshotPath and storeDir, opened strictly read-only.
 func openSource(snapshotPath, storeDir string) (*storage.Store, error) {
 	switch {
 	case snapshotPath == "" && storeDir == "":
@@ -52,14 +55,13 @@ func openSource(snapshotPath, storeDir string) (*storage.Store, error) {
 		return nil, fmt.Errorf("-store and -snapshot are mutually exclusive")
 	case storeDir != "":
 		// A missing directory is a mistyped path, not a request to
-		// create an empty store (which storage.Open would happily do)
-		// and render an all-blank site from it. Note spreport is not
-		// purely read-only: like every sp-system client it regenerates
-		// the status pages onto the common storage it opens.
+		// create an empty store and render an all-blank site from it.
+		// OpenReadOnly refuses to create anything, but checking for the
+		// journal distinguishes "not a store" from "empty directory".
 		if _, err := os.Stat(filepath.Join(storeDir, "names.log")); err != nil {
 			return nil, fmt.Errorf("%s is not an sp-system store (no names.log): %w", storeDir, err)
 		}
-		return storage.Open(storeDir)
+		return storage.OpenReadOnly(storeDir)
 	default:
 		data, err := os.ReadFile(snapshotPath)
 		if err != nil {
@@ -74,26 +76,26 @@ func run(snapshotPath, storeDir, outDir, title string) (err error) {
 	if err != nil {
 		return err
 	}
-	// Close syncs the disk backend's journal (the regenerated pages'
-	// bindings); a failure there must not exit 0.
 	defer func() {
 		if cerr := store.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}()
 
-	if _, err := report.PublishSite(store, title); err != nil {
+	// One pass over the records, then everything renders from memory.
+	index, err := bookkeep.BuildIndex(store)
+	if err != nil {
+		return err
+	}
+	pages, err := report.RenderSite(index, title)
+	if err != nil {
 		return err
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	written := 0
-	for _, key := range store.List(report.WebNS) {
-		page, err := store.Get(report.WebNS, key)
-		if err != nil {
-			return err
-		}
+	for key, page := range pages {
 		path := filepath.Join(outDir, filepath.FromSlash(key))
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return err
@@ -105,12 +107,7 @@ func run(snapshotPath, storeDir, outDir, title string) (err error) {
 	}
 
 	// Also print the text matrix for terminal use.
-	book := bookkeep.New(store)
-	cells, err := book.Matrix()
-	if err != nil {
-		return err
-	}
-	fmt.Print(report.TextMatrix(cells))
+	fmt.Print(report.TextMatrix(index.Matrix()))
 	fmt.Printf("\n%d pages written to %s\n", written, outDir)
 	if !strings.HasSuffix(outDir, "/") {
 		fmt.Printf("open %s/index.html to browse\n", outDir)

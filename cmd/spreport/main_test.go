@@ -108,6 +108,34 @@ func TestRunRegeneratesSiteFromStore(t *testing.T) {
 	}
 }
 
+// TestRunWhileCampaignWriterIsLive is the regression test for the
+// lock-contention bug: spreport used to take the exclusive writer
+// flock and failed while a campaign process had the store open. The
+// read-only view attaches alongside the live writer and renders what
+// is recorded so far.
+func TestRunWhileCampaignWriterIsLive(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "spstore")
+	writer, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close() // the "campaign" holds its lock for the whole test
+	populate(t, writer)
+
+	out := filepath.Join(dir, "site")
+	if err := run("", storeDir, out, "live status"); err != nil {
+		t.Fatalf("spreport against a live-locked store: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
+		t.Fatalf("index.html not written: %v", err)
+	}
+	// The writer is still fully functional afterwards.
+	if _, err := writer.Put("ns", "still-writable", []byte("y")); err != nil {
+		t.Fatalf("writer broken after spreport ran: %v", err)
+	}
+}
+
 func TestRunRequiresSource(t *testing.T) {
 	if err := run("", "", t.TempDir(), "t"); err == nil {
 		t.Fatal("missing -snapshot/-store accepted")

@@ -1,0 +1,299 @@
+// Command spserve is the sp-system's live status service: the paper's
+// §3.3 "script-based web pages ... used to record and display available
+// validation runs", served to the collaboration as a long-running HTTP
+// service instead of a batch-regenerated directory of files.
+//
+// It serves the Figure 3 status matrix, per-run pages,
+// diffs-against-last-success, kept output artifacts, and JSON
+// equivalents, live from a durable on-disk common storage — including
+// one that a separate `spsys campaign -store DIR` process is writing at
+// the same time. That works because spserve opens the store through
+// storage.OpenReadOnly: a shared-lock, no-repair read view that re-tails
+// the store's name journal to pick up the writer's appends, feeding an
+// incremental bookkeep.Index so a page view costs memory lookups, not
+// per-query record loads.
+//
+// Usage:
+//
+//	spserve -store ./spstore [-addr :8344] [-title "..."] [-refresh 1s]
+//
+// Endpoints:
+//
+//	/            HTML status matrix (Figure 3)
+//	/runs/{id}   HTML page for one validation run
+//	/diff/{id}   text diff of a run against its last successful baseline
+//	/blob/{hash} raw kept artifact by content hash
+//	/api/matrix  JSON status matrix
+//	/api/runs    JSON run list
+//	/healthz     liveness + store freshness
+//
+// -refresh bounds how often the journal is re-tailed: at most one
+// refresh per interval, taken lazily on request arrival, so an idle
+// service does no work and a busy one amortizes the (already cheap)
+// catch-up across requests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bookkeep"
+	"repro/internal/buildsys"
+	"repro/internal/chain"
+	"repro/internal/report"
+	"repro/internal/storage"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "directory of the durable on-disk common storage (required)")
+	addr := flag.String("addr", ":8344", "listen address")
+	title := flag.String("title", "sp-system validation status", "page title")
+	refresh := flag.Duration("refresh", time.Second, "minimum interval between store re-tails (0: every request)")
+	flag.Parse()
+
+	if err := run(*storeDir, *addr, *title, *refresh); err != nil {
+		fmt.Fprintln(os.Stderr, "spserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storeDir, addr, title string, refresh time.Duration) error {
+	if storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	store, err := storage.OpenReadOnly(storeDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	srv, err := newServer(store, title, refresh)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spserve: serving %s on %s (%d runs indexed)\n", storeDir, addr, srv.index.TotalRuns())
+	return http.ListenAndServe(addr, srv.handler())
+}
+
+// server holds the read view, the incremental index over it, and the
+// refresh throttle. It is safe for concurrent request handling: the
+// store view and index are individually thread-safe, and the throttle
+// state sits behind its own mutex.
+type server struct {
+	store *storage.Store
+	index *bookkeep.Index
+	title string
+
+	refreshEvery time.Duration
+	mu           sync.Mutex
+	lastRefresh  time.Time
+	lastErr      error
+}
+
+// newServer builds a server over any Store (the read-only disk view in
+// production, an in-memory store in tests) with the index fully loaded.
+func newServer(store *storage.Store, title string, refreshEvery time.Duration) (*server, error) {
+	x, err := bookkeep.BuildIndex(store)
+	if err != nil {
+		return nil, err
+	}
+	return &server{store: store, index: x, title: title, refreshEvery: refreshEvery, lastRefresh: time.Now()}, nil
+}
+
+// refresh re-tails the store and catches the index up, at most once per
+// refreshEvery. A refresh failure is remembered for /healthz but does
+// not take pages down — the service keeps answering from its last good
+// state.
+func (s *server) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refreshEvery > 0 && time.Since(s.lastRefresh) < s.refreshEvery {
+		return
+	}
+	s.lastRefresh = time.Now()
+	if err := s.store.Refresh(); err != nil {
+		s.lastErr = err
+		return
+	}
+	s.lastErr = s.index.Refresh()
+}
+
+// handler wires the endpoint table. Path parameters are parsed by
+// hand, keeping the mux compatible with every supported Go version.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.serveMatrix)
+	mux.HandleFunc("/runs/", s.serveRun)
+	mux.HandleFunc("/diff/", s.serveDiff)
+	mux.HandleFunc("/blob/", s.serveBlob)
+	mux.HandleFunc("/api/matrix", s.serveAPIMatrix)
+	mux.HandleFunc("/api/runs", s.serveAPIRuns)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	return mux
+}
+
+func (s *server) serveMatrix(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r) // the catch-all pattern must not answer for arbitrary paths
+		return
+	}
+	s.refresh()
+	page, err := report.HTMLMatrixLinked(s.title, s.index.Matrix(), s.index.TotalRuns(),
+		func(runID string) string { return "/runs/" + runID })
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+// pathParam extracts the single path parameter after prefix, rejecting
+// empty values and further slashes.
+func pathParam(path, prefix string) (string, bool) {
+	p := strings.TrimPrefix(path, prefix)
+	if p == "" || strings.Contains(p, "/") {
+		return "", false
+	}
+	return p, true
+}
+
+func (s *server) serveRun(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathParam(r.URL.Path, "/runs/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.refresh()
+	rec, err := s.index.Run(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	// Output links are content-addressed: resolve each kept artifact's
+	// storage key to its blob hash at render time, so the link stays
+	// valid forever even if the key were ever rebound. Chain tests keep
+	// outputs in the files namespace; build jobs keep their tarballs in
+	// the artifacts namespace.
+	page, err := report.HTMLRunLinked(rec, func(key string) string {
+		for _, ns := range []string{chain.FilesNS, buildsys.ArtifactNS} {
+			if hash, err := s.store.Hash(ns, key); err == nil {
+				return "/blob/" + hash
+			}
+		}
+		return "" // not yet visible through the read view: no link
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+func (s *server) serveDiff(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathParam(r.URL.Path, "/diff/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.refresh()
+	rec, err := s.index.Run(id)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	d, err := s.index.DiffAgainstLastSuccess(rec)
+	if err != nil {
+		// The run exists but has no successful predecessor — a normal
+		// state for the first runs of an experiment, not a 404.
+		fmt.Fprintf(w, "no baseline for %s: %v\n", id, err)
+		return
+	}
+	fmt.Fprint(w, report.TextDiff(d))
+}
+
+func (s *server) serveBlob(w http.ResponseWriter, r *http.Request) {
+	hash, ok := pathParam(r.URL.Path, "/blob/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	s.refresh()
+	data, err := s.store.GetBlob(hash)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *server) serveAPIMatrix(w http.ResponseWriter, r *http.Request) {
+	s.refresh()
+	writeJSON(w, struct {
+		Title     string          `json:"title"`
+		TotalRuns int             `json:"total_runs"`
+		Cells     []bookkeep.Cell `json:"cells"`
+	}{s.title, s.index.TotalRuns(), s.index.Matrix()})
+}
+
+// runSummary is one /api/runs entry.
+type runSummary struct {
+	RunID       string `json:"run_id"`
+	Description string `json:"description"`
+	Experiment  string `json:"experiment"`
+	Config      string `json:"config"`
+	Externals   string `json:"externals"`
+	Revision    int    `json:"revision"`
+	Timestamp   int64  `json:"timestamp"`
+	Jobs        int    `json:"jobs"`
+	Passed      bool   `json:"passed"`
+}
+
+func (s *server) serveAPIRuns(w http.ResponseWriter, r *http.Request) {
+	s.refresh()
+	recs := s.index.Runs()
+	out := make([]runSummary, len(recs))
+	for i, rec := range recs {
+		out[i] = runSummary{
+			RunID: rec.RunID, Description: rec.Description, Experiment: rec.Experiment,
+			Config: rec.Config, Externals: rec.Externals, Revision: rec.RepoRevision,
+			Timestamp: rec.Timestamp, Jobs: len(rec.Jobs), Passed: rec.Passed(),
+		}
+	}
+	writeJSON(w, struct {
+		Runs []runSummary `json:"runs"`
+	}{out})
+}
+
+func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	s.refresh()
+	s.mu.Lock()
+	lastErr := s.lastErr
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	errText := ""
+	if lastErr != nil {
+		// Still serving (from the last good state), but stale: say so.
+		status, code, errText = "degraded", http.StatusServiceUnavailable, lastErr.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Status  string `json:"status"`
+		Runs    int    `json:"runs"`
+		LastErr string `json:"last_error,omitempty"`
+	}{status, s.index.TotalRuns(), errText})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+	"repro/internal/valtest"
+)
+
+// record runs one two-test suite (one pass with a kept artifact, one
+// with the given outcome) against the store and returns the record.
+func record(t *testing.T, store *storage.Store, rn *runner.Runner, exp, desc string, second valtest.Outcome) *runner.RunRecord {
+	t.Helper()
+	suite := valtest.NewSuite(exp)
+	suite.MustAdd(&valtest.FuncTest{TestName: "keeper", Cat: valtest.CatStandalone,
+		Fn: func(ctx *valtest.Context) valtest.Result {
+			key := ctx.Env[storage.EnvRunID] + "/artifact"
+			if _, err := ctx.Store.Put(chain.FilesNS, key, []byte("kept output of "+desc)); err != nil {
+				return valtest.Result{Outcome: valtest.OutcomeError, Detail: err.Error()}
+			}
+			return valtest.Result{Outcome: valtest.OutcomePass, OutputKey: key}
+		}})
+	suite.MustAdd(&valtest.FuncTest{TestName: "other", Cat: valtest.CatStandalone,
+		Fn: func(*valtest.Context) valtest.Result {
+			return valtest.Result{Outcome: second, Detail: "synthetic"}
+		}})
+	cat := externals.NewCatalogue()
+	root, _ := cat.Get(externals.ROOT, "5.34")
+	ctx := &valtest.Context{
+		Store:     store,
+		Env:       storage.Env{},
+		Config:    platform.ReferenceConfig(),
+		Registry:  platform.NewRegistry(),
+		Externals: externals.MustSet(root),
+		Repo:      swrepo.NewRepository(exp),
+	}
+	rec, err := rn.Run(suite, ctx, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestEndpoints(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	good := record(t, store, rn, "H1", "baseline", valtest.OutcomePass)
+	bad := record(t, store, rn, "H1", "regressed", valtest.OutcomeFail)
+
+	srv, err := newServer(store, "test status", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	t.Run("matrix", func(t *testing.T) {
+		code, body, hdr := get(t, ts, "/")
+		if code != 200 {
+			t.Fatalf("GET / = %d", code)
+		}
+		if !strings.Contains(hdr.Get("Content-Type"), "text/html") {
+			t.Errorf("content type %q", hdr.Get("Content-Type"))
+		}
+		for _, want := range []string{"test status", "H1", `href="/runs/` + bad.RunID + `"`, "2 validation runs"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("matrix page missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("run page", func(t *testing.T) {
+		code, body, _ := get(t, ts, "/runs/"+good.RunID)
+		if code != 200 {
+			t.Fatalf("GET /runs/%s = %d", good.RunID, code)
+		}
+		job, ok := good.Find("keeper")
+		if !ok || job.Result.OutputKey == "" {
+			t.Fatal("fixture lost its artifact")
+		}
+		hash, err := store.Hash(chain.FilesNS, job.Result.OutputKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{good.RunID, "keeper", `href="/blob/` + hash + `"`} {
+			if !strings.Contains(body, want) {
+				t.Errorf("run page missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("run 404", func(t *testing.T) {
+		for _, path := range []string{"/runs/run-9999", "/runs/", "/runs/a/b"} {
+			if code, _, _ := get(t, ts, path); code != 404 {
+				t.Errorf("GET %s = %d, want 404", path, code)
+			}
+		}
+	})
+
+	t.Run("diff", func(t *testing.T) {
+		code, body, _ := get(t, ts, "/diff/"+bad.RunID)
+		if code != 200 {
+			t.Fatalf("GET /diff = %d", code)
+		}
+		for _, want := range []string{good.RunID, bad.RunID, "REGRESSION other"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("diff missing %q:\n%s", want, body)
+			}
+		}
+		// First run has no baseline: still a page, not a 404.
+		code, body, _ = get(t, ts, "/diff/"+good.RunID)
+		if code != 200 || !strings.Contains(body, "no baseline") {
+			t.Errorf("GET /diff/%s = %d %q", good.RunID, code, body)
+		}
+		if code, _, _ := get(t, ts, "/diff/run-9999"); code != 404 {
+			t.Errorf("diff of unknown run = %d, want 404", code)
+		}
+	})
+
+	t.Run("blob", func(t *testing.T) {
+		job, _ := good.Find("keeper")
+		hash, err := store.Hash(chain.FilesNS, job.Result.OutputKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body, _ := get(t, ts, "/blob/"+hash)
+		if code != 200 || body != "kept output of baseline" {
+			t.Fatalf("GET /blob = %d %q", code, body)
+		}
+		if code, _, _ := get(t, ts, "/blob/"+strings.Repeat("0", 64)); code != 404 {
+			t.Errorf("missing blob = %d, want 404", code)
+		}
+		if code, _, _ := get(t, ts, "/blob/"); code != 404 {
+			t.Errorf("empty blob hash = %d, want 404", code)
+		}
+	})
+
+	t.Run("api matrix", func(t *testing.T) {
+		code, body, hdr := get(t, ts, "/api/matrix")
+		if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+			t.Fatalf("GET /api/matrix = %d %q", code, hdr.Get("Content-Type"))
+		}
+		var doc struct {
+			TotalRuns int `json:"total_runs"`
+			Cells     []struct {
+				Experiment, RunID string
+				Pass, Fail        int
+			} `json:"cells"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.TotalRuns != 2 || len(doc.Cells) != 1 {
+			t.Fatalf("api matrix = %+v", doc)
+		}
+		if c := doc.Cells[0]; c.Experiment != "H1" || c.RunID != bad.RunID || c.Fail != 1 {
+			t.Fatalf("cell = %+v", c)
+		}
+	})
+
+	t.Run("api runs", func(t *testing.T) {
+		code, body, _ := get(t, ts, "/api/runs")
+		if code != 200 {
+			t.Fatalf("GET /api/runs = %d", code)
+		}
+		var doc struct {
+			Runs []struct {
+				RunID  string `json:"run_id"`
+				Passed bool   `json:"passed"`
+				Jobs   int    `json:"jobs"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Runs) != 2 || doc.Runs[0].RunID != good.RunID || !doc.Runs[0].Passed ||
+			doc.Runs[1].Passed || doc.Runs[1].Jobs != 2 {
+			t.Fatalf("api runs = %+v", doc.Runs)
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		code, body, _ := get(t, ts, "/healthz")
+		if code != 200 || !strings.Contains(body, `"status":"ok"`) || !strings.Contains(body, `"runs":2`) {
+			t.Fatalf("GET /healthz = %d %q", code, body)
+		}
+	})
+
+	t.Run("unknown path", func(t *testing.T) {
+		if code, _, _ := get(t, ts, "/nope"); code != 404 {
+			t.Errorf("GET /nope = %d, want 404", code)
+		}
+	})
+}
+
+// TestEndpointsEmptyStore: a store with zero runs serves empty-but-valid
+// pages, not errors.
+func TestEndpointsEmptyStore(t *testing.T) {
+	srv, err := newServer(storage.NewStore(), "empty", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	code, body, _ := get(t, ts, "/")
+	if code != 200 || !strings.Contains(body, "0 validation runs") {
+		t.Fatalf("GET / = %d %q", code, body)
+	}
+	code, body, _ = get(t, ts, "/api/matrix")
+	if code != 200 || !strings.Contains(body, `"total_runs":0`) {
+		t.Fatalf("GET /api/matrix = %d %q", code, body)
+	}
+	code, body, _ = get(t, ts, "/healthz")
+	if code != 200 || !strings.Contains(body, `"runs":0`) {
+		t.Fatalf("GET /healthz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, ts, "/runs/run-0001"); code != 404 {
+		t.Fatalf("run page on empty store = %d, want 404", code)
+	}
+}
+
+// TestServeLiveStore is the tentpole's acceptance path in-process: a
+// writer handle (standing in for `spsys campaign -store`) holds the
+// exclusive lock and keeps appending runs while spserve, over the
+// shared-lock read-only view of the same directory, serves pages that
+// refresh to include them.
+func TestServeLiveStore(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	first := record(t, wstore, rn, "H1", "first", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatalf("read-only open while the campaign writer is live: %v", err)
+	}
+	defer rstore.Close()
+	srv, err := newServer(rstore, "live", 0) // refresh on every request
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if code, body, _ := get(t, ts, "/"); code != 200 || !strings.Contains(body, first.RunID) {
+		t.Fatalf("initial matrix = %d, missing %s", code, first.RunID)
+	}
+
+	// The writer keeps recording; each new run shows up on the next
+	// request without any writer cooperation.
+	for i := 0; i < 3; i++ {
+		rec := record(t, wstore, rn, "H1", fmt.Sprintf("live append %d", i), valtest.OutcomeFail)
+		code, body, _ := get(t, ts, "/runs/"+rec.RunID)
+		if code != 200 || !strings.Contains(body, rec.Description) {
+			t.Fatalf("run page for freshly appended %s = %d", rec.RunID, code)
+		}
+		code, body, _ = get(t, ts, "/api/runs")
+		if code != 200 || !strings.Contains(body, rec.RunID) {
+			t.Fatalf("api runs missing freshly appended %s", rec.RunID)
+		}
+	}
+	code, body, _ := get(t, ts, "/healthz")
+	if code != 200 || !strings.Contains(body, `"runs":4`) {
+		t.Fatalf("healthz after live appends = %d %q", code, body)
+	}
+	// The diff of the latest failure resolves against the live baseline.
+	code, body, _ = get(t, ts, "/diff/run-0004")
+	if code != 200 || !strings.Contains(body, first.RunID) {
+		t.Fatalf("live diff = %d %q", code, body)
+	}
+}
+
+// TestRefreshThrottle: with a long refresh interval, a request between
+// refreshes serves the stale-but-consistent last state.
+func TestRefreshThrottle(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	record(t, wstore, rn, "H1", "first", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := newServer(rstore, "throttled", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	record(t, wstore, rn, "H1", "second", valtest.OutcomePass)
+	if _, body, _ := get(t, ts, "/api/runs"); strings.Contains(body, "run-0002") {
+		t.Fatal("throttled server refreshed before its interval")
+	}
+}
+
+func TestRunRequiresStore(t *testing.T) {
+	if err := run("", ":0", "t", time.Second); err == nil {
+		t.Fatal("missing -store accepted")
+	}
+	if err := run("/nonexistent/spstroe", ":0", "t", time.Second); err == nil {
+		t.Fatal("mistyped store path accepted")
+	}
+}

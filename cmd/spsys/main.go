@@ -16,7 +16,12 @@
 // memory, so everything the command records — runs, job environments,
 // artifacts, counters, status pages — survives the process and is
 // readable by any later invocation sharing the directory (for example
-// `spreport -store DIR`, which renders the status site from it).
+// `spreport -store DIR`, which renders the status site from it, or
+// `spserve -store DIR`, which serves it live). The recording
+// subcommands (campaign, validate, migrate) take the store's exclusive
+// writer lock; the inspection subcommands (runs, matrix, history) open
+// the shared-lock read-only view instead, so they work while a
+// campaign is running and can never mutate the recorded bookkeeping.
 package main
 
 import (
@@ -83,6 +88,21 @@ the durable on-disk common storage at DIR instead of process memory`)
 // storeFlag registers the -store flag on a subcommand's flag set.
 func storeFlag(fs *flag.FlagSet) *string {
 	return fs.String("store", "", "directory of the durable on-disk common storage (default: in-memory)")
+}
+
+// openInspect opens the common storage for a read-only inspection
+// command (runs, matrix, history). With -store it returns the
+// shared-lock read view — which attaches even while a live `spsys
+// campaign -store` process holds the exclusive writer lock, and cannot
+// mutate the recorded bookkeeping. Without -store it returns a fresh
+// in-memory store; recorded reports whether a recorded store was
+// opened (in which case the caller must not run demo workloads).
+func openInspect(storeDir string) (store *storage.Store, recorded bool, err error) {
+	if storeDir == "" {
+		return storage.NewStore(), false, nil
+	}
+	store, err = storage.OpenReadOnly(storeDir)
+	return store, true, err
 }
 
 // closeStore propagates a store Close failure into the command's
@@ -308,7 +328,7 @@ func runMatrix(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := storage.OpenOrMemory(*storeDir)
+	store, recorded, err := openInspect(*storeDir)
 	if err != nil {
 		return err
 	}
@@ -317,10 +337,10 @@ func runMatrix(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	// A store with recorded runs is inspected as-is; only an empty one
-	// (always the case in-memory) gets a quick demo campaign, so pointing
-	// -store at a recorded campaign never mutates its bookkeeping.
-	if sys.Book.TotalRuns() == 0 {
+	// A recorded store is inspected as-is through the read-only view
+	// (it *cannot* be mutated from here); only the in-memory store gets
+	// a quick demo campaign so there is something to show.
+	if !recorded && sys.Book.TotalRuns() == 0 {
 		fmt.Println("(running quick campaign to populate the matrix)")
 		exts, err := externalSet(sys, "5.34")
 		if err != nil {
@@ -348,7 +368,7 @@ func runHistory(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := storage.OpenOrMemory(*storeDir)
+	store, recorded, err := openInspect(*storeDir)
 	if err != nil {
 		return err
 	}
@@ -357,9 +377,10 @@ func runHistory(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	// With a recorded store, query the existing history; otherwise build
-	// one by running a quick two-config campaign.
-	if sys.Book.TotalRuns() == 0 {
+	// With a recorded store, query the existing history through the
+	// read-only view; otherwise build one by running a quick two-config
+	// campaign in memory.
+	if !recorded && sys.Book.TotalRuns() == 0 {
 		exts, err := externalSet(sys, "5.34")
 		if err != nil {
 			return err
@@ -405,7 +426,7 @@ func runRuns(args []string) (err error) {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := storage.OpenOrMemory(*storeDir)
+	store, recorded, err := openInspect(*storeDir)
 	if err != nil {
 		return err
 	}
@@ -414,9 +435,10 @@ func runRuns(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	// List what is recorded; only an empty (e.g. in-memory) store gets
-	// demo runs so there is something to show.
-	if sys.Book.TotalRuns() == 0 {
+	// List what is recorded (via the read-only view — a live campaign
+	// writer does not block us); only the in-memory store gets demo
+	// runs so there is something to show.
+	if !recorded && sys.Book.TotalRuns() == 0 {
 		exts, err := externalSet(sys, "5.34")
 		if err != nil {
 			return err

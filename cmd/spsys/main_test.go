@@ -112,6 +112,59 @@ func TestInspectionCommandsDoNotMutateRecordedStore(t *testing.T) {
 	}
 }
 
+// TestInspectionCommandsWorkWhileWriterIsLive: runs/matrix/history used
+// to take the exclusive writer flock and failed while a campaign was
+// running; through the read-only view they attach alongside the live
+// writer.
+func TestInspectionCommandsWorkWhileWriterIsLive(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "spstore")
+	if err := runCampaign([]string{"-quick", "-workers", "2", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	writer, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close() // stands in for a campaign mid-flight
+	if err := runRuns([]string{"-store", storeDir}); err != nil {
+		t.Fatalf("runs against a live-locked store: %v", err)
+	}
+	if err := runMatrix([]string{"-store", storeDir}); err != nil {
+		t.Fatalf("matrix against a live-locked store: %v", err)
+	}
+	if err := runHistory([]string{"-experiment", "H1", "-store", storeDir}); err != nil {
+		t.Fatalf("history against a live-locked store: %v", err)
+	}
+}
+
+// TestInspectionCommandsOnEmptyRecordedStore: a recorded-but-empty
+// store is reported as such, never populated with demo runs (the view
+// could not record them anyway).
+func TestInspectionCommandsOnEmptyRecordedStore(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "spstore")
+	store, err := storage.Open(storeDir) // create an empty store
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRuns([]string{"-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMatrix([]string{"-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := storage.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if runs := reopened.List("runs"); len(runs) != 0 {
+		t.Fatalf("inspection populated a recorded store: %v", runs)
+	}
+}
+
 func TestCampaignCommandSerialWorker(t *testing.T) {
 	if err := runCampaign([]string{"-quick", "-workers", "1"}); err != nil {
 		t.Fatal(err)

@@ -10,7 +10,12 @@
 // -store DIR flag every command accepts — `spsys campaign -store DIR`
 // records a campaign that a separate `spreport -store DIR` process
 // renders later, the paper's workflow of independent clients sharing
-// one common storage.
+// one common storage. Read-only consumers attach through
+// storage.OpenReadOnly, a shared-lock view that works while the
+// campaign writer is live; `spserve -store DIR` builds on it to serve
+// the status matrix, run pages, diffs, artifacts and JSON APIs as a
+// long-running HTTP service that picks up new runs as they are
+// recorded.
 //
 // See DESIGN.md for the system inventory (including the storage backend
 // contract and on-disk layout), EXPERIMENTS.md for the

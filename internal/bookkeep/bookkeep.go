@@ -96,7 +96,9 @@ func (b *Book) LastSuccessful(experiment, beforeRunID string) (*runner.RunRecord
 	}
 	var best *runner.RunRecord
 	for _, r := range all {
-		if beforeRunID != "" && r.RunID >= beforeRunID {
+		// Numeric-aware comparison: with string >= the baseline search
+		// would wrongly exclude run-9999 when diffing run-10000.
+		if beforeRunID != "" && runner.CompareIDs(r.RunID, beforeRunID) >= 0 {
 			continue
 		}
 		if r.Passed() {
@@ -294,6 +296,48 @@ func (c *Cell) Healthy() bool { return c.Fail == 0 && c.Error == 0 && c.Skip == 
 // Total returns the number of jobs in the latest run.
 func (c *Cell) Total() int { return c.Pass + c.Fail + c.Skip + c.Error }
 
+// cellKey identifies one matrix cell: an (experiment, config,
+// externals) triple.
+type cellKey struct{ exp, cfg, ext string }
+
+// makeCell builds the Cell for a key from its latest run and total run
+// count — shared by the full-rescan Matrix here and the incremental
+// Index, so both produce identical cells from identical inputs.
+func makeCell(k cellKey, r *runner.RunRecord, count int) Cell {
+	c := Cell{
+		Experiment: k.exp, Config: k.cfg, Externals: k.ext,
+		RunID: r.RunID, Timestamp: r.Timestamp, Runs: count,
+	}
+	for _, j := range r.Jobs {
+		switch j.Result.Outcome {
+		case valtest.OutcomePass:
+			c.Pass++
+		case valtest.OutcomeFail:
+			c.Fail++
+		case valtest.OutcomeSkip:
+			c.Skip++
+		default:
+			c.Error++
+		}
+	}
+	return c
+}
+
+// sortCells orders matrix cells by experiment, then config, then
+// externals — the Figure 3 presentation order.
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Externals < b.Externals
+	})
+}
+
 // Matrix aggregates the latest run per (experiment, config, externals)
 // triple — the data behind the Figure 3 summary page. Cells are sorted
 // by experiment, then config, then externals.
@@ -302,46 +346,22 @@ func (b *Book) Matrix() ([]Cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	type key struct{ exp, cfg, ext string }
-	latest := make(map[key]*runner.RunRecord)
-	count := make(map[key]int)
+	latest := make(map[cellKey]*runner.RunRecord)
+	count := make(map[cellKey]int)
 	for _, r := range all {
-		k := key{r.Experiment, r.Config, r.Externals}
+		k := cellKey{r.Experiment, r.Config, r.Externals}
 		count[k]++
-		if prev, ok := latest[k]; !ok || r.RunID > prev.RunID {
+		// Numeric-aware: the latest run past rollover is run-10000, not
+		// the lexicographically larger run-9999.
+		if prev, ok := latest[k]; !ok || runner.CompareIDs(r.RunID, prev.RunID) > 0 {
 			latest[k] = r
 		}
 	}
 	cells := make([]Cell, 0, len(latest))
 	for k, r := range latest {
-		c := Cell{
-			Experiment: k.exp, Config: k.cfg, Externals: k.ext,
-			RunID: r.RunID, Timestamp: r.Timestamp, Runs: count[k],
-		}
-		for _, j := range r.Jobs {
-			switch j.Result.Outcome {
-			case valtest.OutcomePass:
-				c.Pass++
-			case valtest.OutcomeFail:
-				c.Fail++
-			case valtest.OutcomeSkip:
-				c.Skip++
-			default:
-				c.Error++
-			}
-		}
-		cells = append(cells, c)
+		cells = append(cells, makeCell(k, r, count[k]))
 	}
-	sort.Slice(cells, func(i, j int) bool {
-		a, bb := cells[i], cells[j]
-		if a.Experiment != bb.Experiment {
-			return a.Experiment < bb.Experiment
-		}
-		if a.Config != bb.Config {
-			return a.Config < bb.Config
-		}
-		return a.Externals < bb.Externals
-	})
+	sortCells(cells)
 	return cells, nil
 }
 

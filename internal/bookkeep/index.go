@@ -1,0 +1,213 @@
+package bookkeep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/runner"
+	"repro/internal/storage"
+)
+
+// Index is the incremental form of the bookkeeping: it loads each run
+// record from the common storage exactly once and keeps the derived
+// structures — the execution-ordered run list, per-experiment run
+// lists, and the Figure 3 matrix cells — up to date in memory.
+//
+// Book answers every query by re-listing and re-loading all N recorded
+// runs, which makes a campaign that publishes after each run O(N²)
+// record loads and makes a status service O(N) loads per page view.
+// Index answers the same queries from memory; Refresh catches up on
+// runs recorded since the last call (by this process or — over the
+// read-only store view — by a separate writer process) by loading only
+// the new records.
+//
+// Index produces results identical to Book on the same store: the two
+// share the cell construction and ordering code, and the property test
+// in index_test.go asserts byte-identical matrix and diff rendering
+// under arbitrary insertion interleavings.
+//
+// Index is safe for concurrent use.
+type Index struct {
+	store *storage.Store
+
+	mu     sync.RWMutex
+	runs   map[string]*runner.RunRecord
+	order  []string            // all run IDs in execution (CompareIDs) order
+	byExp  map[string][]string // per-experiment run IDs, same order
+	latest map[cellKey]string  // run ID of each cell's latest run
+	count  map[cellKey]int     // total runs recorded per cell
+}
+
+// NewIndex returns an empty index over the store. Call Refresh to load
+// the recorded runs (and again whenever the store may have grown).
+func NewIndex(store *storage.Store) *Index {
+	return &Index{
+		store:  store,
+		runs:   make(map[string]*runner.RunRecord),
+		byExp:  make(map[string][]string),
+		latest: make(map[cellKey]string),
+		count:  make(map[cellKey]int),
+	}
+}
+
+// BuildIndex returns an index with every currently recorded run loaded.
+func BuildIndex(store *storage.Store) (*Index, error) {
+	x := NewIndex(store)
+	if err := x.Refresh(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Refresh indexes runs recorded since the last Refresh. Only records
+// not yet indexed are loaded from storage, so a steady-state refresh
+// against an unchanged store costs one name enumeration and zero blob
+// reads. Run records are immutable once written, so an already-indexed
+// ID is never reloaded.
+func (x *Index) Refresh() error {
+	ids := runner.ListRuns(x.store)
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, id := range ids {
+		if _, done := x.runs[id]; done {
+			continue
+		}
+		rec, err := runner.LoadRun(x.store, id)
+		if err != nil {
+			return err
+		}
+		x.addLocked(rec)
+	}
+	return nil
+}
+
+// Add indexes one run record directly — the path for a process that
+// just recorded the run itself and holds the record in hand. Records
+// may arrive in any order; the derived structures stay sorted.
+func (x *Index) Add(rec *runner.RunRecord) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.addLocked(rec)
+}
+
+// addLocked inserts the record into every derived structure. The caller
+// holds x.mu. A record whose ID is already indexed is ignored (run
+// records are immutable).
+func (x *Index) addLocked(rec *runner.RunRecord) {
+	if _, dup := x.runs[rec.RunID]; dup {
+		return
+	}
+	x.runs[rec.RunID] = rec
+	x.order = insertID(x.order, rec.RunID)
+	x.byExp[rec.Experiment] = insertID(x.byExp[rec.Experiment], rec.RunID)
+	k := cellKey{rec.Experiment, rec.Config, rec.Externals}
+	x.count[k]++
+	if cur, ok := x.latest[k]; !ok || runner.CompareIDs(rec.RunID, cur) > 0 {
+		x.latest[k] = rec.RunID
+	}
+}
+
+// insertID inserts id into the CompareIDs-sorted slice, keeping it
+// sorted. Appends (the common case — IDs are minted in increasing
+// order) touch nothing else.
+func insertID(ids []string, id string) []string {
+	if n := len(ids); n == 0 || runner.CompareIDs(ids[n-1], id) < 0 {
+		return append(ids, id)
+	}
+	i := sort.Search(len(ids), func(i int) bool { return runner.CompareIDs(ids[i], id) >= 0 })
+	ids = append(ids, "")
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// TotalRuns returns the number of indexed runs.
+func (x *Index) TotalRuns() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.order)
+}
+
+// Runs returns every indexed run in execution order.
+func (x *Index) Runs() []*runner.RunRecord {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]*runner.RunRecord, len(x.order))
+	for i, id := range x.order {
+		out[i] = x.runs[id]
+	}
+	return out
+}
+
+// Run returns one indexed run by ID.
+func (x *Index) Run(id string) (*runner.RunRecord, error) {
+	x.mu.RLock()
+	rec, ok := x.runs[id]
+	x.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("bookkeep: no indexed run %q", id)
+	}
+	return rec, nil
+}
+
+// RunsFor returns the runs of one experiment, optionally filtered to a
+// configuration label ("" matches all), in execution order.
+func (x *Index) RunsFor(experiment, config string) []*runner.RunRecord {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []*runner.RunRecord
+	for _, id := range x.byExp[experiment] {
+		r := x.runs[id]
+		if config != "" && r.Config != config {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// LastSuccessful returns the most recent fully passing run of the
+// experiment before the given run ID ("" means before anything, i.e.
+// the latest overall) — Book.LastSuccessful answered from memory.
+func (x *Index) LastSuccessful(experiment, beforeRunID string) (*runner.RunRecord, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ids := x.byExp[experiment]
+	// Walk backwards: the first passing run below the bound is the answer.
+	for i := len(ids) - 1; i >= 0; i-- {
+		r := x.runs[ids[i]]
+		if beforeRunID != "" && runner.CompareIDs(r.RunID, beforeRunID) >= 0 {
+			continue
+		}
+		if r.Passed() {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("bookkeep: no successful %s run before %q", experiment, beforeRunID)
+}
+
+// DiffAgainstLastSuccess diffs the run against the last fully
+// successful run of the same experiment — the paper's prescribed
+// comparison, computed without touching storage.
+func (x *Index) DiffAgainstLastSuccess(current *runner.RunRecord) (*Diff, error) {
+	baseline, err := x.LastSuccessful(current.Experiment, current.RunID)
+	if err != nil {
+		return nil, err
+	}
+	return DiffRuns(baseline, current), nil
+}
+
+// Matrix returns the Figure 3 status matrix from the maintained cells —
+// no storage access, identical content to Book.Matrix on the same
+// store.
+func (x *Index) Matrix() []Cell {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	cells := make([]Cell, 0, len(x.latest))
+	for k, id := range x.latest {
+		cells = append(cells, makeCell(k, x.runs[id], x.count[k]))
+	}
+	sortCells(cells)
+	return cells
+}

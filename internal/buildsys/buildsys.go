@@ -199,8 +199,10 @@ func NewBuilder(reg *platform.Registry, store *storage.Store) *Builder {
 	}
 }
 
-// artifactNS is the storage namespace holding build tarballs.
-const artifactNS = "artifacts"
+// ArtifactNS is the storage namespace holding build tarballs — exported
+// so status surfaces (spserve) can resolve a build job's
+// Result.OutputKey to its blob.
+const ArtifactNS = "artifacts"
 
 // DedupHits reports how many Build calls were answered by waiting on an
 // identical concurrent build instead of compiling.
@@ -311,7 +313,7 @@ func (b *Builder) buildPackage(pkg *swrepo.Package, comp *platform.Compiler, cfg
 	}
 
 	sig := b.signature(pkg, cfg, exts, artifacts)
-	if b.UseCache && b.store.Exists(artifactNS, sig) {
+	if b.UseCache && b.store.Exists(ArtifactNS, sig) {
 		pr.Status = StatusCached
 		pr.ArtifactKey = sig
 		return pr
@@ -352,7 +354,7 @@ func (b *Builder) buildPackage(pkg *swrepo.Package, comp *platform.Compiler, cfg
 		})
 		return pr
 	}
-	if _, err := b.store.Put(artifactNS, sig, tarball); err != nil {
+	if _, err := b.store.Put(ArtifactNS, sig, tarball); err != nil {
 		pr.Status = StatusFailed
 		pr.Diagnostics = append(pr.Diagnostics, Diagnostic{
 			Unit: "(storage)", Verdict: platform.VerdictError,

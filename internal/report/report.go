@@ -112,7 +112,7 @@ td, th { border: 1px solid #888; padding: 4px 8px; }
 {{range .Cells}}<tr class="{{if .Healthy}}ok{{else}}bad{{end}}">
 <td>{{.Experiment}}</td><td>{{.Config}}</td><td>{{.Externals}}</td>
 <td>{{.Pass}}</td><td>{{.Fail}}</td><td>{{.Skip}}</td><td>{{.Error}}</td>
-<td><a href="{{.RunID}}.html">{{.RunID}}</a></td>
+<td><a href="{{.Href}}">{{.RunID}}</a></td>
 </tr>{{end}}
 </table></body></html>
 `))
@@ -130,71 +130,151 @@ td, th { border: 1px solid #888; padding: 4px 8px; }
 {{range .Jobs}}<tr class="{{.Result.Outcome}}">
 <td>{{.JobID}}</td><td>{{.Result.Test}}</td><td>{{.Result.Category}}</td>
 <td>{{.Result.Outcome}}</td><td>{{.Result.Detail}}</td>
-<td>{{if .Result.OutputKey}}<a href="blob/{{.Result.OutputKey}}">output</a>{{end}}</td>
+<td>{{if .OutputHref}}<a href="{{.OutputHref}}">output</a>{{end}}</td>
 </tr>{{end}}
 </table></body></html>
 `))
 
-// HTMLMatrix renders the status matrix page.
-func HTMLMatrix(title string, cells []bookkeep.Cell, totalRuns int) (string, error) {
+// matrixRow is one matrix table row: the cell plus the link target of
+// its latest-run column, so the same template serves both the static
+// site (relative "run-0001.html" pages) and spserve ("/runs/run-0001").
+type matrixRow struct {
+	bookkeep.Cell
+	Href string
+}
+
+// HTMLMatrixLinked renders the status matrix page with runHref
+// supplying each cell's latest-run link target.
+func HTMLMatrixLinked(title string, cells []bookkeep.Cell, totalRuns int, runHref func(runID string) string) (string, error) {
+	rows := make([]matrixRow, len(cells))
+	for i, c := range cells {
+		rows[i] = matrixRow{Cell: c, Href: runHref(c.RunID)}
+	}
 	var b strings.Builder
 	err := matrixTmpl.Execute(&b, struct {
 		Title string
 		Runs  int
-		Cells []bookkeep.Cell
-	}{title, totalRuns, cells})
+		Cells []matrixRow
+	}{title, totalRuns, rows})
 	if err != nil {
 		return "", fmt.Errorf("report: %w", err)
 	}
 	return b.String(), nil
 }
 
-// HTMLRun renders one run's page, with cells linked to output blobs.
-func HTMLRun(rec *runner.RunRecord) (string, error) {
+// HTMLMatrix renders the status matrix page for the static site, where
+// run pages sit next to the index.
+func HTMLMatrix(title string, cells []bookkeep.Cell, totalRuns int) (string, error) {
+	return HTMLMatrixLinked(title, cells, totalRuns, func(runID string) string { return runID + ".html" })
+}
+
+// runRow is one job table row: the job record plus its output link
+// target ("" for no link).
+type runRow struct {
+	runner.JobRecord
+	OutputHref string
+}
+
+// HTMLRunLinked renders one run's page with outputHref supplying each
+// job's output link target from its storage key ("" suppresses the
+// link).
+func HTMLRunLinked(rec *runner.RunRecord, outputHref func(outputKey string) string) (string, error) {
+	rows := make([]runRow, len(rec.Jobs))
+	for i, j := range rec.Jobs {
+		rows[i] = runRow{JobRecord: j}
+		if j.Result.OutputKey != "" {
+			rows[i].OutputHref = outputHref(j.Result.OutputKey)
+		}
+	}
 	var b strings.Builder
-	if err := runTmpl.Execute(&b, rec); err != nil {
+	err := runTmpl.Execute(&b, struct {
+		*runner.RunRecord
+		Jobs []runRow
+	}{rec, rows})
+	if err != nil {
 		return "", fmt.Errorf("report: %w", err)
 	}
 	return b.String(), nil
+}
+
+// HTMLRun renders one run's page for the static site, with cells linked
+// to output blobs under the relative blob/ prefix.
+func HTMLRun(rec *runner.RunRecord) (string, error) {
+	return HTMLRunLinked(rec, func(key string) string { return "blob/" + key })
 }
 
 // WebNS is the storage namespace the generated site is written to.
 const WebNS = "web"
 
-// PublishSite regenerates the whole site — index plus one page per run —
-// onto the common storage, returning the number of pages written. This
-// is the "script-based web pages" machinery: derived entirely from the
-// bookkeeping records, rerunnable at any time.
-func PublishSite(store *storage.Store, title string) (int, error) {
-	book := bookkeep.New(store)
-	cells, err := book.Matrix()
+// RenderSite renders the whole static site — index.html plus one page
+// per run — from the index, without touching storage for anything but
+// the records the index already holds. The map is keyed by page name.
+func RenderSite(x *bookkeep.Index, title string) (map[string][]byte, error) {
+	pages := make(map[string][]byte)
+	index, err := HTMLMatrix(title, x.Matrix(), x.TotalRuns())
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	index, err := HTMLMatrix(title, cells, book.TotalRuns())
-	if err != nil {
-		return 0, err
-	}
-	pages := 0
-	if _, err := store.Put(WebNS, "index.html", []byte(index)); err != nil {
-		return 0, err
-	}
-	pages++
-	runs, err := book.Runs()
-	if err != nil {
-		return pages, err
-	}
-	for _, rec := range runs {
+	pages["index.html"] = []byte(index)
+	for _, rec := range x.Runs() {
 		page, err := HTMLRun(rec)
 		if err != nil {
-			return pages, err
+			return nil, err
 		}
-		if _, err := store.Put(WebNS, rec.RunID+".html", []byte(page)); err != nil {
-			return pages, err
-		}
-		pages++
+		pages[rec.RunID+".html"] = []byte(page)
 	}
 	return pages, nil
+}
+
+// PublishStats summarizes one PublishSite pass.
+type PublishStats struct {
+	// Pages is the number of pages the site comprises.
+	Pages int
+	// Written is how many were stored because their content changed (or
+	// was new); Skipped counts pages whose stored content was already
+	// identical. Republishing after each run of a long campaign is
+	// therefore incremental: old runs' pages hash-match and are skipped.
+	Written, Skipped int
+}
+
+// PublishSiteIndexed regenerates the site from the (already refreshed)
+// index onto the common storage. Pages identical to their stored
+// version are detected by content hash — no blob load, no write, no new
+// journal entry — so the cost of a republish scales with what changed,
+// not with the size of the recorded history.
+func PublishSiteIndexed(store *storage.Store, x *bookkeep.Index, title string) (PublishStats, error) {
+	var stats PublishStats
+	pages, err := RenderSite(x, title)
+	if err != nil {
+		return stats, err
+	}
+	for name, content := range pages {
+		stats.Pages++
+		if prior, err := store.Hash(WebNS, name); err == nil && prior == storage.HashBytes(content) {
+			stats.Skipped++
+			continue
+		}
+		if _, err := store.Put(WebNS, name, content); err != nil {
+			return stats, err
+		}
+		stats.Written++
+	}
+	return stats, nil
+}
+
+// PublishSite regenerates the whole site onto the common storage,
+// returning the number of pages the site comprises. This is the
+// "script-based web pages" machinery: derived entirely from the
+// bookkeeping records, rerunnable at any time. Unchanged pages are
+// skipped (see PublishSiteIndexed); callers that want the
+// written/skipped split should build an index and use that directly.
+func PublishSite(store *storage.Store, title string) (int, error) {
+	x, err := bookkeep.BuildIndex(store)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := PublishSiteIndexed(store, x, title)
+	return stats.Pages, err
 }
 
 // TextRunsByDescription renders the paper's "available validation runs

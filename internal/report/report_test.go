@@ -165,6 +165,78 @@ func TestPublishSite(t *testing.T) {
 	}
 }
 
+// TestPublishSiteIncremental is the regression test for the
+// rewrite-everything bug: republishing an unchanged store must skip
+// every page, and recording one more run must rewrite only the index
+// and the new run's page.
+func TestPublishSiteIncremental(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	suite := valtest.NewSuite("H1")
+	suite.MustAdd(&valtest.FuncTest{TestName: "t", Cat: valtest.CatStandalone,
+		Fn: func(*valtest.Context) valtest.Result {
+			return valtest.Result{Outcome: valtest.OutcomePass}
+		}})
+	for i := 0; i < 3; i++ {
+		if _, err := rn.Run(suite, minimalCtx(store), "r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, err := bookkeep.BuildIndex(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := PublishSiteIndexed(store, x, "sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Pages != 4 || first.Written != 4 || first.Skipped != 0 {
+		t.Fatalf("first publish = %+v", first)
+	}
+
+	again, err := PublishSiteIndexed(store, x, "sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Pages != 4 || again.Written != 0 || again.Skipped != 4 {
+		t.Fatalf("unchanged republish = %+v, want all 4 skipped", again)
+	}
+
+	// One more run: only the index page and the new run page change.
+	if _, err := rn.Run(suite, minimalCtx(store), "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := PublishSiteIndexed(store, x, "sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Pages != 5 || grown.Written != 2 || grown.Skipped != 3 {
+		t.Fatalf("incremental publish = %+v, want 2 written / 3 skipped", grown)
+	}
+}
+
+func TestHTMLLinkedVariants(t *testing.T) {
+	cells := sampleCells()
+	out, err := HTMLMatrixLinked("s", cells, 9, func(id string) string { return "/runs/" + id })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `href="/runs/run-0002"`) {
+		t.Errorf("custom matrix link missing:\n%s", out)
+	}
+	rec := sampleRun(t)
+	page, err := HTMLRunLinked(rec, func(key string) string { return "/blob/abc123" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, `href="/blob/abc123"`) {
+		t.Errorf("custom output link missing:\n%s", page)
+	}
+}
+
 func TestTextRunsByDescription(t *testing.T) {
 	store := storage.NewStore()
 	rn := runner.New(store, simclock.New())

@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCompareIDs(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"run-0001", "run-0002", -1},
+		{"run-0002", "run-0001", 1},
+		{"run-0042", "run-0042", 0},
+		// The rollover cases string comparison gets wrong.
+		{"run-9999", "run-10000", -1},
+		{"run-10000", "run-9999", 1},
+		{"run-99999", "run-100000", -1},
+		{"job-000999", "job-001000", -1},
+		// Zero padding: numerically equal IDs stay distinct and ordered.
+		{"run-007", "run-07", -1},
+		{"run-07", "run-007", 1},
+		{"run-007", "run-007", 0},
+		// Mixed text segments.
+		{"run-2-retry", "run-10-retry", -1},
+		{"run-2-retry", "run-2-setup", -1},
+		{"run", "run-1", -1},
+		{"", "run-1", -1},
+		{"", "", 0},
+	}
+	for _, tc := range cases {
+		if got := CompareIDs(tc.a, tc.b); got != tc.want {
+			t.Errorf("CompareIDs(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		// Antisymmetry.
+		if got, rev := CompareIDs(tc.a, tc.b), CompareIDs(tc.b, tc.a); got != -rev {
+			t.Errorf("CompareIDs(%q, %q) = %d but reversed = %d", tc.a, tc.b, got, rev)
+		}
+	}
+}
+
+func TestCompareIDsSortsRollover(t *testing.T) {
+	ids := []string{"run-10000", "run-0002", "run-9999", "run-10001", "run-0010"}
+	sort.Slice(ids, func(i, j int) bool { return CompareIDs(ids[i], ids[j]) < 0 })
+	want := []string{"run-0002", "run-0010", "run-9999", "run-10000", "run-10001"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", ids, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ package runner
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -350,6 +352,70 @@ func skipForDeps(t valtest.Test, outcomes map[string]valtest.Outcome) (bool, val
 	return false, valtest.Result{}
 }
 
+// CompareIDs orders two framework identifiers ("run-0007", "job-000042")
+// by execution order: digit runs compare numerically, everything else
+// byte-wise. Plain lexicographic ordering silently breaks at counter
+// rollover — "run-10000" sorts *before* "run-9999" as a string, so a
+// long-lived store would pick the wrong baseline for every diff past
+// 9999 runs. Every place the framework orders run or job IDs goes
+// through this comparison. It returns -1, 0 or 1.
+func CompareIDs(a, b string) int {
+	// tie remembers the first zero-padding difference between digit runs
+	// that were numerically equal ("007" vs "07"), so distinct IDs never
+	// compare equal — CompareIDs is a strict total order.
+	tie := 0
+	for a != "" && b != "" {
+		da, db := digitRun(a), digitRun(b)
+		if da > 0 && db > 0 {
+			// Compare the two digit runs as numbers of arbitrary size:
+			// strip leading zeros, then longer means larger, then the
+			// digits themselves decide.
+			na, nb := strings.TrimLeft(a[:da], "0"), strings.TrimLeft(b[:db], "0")
+			switch {
+			case len(na) != len(nb):
+				if len(na) < len(nb) {
+					return -1
+				}
+				return 1
+			case na != nb:
+				if na < nb {
+					return -1
+				}
+				return 1
+			}
+			if tie == 0 {
+				tie = strings.Compare(a[:da], b[:db])
+			}
+			a, b = a[da:], b[db:]
+			continue
+		}
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
+		}
+		a, b = a[1:], b[1:]
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return tie
+	}
+}
+
+// digitRun returns the length of the leading run of ASCII digits in s.
+func digitRun(s string) int {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return i
+}
+
 // LoadRun retrieves a recorded run from storage.
 func LoadRun(store *storage.Store, runID string) (*RunRecord, error) {
 	data, err := store.Get(RunsNS, runID)
@@ -363,9 +429,12 @@ func LoadRun(store *storage.Store, runID string) (*RunRecord, error) {
 	return &rec, nil
 }
 
-// ListRuns returns the IDs of all recorded runs, sorted.
+// ListRuns returns the IDs of all recorded runs in execution order
+// (numeric-aware, so run-10000 follows run-9999).
 func ListRuns(store *storage.Store) []string {
-	return store.List(RunsNS)
+	ids := store.List(RunsNS)
+	sort.Slice(ids, func(i, j int) bool { return CompareIDs(ids[i], ids[j]) < 0 })
+	return ids
 }
 
 // LoadJobEnv retrieves the kept shell environment of a job.

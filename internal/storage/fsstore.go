@@ -121,14 +121,62 @@ func (b *FSBackend) blobPath(hash string) string {
 	return filepath.Join(b.dir, "blobs", hash[:2], hash)
 }
 
-// replayJournal loads names.log into memory. Bindings are applied in
-// order, so the last write for a name wins — exactly the Put/Bind
-// semantics. A torn final line (a crash mid-append left the tail
-// malformed or without its newline) was never acknowledged: it is not
-// applied, and the journal is truncated back to the last good entry so
-// later appends never concatenate onto the tear and strand it mid-file
-// — which the next Open would have to treat as fatal corruption.
-// Corruption anywhere before the final line is an error.
+// scanJournal reads journal entries from r — positioned at startOffset
+// within the journal file — applying each well-formed,
+// newline-terminated entry in order (last binding for a name wins). It
+// returns validEnd, the offset just past the last applied entry, and
+// end, the offset past all bytes read. The tail is judged leniently:
+// an unterminated final line, or a malformed line with nothing after
+// it, was never acknowledged (a crash mid-append, or an append a
+// concurrent reader caught in flight) — it is not applied and not an
+// error; the writer truncates it away at Open, the read-only view
+// revisits it on its next Refresh. Malformed content *followed by*
+// further entries is real corruption and is returned as an error. This
+// single scanner backs both the writer's replay and the read view's
+// re-tail, so the two sides can never drift on what counts as a valid
+// entry.
+func scanJournal(r io.Reader, startOffset int64, apply func(name, hash string)) (validEnd, end int64, err error) {
+	br := bufio.NewReader(r)
+	validEnd, end = startOffset, startOffset
+	var pendingErr error
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			if pendingErr != nil {
+				return validEnd, end, pendingErr // the malformed line was *not* the last one
+			}
+			end += int64(len(raw))
+			switch entry := bytes.TrimRight(raw, "\r\n"); {
+			case raw[len(raw)-1] != '\n':
+				// Unterminated tail: torn or in-flight, never applied.
+			case len(entry) == 0:
+				validEnd = end
+			default:
+				var e journalEntry
+				if err := json.Unmarshal(entry, &e); err != nil || !validName(e.Name) || e.Hash == "" {
+					pendingErr = fmt.Errorf("storage: name journal entry at offset %d is corrupt", end-int64(len(raw)))
+					continue
+				}
+				apply(e.Name, e.Hash)
+				validEnd = end
+			}
+		}
+		if rerr == io.EOF {
+			return validEnd, end, nil
+		}
+		if rerr != nil {
+			return validEnd, end, fmt.Errorf("storage: reading name journal: %w", rerr)
+		}
+	}
+}
+
+// replayJournal loads names.log into memory. A torn final line (a
+// crash mid-append left the tail malformed or without its newline) was
+// never acknowledged: it is not applied, and the journal is truncated
+// back to the last good entry so later appends never concatenate onto
+// the tear and strand it mid-file — which the next Open would have to
+// treat as fatal corruption. Corruption anywhere before the final line
+// is an error.
 func (b *FSBackend) replayJournal() error {
 	f, err := os.OpenFile(b.journalPath(), os.O_RDWR, 0)
 	if os.IsNotExist(err) {
@@ -138,45 +186,11 @@ func (b *FSBackend) replayJournal() error {
 		return fmt.Errorf("storage: opening name journal: %w", err)
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
-	// validEnd is the byte offset just past the last well-formed,
-	// newline-terminated entry — the offset the journal is truncated to
-	// if anything torn follows it.
-	var validEnd, offset int64
-	var pendingErr error
-	line := 0
-	for {
-		raw, rerr := r.ReadBytes('\n')
-		if len(raw) > 0 {
-			line++
-			if pendingErr != nil {
-				return pendingErr // a malformed line was *not* the last one
-			}
-			offset += int64(len(raw))
-			switch entry := bytes.TrimRight(raw, "\r\n"); {
-			case raw[len(raw)-1] != '\n':
-				// Unterminated tail: a torn write, dropped by truncation
-				// below even if the fragment happens to parse.
-			case len(entry) == 0:
-				validEnd = offset
-			default:
-				var e journalEntry
-				if err := json.Unmarshal(entry, &e); err != nil || !validName(e.Name) || e.Hash == "" {
-					pendingErr = fmt.Errorf("storage: name journal line %d is corrupt", line)
-					continue
-				}
-				b.names[e.Name] = e.Hash
-				validEnd = offset
-			}
-		}
-		if rerr == io.EOF {
-			break
-		}
-		if rerr != nil {
-			return fmt.Errorf("storage: reading name journal: %w", rerr)
-		}
+	validEnd, end, err := scanJournal(f, 0, func(name, hash string) { b.names[name] = hash })
+	if err != nil {
+		return err
 	}
-	if validEnd < offset {
+	if validEnd < end {
 		if err := f.Truncate(validEnd); err != nil {
 			return fmt.Errorf("storage: truncating torn name journal tail: %w", err)
 		}
@@ -309,13 +323,15 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// GetBlob reads the content and re-verifies it against its hash, so
-// on-disk corruption surfaces as an error at the point of access.
-func (b *FSBackend) GetBlob(hash string) ([]byte, error) {
+// fsGetBlob reads a blob from the sharded tree rooted at dir and
+// re-verifies it against its hash, so on-disk corruption surfaces as an
+// error at the point of access. Shared by the writer backend and the
+// read-only view.
+func fsGetBlob(dir, hash string) ([]byte, error) {
 	if len(hash) < 3 {
 		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
 	}
-	data, err := os.ReadFile(b.blobPath(hash))
+	data, err := os.ReadFile(filepath.Join(dir, "blobs", hash[:2], hash))
 	if os.IsNotExist(err) {
 		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
 	}
@@ -328,19 +344,20 @@ func (b *FSBackend) GetBlob(hash string) ([]byte, error) {
 	return data, nil
 }
 
-// HasBlob reports whether the blob file exists.
-func (b *FSBackend) HasBlob(hash string) bool {
+// fsHasBlob reports whether the blob file exists under dir.
+func fsHasBlob(dir, hash string) bool {
 	if len(hash) < 3 {
 		return false
 	}
-	_, err := os.Stat(b.blobPath(hash))
+	_, err := os.Stat(filepath.Join(dir, "blobs", hash[:2], hash))
 	return err == nil
 }
 
-// ListBlobs walks the blob tree and returns all hashes, sorted.
-func (b *FSBackend) ListBlobs() ([]string, error) {
+// fsListBlobs walks the blob tree under dir and returns all hashes,
+// sorted.
+func fsListBlobs(dir string) ([]string, error) {
 	var out []string
-	err := filepath.WalkDir(filepath.Join(b.dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+	err := filepath.WalkDir(filepath.Join(dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -353,6 +370,16 @@ func (b *FSBackend) ListBlobs() ([]string, error) {
 	sort.Strings(out)
 	return out, nil
 }
+
+// GetBlob reads the content and re-verifies it against its hash, so
+// on-disk corruption surfaces as an error at the point of access.
+func (b *FSBackend) GetBlob(hash string) ([]byte, error) { return fsGetBlob(b.dir, hash) }
+
+// HasBlob reports whether the blob file exists.
+func (b *FSBackend) HasBlob(hash string) bool { return fsHasBlob(b.dir, hash) }
+
+// ListBlobs walks the blob tree and returns all hashes, sorted.
+func (b *FSBackend) ListBlobs() ([]string, error) { return fsListBlobs(b.dir) }
 
 // BindName records the binding in memory and appends it to the journal.
 func (b *FSBackend) BindName(name, hash string) error {

@@ -14,3 +14,8 @@ const lockSupported = false
 // deliberately not used — it would outlive a crashed writer and
 // permanently wedge the store, which is worse than no lock.)
 func lockStoreDir(dir string) (*os.File, error) { return nil, nil }
+
+// lockStoreDirShared is likewise a no-op: read-only views work, but
+// the shared-reader registration documented in lock_unix.go is a
+// convention only on these platforms.
+func lockStoreDirShared(dir string) (*os.File, error) { return nil, nil }

@@ -34,3 +34,32 @@ func lockStoreDir(dir string) (*os.File, error) {
 	}
 	return f, nil
 }
+
+// lockStoreDirShared takes a shared, non-blocking advisory lock on
+// <dir>/lock.read, registering a live read-only view of the store.
+// Readers deliberately lock a *different* file than the writer: flock's
+// shared and exclusive modes conflict on one file, and the whole point
+// of the read path is to attach while a writer is live. The protocol is
+// therefore two-file:
+//
+//   - <dir>/lock       LOCK_EX — at most one live writer (appends only).
+//   - <dir>/lock.read  LOCK_SH — any number of live readers; anything
+//     that would *destroy* reader-visible state (deleting or compacting
+//     the store, rewriting the journal in place) must take LOCK_EX here
+//     first and so waits out — or fails fast against — live readers.
+//
+// The writer's only destructive act, truncating a torn journal tail at
+// Open, removes bytes no reader ever applied (replay ignores an
+// unterminated tail), so writers do not contend on lock.read at all.
+// Like the writer lock, the reader lock dies with its process.
+func lockStoreDirShared(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock.read"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening store read lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_SH|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: store at %s is locked against readers (a destructive maintenance operation holds lock.read): %w", dir, err)
+	}
+	return f, nil
+}

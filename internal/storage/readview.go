@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FSReadBackend is a live, read-only view of the on-disk store: the
+// form of the common storage a status service or inspection CLI opens
+// while a separate `spsys campaign -store` process holds the exclusive
+// writer lock and keeps appending.
+//
+// It differs from FSBackend in three deliberate ways:
+//
+//   - It takes the *shared* reader lock (<dir>/lock.read) instead of
+//     the exclusive writer lock, so any number of readers coexist with
+//     the one live writer (see lockStoreDirShared for the protocol).
+//   - Its journal replay never truncates or repairs anything: a torn
+//     or in-flux tail is simply not applied yet. Repair is the writer's
+//     job — the read path must not mutate a store it does not own.
+//   - Refresh re-tails the journal from the last applied offset, so
+//     picking up the writer's new bindings costs one stat plus reading
+//     only the appended bytes — not a full replay.
+//
+// All mutating Backend methods return an error: the view is a Backend
+// only so the ordinary Store query API (and everything built on it —
+// bookkeeping, reports, serving) works unchanged on top of it.
+type FSReadBackend struct {
+	dir  string
+	lock *os.File // held shared flock (nil where unsupported)
+
+	mu       sync.RWMutex
+	names    map[string]string
+	validEnd int64       // journal offset just past the last applied entry
+	journal  os.FileInfo // identity of the journal last tailed (nil before it exists)
+	closed   bool
+}
+
+// ErrReadOnly is wrapped by every mutation attempted on a read-only
+// store view.
+var ErrReadOnly = fmt.Errorf("store opened read-only")
+
+// OpenReadOnlyFSBackend opens a read-only view of the on-disk store at
+// dir. The directory must already exist — a read-only consumer must
+// never create an empty store at a mistyped path. The journal may be
+// absent (a writer that has not bound anything yet); it is picked up by
+// the first Refresh after it appears.
+func OpenReadOnlyFSBackend(dir string) (*FSReadBackend, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening read-only store view: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("storage: opening read-only store view: %s is not a directory", dir)
+	}
+	lock, err := lockStoreDirShared(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := &FSReadBackend{dir: dir, lock: lock, names: make(map[string]string)}
+	if err := b.Refresh(); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// OpenReadOnly returns a Store over a read-only view of the on-disk
+// store at dir: shared reader lock, no truncation or repair on replay,
+// and cheap catch-up on a live writer's appends via (*Store).Refresh.
+// Every query path works; every mutation fails with ErrReadOnly.
+func OpenReadOnly(dir string) (*Store, error) {
+	b, err := OpenReadOnlyFSBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{backend: b}, nil
+}
+
+func (b *FSReadBackend) journalPath() string { return filepath.Join(b.dir, "names.log") }
+
+// Refresh re-tails the name journal, applying entries appended since
+// the last call. A torn or in-flux final line (the writer mid-append,
+// or a crashed writer's tear awaiting the next writer's truncation) is
+// left unapplied without error — it is re-examined on the next call.
+// Malformed content *followed by further entries* is real corruption
+// and is reported. If the journal shrank below the applied offset or
+// disappeared (the store was re-created), the view reloads from
+// scratch.
+func (b *FSReadBackend) Refresh() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("storage: read-only view of %s is closed", b.dir)
+	}
+	f, err := os.Open(b.journalPath())
+	if os.IsNotExist(err) {
+		if b.validEnd != 0 {
+			b.names = make(map[string]string)
+			b.validEnd = 0
+		}
+		b.journal = nil
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: opening name journal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: reading name journal: %w", err)
+	}
+	// A different file at the journal path, or one shorter than what we
+	// already applied (the writer's torn-tail truncation never cuts
+	// below an applied entry), means the store was deleted and
+	// re-created: start over rather than tailing an unrelated journal
+	// from a stale offset.
+	if (b.journal != nil && !os.SameFile(b.journal, fi)) || fi.Size() < b.validEnd {
+		b.names = make(map[string]string)
+		b.validEnd = 0
+	}
+	b.journal = fi
+	if fi.Size() == b.validEnd {
+		return nil
+	}
+	if err := b.tailFrom(f, b.validEnd); err != nil {
+		// A re-tail that finds corruption may simply be reading an
+		// unrelated journal from a stale offset: a re-created store can
+		// reuse the old journal's inode (defeating the identity check
+		// above) and grow past the applied offset (defeating the size
+		// check). Before reporting corruption, reload once from the
+		// beginning; if the journal really is corrupt mid-file, the
+		// full scan fails at the same place and that error stands.
+		b.names = make(map[string]string)
+		b.validEnd = 0
+		return b.tailFrom(f, 0)
+	}
+	return nil
+}
+
+// tailFrom scans journal entries from the given offset to EOF, applying
+// them and advancing validEnd past the last applied entry.
+func (b *FSReadBackend) tailFrom(f *os.File, offset int64) error {
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seeking name journal: %w", err)
+	}
+	validEnd, _, err := scanJournal(f, offset, func(name, hash string) { b.names[name] = hash })
+	b.validEnd = validEnd
+	return err
+}
+
+// GetBlob reads and hash-verifies a blob. Blobs are immutable and
+// synced to disk before any journal line references them, so a binding
+// visible through this view always has its blob readable.
+func (b *FSReadBackend) GetBlob(hash string) ([]byte, error) { return fsGetBlob(b.dir, hash) }
+
+// HasBlob reports whether the blob file exists.
+func (b *FSReadBackend) HasBlob(hash string) bool { return fsHasBlob(b.dir, hash) }
+
+// ListBlobs walks the blob tree and returns all hashes, sorted.
+func (b *FSReadBackend) ListBlobs() ([]string, error) { return fsListBlobs(b.dir) }
+
+// ResolveName returns the hash bound to the name as of the last
+// Refresh.
+func (b *FSReadBackend) ResolveName(name string) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	hash, ok := b.names[name]
+	return hash, ok
+}
+
+// ListNames returns all names bound as of the last Refresh, sorted.
+func (b *FSReadBackend) ListNames() ([]string, error) {
+	b.mu.RLock()
+	out := make([]string, 0, len(b.names))
+	for nk := range b.names {
+		out = append(out, nk)
+	}
+	b.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// PutBlob fails: the view is read-only.
+func (b *FSReadBackend) PutBlob(hash string, data []byte) error {
+	return fmt.Errorf("storage: PutBlob on %s: %w", b.dir, ErrReadOnly)
+}
+
+// BindName fails: the view is read-only.
+func (b *FSReadBackend) BindName(name, hash string) error {
+	return fmt.Errorf("storage: BindName %s on %s: %w", name, b.dir, ErrReadOnly)
+}
+
+// Increment fails: the view is read-only (counters are minted only by
+// the writer).
+func (b *FSReadBackend) Increment(name string) (int, error) {
+	return 0, fmt.Errorf("storage: Increment %s on %s: %w", name, b.dir, ErrReadOnly)
+}
+
+// Stats reports the binding count from memory and walks the blob tree
+// for blob statistics — the walk is per-call, so this is a diagnostic,
+// not a hot path.
+func (b *FSReadBackend) Stats() (Stats, error) {
+	b.mu.RLock()
+	bindings := len(b.names)
+	b.mu.RUnlock()
+	st := Stats{Bindings: bindings}
+	hashes, err := fsListBlobs(b.dir)
+	if err != nil {
+		return st, err
+	}
+	st.Blobs = len(hashes)
+	for _, h := range hashes {
+		if fi, err := os.Stat(filepath.Join(b.dir, "blobs", h[:2], h)); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st, nil
+}
+
+// Close releases the shared reader lock. The view keeps answering
+// queries from its last refreshed state, but can no longer Refresh.
+func (b *FSReadBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.lock != nil {
+		b.lock.Close() // releases the shared flock
+		b.lock = nil
+	}
+	return nil
+}

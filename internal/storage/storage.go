@@ -74,6 +74,26 @@ func OpenOrMemory(dir string) (*Store, error) {
 // Backend returns the store's underlying backend.
 func (s *Store) Backend() Backend { return s.backend }
 
+// Refresher is implemented by backends whose contents can change
+// underneath them — the read-only view of a store a separate writer
+// process is appending to.
+type Refresher interface {
+	// Refresh catches the backend up with external changes.
+	Refresh() error
+}
+
+// Refresh catches the store up with changes made by another live
+// process sharing its directory. On the read-only view this re-tails
+// the name journal (cheap: one stat plus the appended bytes); on every
+// other backend — which sees its own writes immediately — it is a
+// no-op.
+func (s *Store) Refresh() error {
+	if r, ok := s.backend.(Refresher); ok {
+		return r.Refresh()
+	}
+	return nil
+}
+
 // Close flushes and releases the underlying backend. Closing the
 // in-memory store is a no-op.
 func (s *Store) Close() error { return s.backend.Close() }
