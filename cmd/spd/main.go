@@ -1,0 +1,224 @@
+// Command spd is the sp-system's wall-clock validation daemon: the
+// producer-side twin of spserve. Where spserve reads a store and serves
+// status, spd owns a store's writer lock and keeps it current — on a
+// real cron cadence it re-plans the full experiments × configurations ×
+// externals matrix against the recorded state and executes only the
+// stale cells, which is the paper's continuously running sp-system ("a
+// regular build of the experimental software is done automatically")
+// rather than a one-shot campaign.
+//
+// Usage:
+//
+//	spd -store DIR [-cron "7 2 * * *"] [-every 0] [-workers N]
+//	    [-quick] [-cycles 0] [-title "..."]
+//
+// An immediate plan/execute cycle runs at startup (catching up on
+// whatever changed while the daemon was down); afterwards one cycle
+// runs per cron firing. -every replaces the cron schedule with a fixed
+// interval for sub-minute cadences (smoke tests, demos). -cycles bounds
+// the number of cycles (0 = run until a signal).
+//
+// Every cycle rebuilds the experiment inputs fresh from their
+// definitions — the paper's "regular build of the experimental
+// software ... according to the current prescription" — rather than
+// carrying forward the previous cycle's migration-mutated repositories.
+// Plan verdicts therefore depend only on the definitions and the
+// recorded store, never on how long the daemon has been running: a
+// cycle and a daemon restart compute identical plans.
+//
+// Because every cycle goes through the campaign planner, a steady-state
+// cycle over an unchanged store plans zero cells: the daemon costs one
+// bookkeeping index build per firing, not a re-campaign. Each cycle
+// records its plan under the "plan" namespace and republishes the
+// status site, so a concurrent `spserve -store DIR` (which attaches
+// through the shared-lock read view) shows runs, matrix and plan live.
+//
+// On SIGTERM or SIGINT the daemon shuts down cleanly: cells already
+// executing finish and are recorded, no new cell starts, the store's
+// journal is synced by Close and the exclusive writer lock is released.
+// Exit code 0 means the store is consistent and immediately reusable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/cron"
+	"repro/internal/experiments"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.storeDir, "store", "", "directory of the durable on-disk common storage (required)")
+	flag.StringVar(&opts.cronSpec, "cron", "7 2 * * *", "five-field cron cadence for re-validation cycles")
+	flag.DurationVar(&opts.every, "every", 0, "fixed interval between cycles, overriding -cron (0: use -cron)")
+	flag.IntVar(&opts.workers, "workers", runtime.NumCPU(), "concurrent campaign workers")
+	flag.BoolVar(&opts.quick, "quick", false, "scale workloads down for a fast demonstration")
+	flag.IntVar(&opts.cycles, "cycles", 0, "stop after this many cycles (0: run until SIGTERM/SIGINT)")
+	flag.StringVar(&opts.title, "title", "sp-system validation status", "published status page title")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "spd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	storeDir string
+	cronSpec string
+	every    time.Duration
+	workers  int
+	quick    bool
+	cycles   int
+	title    string
+}
+
+// newSystem builds an SPSystem over the store with all three HERA
+// experiments registered, optionally scaled down for quick cycles.
+// core.NewHERA keeps spd and spsys registering digest-identical suites
+// over shared stores.
+func newSystem(quick bool, store *storage.Store) (*core.SPSystem, error) {
+	return core.NewHERA(store, quick)
+}
+
+// newCadence builds the wall-clock driver from the flags.
+func newCadence(opts options) (*cron.Driver, error) {
+	if opts.every > 0 {
+		next, err := cron.Every(opts.every)
+		if err != nil {
+			return nil, err
+		}
+		return cron.NewDriver(next), nil
+	}
+	sched, err := cron.Parse(opts.cronSpec)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Driver(), nil
+}
+
+// run is the daemon body; tests drive it directly with a cancellable
+// context in place of the signal handler.
+func run(ctx context.Context, opts options) (err error) {
+	if opts.storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	driver, err := newCadence(opts)
+	if err != nil {
+		return err
+	}
+	store, err := storage.Open(opts.storeDir) // exclusive writer lock
+	if err != nil {
+		return err
+	}
+	// Close performs the final journal sync and releases the writer
+	// lock; a failure there means recorded bookkeeping may not be
+	// durable and must not exit 0.
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	fmt.Printf("spd: %s, cadence %s\n", opts.storeDir, cadenceLabel(opts))
+
+	for cycle := 1; ; cycle++ {
+		if err := runCycle(ctx, store, opts, cycle); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			break // interrupted mid-cycle: in-flight cells finished, stop here
+		}
+		if opts.cycles > 0 && cycle >= opts.cycles {
+			fmt.Printf("spd: %d cycles completed, exiting\n", cycle)
+			return nil
+		}
+		at, ok, err := waitNext(ctx, driver)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		fmt.Printf("spd: firing at %s\n", at.Format(time.RFC3339))
+	}
+	fmt.Println("spd: shutting down cleanly (in-flight cells finished, store synced)")
+	return nil
+}
+
+func cadenceLabel(opts options) string {
+	if opts.every > 0 {
+		return fmt.Sprintf("every %v", opts.every)
+	}
+	return fmt.Sprintf("cron %q", opts.cronSpec)
+}
+
+// waitNext blocks until the next firing or cancellation.
+func waitNext(ctx context.Context, driver *cron.Driver) (time.Time, bool, error) {
+	return driver.Wait(ctx.Done())
+}
+
+// runCycle performs one plan/execute/publish pass over a system built
+// fresh from the experiment definitions (see the package comment: plan
+// verdicts must not depend on process lifetime). Cell-level failures
+// are part of normal operation (a red cell is a meaningful result the
+// next cycle retries); only systemic errors abort the daemon.
+func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int) error {
+	sys, err := newSystem(opts.quick, store)
+	if err != nil {
+		return err
+	}
+	exts, err := experiments.StandardSet(sys.Catalogue)
+	if err != nil {
+		return err
+	}
+	cells := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+		platform.PaperConfigs(), []*externals.Set{exts})
+	engine := campaign.New(sys, opts.workers)
+	plan, err := engine.Plan(cells)
+	if err != nil {
+		return err
+	}
+	if err := plan.Store(sys.Store); err != nil {
+		return err
+	}
+	if plan.RunCount() > 0 {
+		sum, err := engine.RunPlanContext(ctx, plan)
+		if err != nil {
+			return err
+		}
+		interrupted := 0
+		for _, o := range sum.Outcomes {
+			if errors.Is(o.Err, context.Canceled) {
+				interrupted++
+			}
+		}
+		fmt.Printf("spd: cycle %d: planned %d/%d cells, ran %d runs, %d failed, %d interrupted, %d total runs recorded\n",
+			cycle, plan.RunCount(), len(plan.Cells), sum.CampaignRuns(), sum.Failed()-interrupted, interrupted, sum.TotalRuns)
+	} else {
+		fmt.Printf("spd: cycle %d: all %d cells up-to-date, nothing to run\n", cycle, len(plan.Cells))
+	}
+	// Publish even on an all-skip cycle: the hash-skip makes it nearly
+	// free when nothing changed, and it repairs a site a previous
+	// process failed to publish (or publishes a new -title) that an
+	// early return would otherwise never revisit.
+	if _, err := sys.PublishReports(opts.title); err != nil {
+		return err
+	}
+	return nil
+}

@@ -19,11 +19,14 @@
 //
 // Endpoints:
 //
-//	/            HTML status matrix (Figure 3)
+//	/            HTML status matrix (Figure 3), with a freshness
+//	             column when the store carries a recorded campaign plan
+//	             (cells the producer last skipped as "up-to-date")
 //	/runs/{id}   HTML page for one validation run
 //	/diff/{id}   text diff of a run against its last successful baseline
 //	/blob/{hash} raw kept artifact by content hash
-//	/api/matrix  JSON status matrix
+//	/api/matrix  JSON status matrix (cells carry their input digest)
+//	/api/plan    JSON form of the producer's last recorded campaign plan
 //	/api/runs    JSON run list
 //	/healthz     liveness + store freshness
 //
@@ -45,6 +48,7 @@ import (
 
 	"repro/internal/bookkeep"
 	"repro/internal/buildsys"
+	"repro/internal/campaign"
 	"repro/internal/chain"
 	"repro/internal/report"
 	"repro/internal/storage"
@@ -93,6 +97,11 @@ type server struct {
 	mu           sync.Mutex
 	lastRefresh  time.Time
 	lastErr      error
+	// planRec and planNotes cache the store's latest recorded campaign
+	// plan, reloaded inside the throttled refresh so matrix-page and
+	// /api/plan traffic never pays a store read per request.
+	planRec   *campaign.PlanRecord
+	planNotes map[string]string
 }
 
 // newServer builds a server over any Store (the read-only disk view in
@@ -102,7 +111,9 @@ func newServer(store *storage.Store, title string, refreshEvery time.Duration) (
 	if err != nil {
 		return nil, err
 	}
-	return &server{store: store, index: x, title: title, refreshEvery: refreshEvery, lastRefresh: time.Now()}, nil
+	s := &server{store: store, index: x, title: title, refreshEvery: refreshEvery, lastRefresh: time.Now()}
+	s.reloadPlanLocked()
+	return s, nil
 }
 
 // refresh re-tails the store and catches the index up, at most once per
@@ -121,6 +132,39 @@ func (s *server) refresh() {
 		return
 	}
 	s.lastErr = s.index.Refresh()
+	s.reloadPlanLocked()
+}
+
+// reloadPlanLocked refreshes the cached producer plan and its per-cell
+// note map. The caller holds s.mu (or, in newServer, sole ownership).
+// A plan load *failure* (corrupt record) keeps the last good plan —
+// freshness annotations go stale rather than taking pages down — but a
+// store that simply has no plan clears the cache: the read view
+// survives the store being torn down and recreated (Store.Refresh
+// reloads it), and the old store's plan must not describe the new
+// store's cells.
+func (s *server) reloadPlanLocked() {
+	plan, err := campaign.LoadLatestPlan(s.store)
+	if err != nil {
+		return
+	}
+	if plan == nil {
+		s.planRec, s.planNotes = nil, nil
+		return
+	}
+	notes := make(map[string]string, len(plan.Cells))
+	for _, c := range plan.Cells {
+		if c.Decision == "skip" {
+			// An executed cell outranks a skipped one when a plan
+			// touches the same (experiment, config, externals) twice.
+			if _, dup := notes[c.Key()]; !dup {
+				notes[c.Key()] = "up-to-date (" + c.PriorRunID + ")"
+			}
+		} else {
+			notes[c.Key()] = "revalidated"
+		}
+	}
+	s.planRec, s.planNotes = plan, notes
 }
 
 // handler wires the endpoint table. Path parameters are parsed by
@@ -132,6 +176,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/diff/", s.serveDiff)
 	mux.HandleFunc("/blob/", s.serveBlob)
 	mux.HandleFunc("/api/matrix", s.serveAPIMatrix)
+	mux.HandleFunc("/api/plan", s.serveAPIPlan)
 	mux.HandleFunc("/api/runs", s.serveAPIRuns)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	return mux
@@ -143,8 +188,8 @@ func (s *server) serveMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.refresh()
-	page, err := report.HTMLMatrixLinked(s.title, s.index.Matrix(), s.index.TotalRuns(),
-		func(runID string) string { return "/runs/" + runID })
+	page, err := report.HTMLMatrixNoted(s.title, s.index.Matrix(), s.index.TotalRuns(),
+		func(runID string) string { return "/runs/" + runID }, s.planNote())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -233,6 +278,35 @@ func (s *server) serveBlob(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
+}
+
+// planNote maps the cached producer plan onto matrix cells:
+// "up-to-date (run-NNNN)" for cells the producer skipped,
+// "revalidated" for cells it executed. It returns nil (no freshness
+// column) when the store carries no plan — e.g. one recorded before the
+// planner existed.
+func (s *server) planNote() func(bookkeep.Cell) string {
+	s.mu.Lock()
+	notes := s.planNotes
+	s.mu.Unlock()
+	if notes == nil {
+		return nil
+	}
+	return func(c bookkeep.Cell) string {
+		return notes[campaign.CellKey(c.Experiment, c.Config, c.Externals)]
+	}
+}
+
+func (s *server) serveAPIPlan(w http.ResponseWriter, r *http.Request) {
+	s.refresh()
+	s.mu.Lock()
+	plan := s.planRec
+	s.mu.Unlock()
+	if plan == nil {
+		http.Error(w, "no campaign plan recorded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, plan)
 }
 
 func (s *server) serveAPIMatrix(w http.ResponseWriter, r *http.Request) {

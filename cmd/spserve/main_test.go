@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/chain"
 	"repro/internal/externals"
 	"repro/internal/platform"
@@ -338,5 +339,67 @@ func TestRunRequiresStore(t *testing.T) {
 	}
 	if err := run("/nonexistent/spstroe", ":0", "t", time.Second); err == nil {
 		t.Fatal("mistyped store path accepted")
+	}
+}
+
+// TestPlanEndpointAndMatrixFreshness covers the producer-plan surface:
+// without a recorded plan the matrix has no freshness column and
+// /api/plan is a 404; once a campaign records its plan, the skipped
+// cells show as up-to-date on the matrix page and the full plan is
+// served as JSON.
+func TestPlanEndpointAndMatrixFreshness(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	rec := record(t, store, rn, "H1", "baseline", valtest.OutcomePass)
+
+	srv, err := newServer(store, "plan test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if code, _, _ := get(t, ts, "/api/plan"); code != http.StatusNotFound {
+		t.Fatalf("/api/plan with no plan: %d, want 404", code)
+	}
+	if _, body, _ := get(t, ts, "/"); strings.Contains(body, "Freshness") {
+		t.Fatal("matrix shows a freshness column with no recorded plan")
+	}
+
+	planRec := campaign.PlanRecord{
+		PlannedAt: rec.Timestamp,
+		Skips:     1,
+		Cells: []campaign.PlanCellRecord{{
+			Experiment: rec.Experiment, Config: rec.Config, Externals: rec.Externals,
+			Mode: "validate", Digest: rec.InputDigest, Decision: "skip",
+			Reason: "up-to-date: green " + rec.RunID + " has this input digest", PriorRunID: rec.RunID,
+		}},
+	}
+	data, err := json.Marshal(planRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(campaign.PlanNS, campaign.LatestPlanKey, data); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, _ := get(t, ts, "/api/plan")
+	if code != http.StatusOK {
+		t.Fatalf("/api/plan: %d, want 200", code)
+	}
+	var back campaign.PlanRecord
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatalf("/api/plan is not a plan record: %v\n%s", err, body)
+	}
+	if len(back.Cells) != 1 || back.Cells[0].Decision != "skip" || back.Cells[0].PriorRunID != rec.RunID {
+		t.Fatalf("/api/plan round-trip wrong: %+v", back)
+	}
+
+	_, home, _ := get(t, ts, "/")
+	if !strings.Contains(home, "Freshness") {
+		t.Fatalf("matrix page missing freshness column:\n%s", home)
+	}
+	if !strings.Contains(home, "up-to-date ("+rec.RunID+")") {
+		t.Fatalf("matrix page does not mark the skipped cell up-to-date:\n%s", home)
 	}
 }

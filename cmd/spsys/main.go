@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	spsys campaign  [-quick] [-workers N] [-save FILE] [-store DIR]   run the full Figure 3 campaign
+//	spsys campaign  [-quick] [-workers N] [-save FILE] [-store DIR] [-dry-run] [-force]
+//	                run the full Figure 3 campaign, incrementally: cells
+//	                whose content-addressed input digest already has a
+//	                green run are skipped, so an unchanged re-campaign
+//	                executes zero builds and zero runs
 //	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
 //	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
 //	spsys matrix    [-save FILE] [-store DIR]    print the status matrix
@@ -33,7 +37,6 @@ import (
 	"repro/internal/bookkeep"
 	"repro/internal/campaign"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/externals"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -75,6 +78,8 @@ func usage() {
 
 commands:
   campaign   run the full HERA campaign over the paper's configurations
+             (incremental: up-to-date cells are skipped; -dry-run prints
+             the plan, -force re-executes everything)
   validate   one validation run of an experiment on a configuration
   migrate    adapt-and-validate migration campaign
   matrix     print the Figure 3 status matrix
@@ -117,20 +122,10 @@ func closeStore(store *storage.Store, retErr *error) {
 
 // newSystem builds an SPSystem over the given common storage with all
 // three HERA experiments registered, optionally scaled down for quick
-// runs.
+// runs. The shared core.NewHERA constructor keeps spsys and spd
+// registering digest-identical suites over shared stores.
 func newSystem(quick bool, store *storage.Store) (*core.SPSystem, error) {
-	sys := core.NewWith(store, platform.NewRegistry())
-	for _, def := range experiments.All() {
-		if quick {
-			def.RepoSpec.Packages = min(def.RepoSpec.Packages, 20)
-			def.ChainEvents = 300
-			def.StandaloneTests = min(def.StandaloneTests, 20)
-		}
-		if err := sys.RegisterExperiment(def); err != nil {
-			return nil, err
-		}
-	}
-	return sys, nil
+	return core.NewHERA(store, quick)
 }
 
 func externalSet(sys *core.SPSystem, rootVersion string) (*externals.Set, error) {
@@ -169,11 +164,21 @@ func runCampaign(args []string) (err error) {
 	quick := fs.Bool("quick", false, "scale workloads down for a fast demonstration")
 	save := fs.String("save", "", "write a storage snapshot to this file afterwards")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent campaign workers")
+	dryRun := fs.Bool("dry-run", false, "print the computed plan (cell -> run/skip + reason) without executing")
+	force := fs.Bool("force", false, "execute every cell even when the recorded state is up-to-date")
 	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	store, err := storage.OpenOrMemory(*storeDir)
+	// A dry run never writes: against a recorded store it attaches
+	// through the shared-lock read-only view, so it works (and is safe)
+	// while a live campaign or daemon holds the writer lock.
+	var store *storage.Store
+	if *dryRun {
+		store, _, err = openInspect(*storeDir)
+	} else {
+		store, err = storage.OpenOrMemory(*storeDir)
+	}
 	if err != nil {
 		return err
 	}
@@ -189,20 +194,46 @@ func runCampaign(args []string) (err error) {
 
 	// The full matrix — baseline captures on the experiments' original
 	// platform, then adapt-and-validate migrations across the remaining
-	// paper configurations — executed on the concurrent campaign engine.
-	plan := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
+	// paper configurations — planned against the recorded state, then
+	// executed on the concurrent campaign engine.
+	cells := campaign.MatrixPlan(sys.Experiments(), platform.OriginalConfig(),
 		platform.PaperConfigs(), []*externals.Set{exts})
-	fmt.Printf("campaign: %d cells on %d workers\n", len(plan), *workers)
-	sum, err := campaign.New(sys, *workers).Run(plan)
+	eng := campaign.New(sys, *workers)
+	// -force never consults the recorded state, so skip the index build
+	// a real plan pays; -dry-run then previews exactly the forced plan
+	// the same flags would execute.
+	var plan *campaign.Plan
+	if *force {
+		plan, err = eng.ForcePlan(cells)
+	} else {
+		plan, err = eng.Plan(cells)
+	}
+	if err != nil {
+		return err
+	}
+	if *dryRun {
+		fmt.Print(plan.Render())
+		return nil
+	}
+	if err := plan.Store(sys.Store); err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d cells (%d to run, %d up-to-date) on %d workers\n",
+		len(plan.Cells), plan.RunCount(), plan.SkipCount(), *workers)
+	sum, err := eng.RunPlan(plan)
 	if err != nil {
 		return err
 	}
 	var cellErrs int
+	skipped := make(map[string]bool) // campaign.CellKey of skipped cells
 	for _, o := range sum.Outcomes {
 		switch {
 		case o.Err != nil:
 			cellErrs++
 			fmt.Printf("%-7s %v: error: %v\n", o.Cell.Experiment, o.Cell.Config, o.Err)
+		case o.Skipped:
+			skipped[o.Cell.Label()] = true
+			fmt.Printf("%-7s %v: skipped: up-to-date (%s)\n", o.Cell.Experiment, o.Cell.Config, o.RunID)
 		case o.Cell.Mode == campaign.ModeMigrate:
 			fmt.Printf("%-7s %v: converged=%t iterations=%d interventions=%d\n",
 				o.Cell.Experiment, o.Cell.Config, o.Passed, len(o.Report.Iterations),
@@ -213,10 +244,24 @@ func runCampaign(args []string) (err error) {
 		}
 	}
 
+	planned := make(map[string]bool)
+	for _, pc := range plan.Cells {
+		planned[pc.Cell.Label()] = true
+	}
 	fmt.Println()
-	fmt.Print(report.TextMatrix(sum.Matrix))
-	fmt.Printf("\ntotal validation runs: %d (%d from this campaign, %d cells failed)\n",
-		sum.TotalRuns, sum.CampaignRuns(), sum.Failed())
+	fmt.Print(report.TextMatrixNoted(sum.Matrix, func(c bookkeep.Cell) string {
+		key := campaign.CellKey(c.Experiment, c.Config, c.Externals)
+		switch {
+		case skipped[key]:
+			return "up-to-date"
+		case planned[key]:
+			return "revalidated"
+		default:
+			return "" // recorded outside this campaign's matrix
+		}
+	}))
+	fmt.Printf("\ntotal validation runs: %d (%d from this campaign, %d cells skipped as up-to-date, %d cells failed)\n",
+		sum.TotalRuns, sum.CampaignRuns(), sum.Skipped(), sum.Failed())
 
 	if _, err := sys.PublishReports("sp-system validation status"); err != nil {
 		return err

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bookkeep"
@@ -206,5 +208,86 @@ func TestRunsCommand(t *testing.T) {
 func TestHistoryCommand(t *testing.T) {
 	if err := runHistory([]string{"-experiment", "H1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+// storeRunCount opens the store directory fresh and counts recorded
+// validation runs.
+func storeRunCount(t *testing.T, dir string) int {
+	t.Helper()
+	store, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	x, err := bookkeep.BuildIndex(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x.TotalRuns()
+}
+
+// TestCampaignIncrementalRerun is the CLI acceptance path: re-running
+// `spsys campaign -store DIR` over an unchanged store executes zero
+// builds and zero validation runs — the plan is all-skip — and a
+// -dry-run says so without touching the store.
+func TestCampaignIncrementalRerun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spstore")
+	first := captureStdout(t, func() error {
+		return runCampaign([]string{"-quick", "-workers", "2", "-store", dir})
+	})
+	if !strings.Contains(first, "to run") {
+		t.Fatalf("campaign output missing plan summary:\n%s", first)
+	}
+	runs := storeRunCount(t, dir)
+	if runs == 0 {
+		t.Fatal("first campaign recorded no runs")
+	}
+
+	// Dry run: prints the all-skip plan, records nothing.
+	dry := captureStdout(t, func() error {
+		return runCampaign([]string{"-quick", "-dry-run", "-store", dir})
+	})
+	if !strings.Contains(dry, "0 to run") || !strings.Contains(dry, "up-to-date") {
+		t.Fatalf("dry run over unchanged store is not all-skip:\n%s", dry)
+	}
+	if got := storeRunCount(t, dir); got != runs {
+		t.Fatalf("dry run changed the store: %d -> %d runs", runs, got)
+	}
+
+	// Real re-campaign: all-skip, zero new runs, matrix marked.
+	second := captureStdout(t, func() error {
+		return runCampaign([]string{"-quick", "-workers", "2", "-store", dir})
+	})
+	if got := storeRunCount(t, dir); got != runs {
+		t.Fatalf("re-campaign over unchanged store executed runs: %d -> %d", runs, got)
+	}
+	if !strings.Contains(second, "skipped: up-to-date") || !strings.Contains(second, "0 from this campaign") {
+		t.Fatalf("re-campaign output does not surface the skips:\n%s", second)
 	}
 }

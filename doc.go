@@ -17,6 +17,15 @@
 // long-running HTTP service that picks up new runs as they are
 // recorded.
 //
+// Campaigns are incremental: every run records a content-addressed
+// input digest (suite definition + repository revision + configuration
+// + externals), and the campaign planner skips cells whose digest
+// already has a green run, so re-validating an unchanged store costs
+// nothing. `spd -store DIR -cron SPEC` is the daemon mode built on
+// that split — the producer-side twin of spserve — re-planning and
+// executing the matrix on a real cron cadence with clean SIGTERM
+// shutdown.
+//
 // See DESIGN.md for the system inventory (including the storage backend
 // contract and on-disk layout), EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the harnesses that

@@ -288,6 +288,11 @@ type Cell struct {
 	Pass, Fail, Skip, Error int
 	// Runs counts how many runs were recorded for this cell in total.
 	Runs int
+	// InputDigest is the latest run's content-addressed input digest
+	// (empty for records written before the digest existed) — the
+	// provenance a reader needs to decide whether the cell still
+	// reflects the current inputs.
+	InputDigest string
 }
 
 // Healthy reports whether the cell's latest run passed completely.
@@ -307,6 +312,7 @@ func makeCell(k cellKey, r *runner.RunRecord, count int) Cell {
 	c := Cell{
 		Experiment: k.exp, Config: k.cfg, Externals: k.ext,
 		RunID: r.RunID, Timestamp: r.Timestamp, Runs: count,
+		InputDigest: r.InputDigest,
 	}
 	for _, j := range r.Jobs {
 		switch j.Result.Outcome {

@@ -1,0 +1,78 @@
+package bookkeep
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/runner"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// TestPreDigestRecordDecodes pins backward compatibility against the
+// checked-in fixture testdata/run-pre-digest.json — a run record in the
+// exact wire format the framework wrote before input digests existed.
+// Such records must decode cleanly, index normally, and never satisfy a
+// digest-based skip: with no recorded digest there is no proof the
+// recorded inputs match today's, so the planner treats them as
+// always-stale.
+func TestPreDigestRecordDecodes(t *testing.T) {
+	data, err := os.ReadFile("testdata/run-pre-digest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "input_digest") {
+		t.Fatal("fixture is not pre-digest: it carries an input_digest field")
+	}
+
+	store := storage.NewStore()
+	if _, err := store.Put(runner.RunsNS, "run-0001", data); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := runner.LoadRun(store, "run-0001")
+	if err != nil {
+		t.Fatalf("pre-digest record failed to decode: %v", err)
+	}
+	if rec.RunID != "run-0001" || rec.Experiment != "H1" || rec.Config != "SL5/32bit gcc4.1" ||
+		rec.RepoRevision != 1 || len(rec.Jobs) != 2 {
+		t.Fatalf("pre-digest record decoded wrong: %+v", rec)
+	}
+	if rec.Jobs[0].Result.Outcome != valtest.OutcomePass || !rec.Passed() {
+		t.Fatalf("pre-digest outcomes decoded wrong: %+v", rec.Jobs)
+	}
+	if rec.InputDigest != "" {
+		t.Fatalf("pre-digest record grew a digest: %q", rec.InputDigest)
+	}
+
+	// The record participates in the bookkeeping as before...
+	x, err := BuildIndex(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TotalRuns() != 1 {
+		t.Fatalf("indexed %d runs, want 1", x.TotalRuns())
+	}
+	latest, ok := x.Latest("H1", "SL5/32bit gcc4.1", "root-5.34+cernlib-2006+mcgen-1.4")
+	if !ok || latest.RunID != "run-0001" {
+		t.Fatalf("legacy record not indexed as its cell's latest run: ok=%t", ok)
+	}
+	cells := x.Matrix()
+	if len(cells) != 1 || cells[0].InputDigest != "" {
+		t.Fatalf("matrix cell wrong for legacy record: %+v", cells)
+	}
+
+	// ...but can never answer a digest query, green as it is.
+	if id, ok := x.GreenRun(""); ok {
+		t.Fatalf("empty digest matched %q", id)
+	}
+	cfg, err := platform.ParseConfig("SL5/32bit gcc4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	someDigest := runner.InputDigest(valtest.NewSuite("H1"), 1, cfg, nil)
+	if id, ok := x.GreenRun(someDigest); ok {
+		t.Fatalf("legacy record satisfied digest %s via %q", someDigest, id)
+	}
+}

@@ -37,6 +37,7 @@ type Index struct {
 	byExp  map[string][]string // per-experiment run IDs, same order
 	latest map[cellKey]string  // run ID of each cell's latest run
 	count  map[cellKey]int     // total runs recorded per cell
+	green  map[string]string   // input digest -> latest fully passing run ID
 }
 
 // NewIndex returns an empty index over the store. Call Refresh to load
@@ -48,6 +49,7 @@ func NewIndex(store *storage.Store) *Index {
 		byExp:  make(map[string][]string),
 		latest: make(map[cellKey]string),
 		count:  make(map[cellKey]int),
+		green:  make(map[string]string),
 	}
 }
 
@@ -106,6 +108,41 @@ func (x *Index) addLocked(rec *runner.RunRecord) {
 	if cur, ok := x.latest[k]; !ok || runner.CompareIDs(rec.RunID, cur) > 0 {
 		x.latest[k] = rec.RunID
 	}
+	// Records from before the digest existed carry an empty InputDigest
+	// and are deliberately never entered here: the planner treats them
+	// as always-stale, so pre-digest history can only be confirmed, not
+	// silently trusted.
+	if rec.InputDigest != "" && rec.Passed() {
+		if cur, ok := x.green[rec.InputDigest]; !ok || runner.CompareIDs(rec.RunID, cur) > 0 {
+			x.green[rec.InputDigest] = rec.RunID
+		}
+	}
+}
+
+// GreenRun returns the latest fully passing run recorded with the given
+// input digest — the query behind the campaign planner's skip decision:
+// a cell whose current input digest already has a green run is
+// up-to-date and needs no re-validation.
+func (x *Index) GreenRun(digest string) (string, bool) {
+	if digest == "" {
+		return "", false
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	id, ok := x.green[digest]
+	return id, ok
+}
+
+// Latest returns the most recent run of the (experiment, config,
+// externals) cell, labels as recorded on the run records.
+func (x *Index) Latest(experiment, config, externals string) (*runner.RunRecord, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	id, ok := x.latest[cellKey{experiment, config, externals}]
+	if !ok {
+		return nil, false
+	}
+	return x.runs[id], true
 }
 
 // insertID inserts id into the CompareIDs-sorted slice, keeping it

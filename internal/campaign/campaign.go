@@ -37,6 +37,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -82,8 +83,13 @@ type Cell struct {
 // Outcome is the recorded result of one cell.
 type Outcome struct {
 	Cell Cell
-	// RunID is the cell's final validation run.
+	// RunID is the cell's final validation run; for a skipped cell it is
+	// the prior green run that made re-execution unnecessary.
 	RunID string
+	// Skipped reports that the planner found the cell up-to-date: no
+	// build and no run were executed, and Passed is true because the
+	// covering run was green.
+	Skipped bool
 	// Passed reports a green validation or a converged migration.
 	Passed bool
 	// Runs counts the validation runs the cell produced (a migration
@@ -103,12 +109,26 @@ type Outcome struct {
 type Summary struct {
 	// Outcomes holds one entry per submitted cell, in submission order.
 	Outcomes []Outcome
+	// Plan is the executed plan (every cell forced to run for plain
+	// Run).
+	Plan *Plan
 	// Matrix is the bookkeeping status matrix after the campaign — the
 	// paper's Figure 3 aggregation over the common storage.
 	Matrix []bookkeep.Cell
 	// TotalRuns is the number of validation runs recorded in the
 	// bookkeeping after the campaign (including any pre-existing runs).
 	TotalRuns int
+}
+
+// Skipped counts cells the planner skipped as up-to-date.
+func (s *Summary) Skipped() int {
+	n := 0
+	for _, o := range s.Outcomes {
+		if o.Skipped {
+			n++
+		}
+	}
+	return n
 }
 
 // CampaignRuns sums the validation runs produced by this campaign's
@@ -144,11 +164,68 @@ func New(sys *core.SPSystem, workers int) *Engine {
 	return &Engine{sys: sys, Workers: workers}
 }
 
-// Run executes every cell and returns the aggregated summary. Cell
-// failures are reported per-outcome, not as an error: a broken cell is a
-// meaningful campaign result. The returned error covers only systemic
-// problems (no system, or the final matrix aggregation failing).
+// ForceAll wraps cells in an execute-everything plan: every cell is
+// DecisionRun regardless of recorded state. This is the pre-planner
+// behaviour, kept for benchmarks, ablations and operator overrides.
+// Digests are filled at execution time; callers that record the plan
+// should prefer Engine.ForcePlan, which carries them immediately.
+func ForceAll(cells []Cell) *Plan {
+	p := &Plan{Cells: make([]PlannedCell, len(cells))}
+	for i, c := range cells {
+		p.Cells[i] = PlannedCell{Cell: c, Decision: DecisionRun, Reason: "forced"}
+	}
+	return p
+}
+
+// ForcePlan is ForceAll with every cell's campaign-entry input digest
+// filled from the engine's system — the operator-override plan with
+// full provenance, without the recorded-state index build Plan pays.
+func (e *Engine) ForcePlan(cells []Cell) (*Plan, error) {
+	if e.sys == nil {
+		return nil, fmt.Errorf("campaign: engine has no system")
+	}
+	p := ForceAll(cells)
+	e.fillDigests(p)
+	return p, nil
+}
+
+// fillDigests computes the missing input digests of a plan's cells at
+// the current (campaign-entry) repository state. Cells whose
+// experiment is not registered keep an empty digest; the executor
+// produces their error outcome.
+func (e *Engine) fillDigests(plan *Plan) {
+	for i := range plan.Cells {
+		pc := &plan.Cells[i]
+		if pc.Digest == "" {
+			if d, err := e.sys.CellDigest(pc.Cell.Experiment, pc.Cell.Config, pc.Cell.Externals); err == nil {
+				pc.Digest = d
+			}
+		}
+	}
+}
+
+// Run executes every cell unconditionally and returns the aggregated
+// summary — ForceAll followed by RunPlan. Cell failures are reported
+// per-outcome, not as an error: a broken cell is a meaningful campaign
+// result. The returned error covers only systemic problems (no system,
+// or the final matrix aggregation failing).
 func (e *Engine) Run(cells []Cell) (*Summary, error) {
+	return e.RunPlan(ForceAll(cells))
+}
+
+// RunPlan executes the plan's stale cells on the worker pool and
+// publishes skip outcomes for the up-to-date ones.
+func (e *Engine) RunPlan(plan *Plan) (*Summary, error) {
+	return e.RunPlanContext(context.Background(), plan)
+}
+
+// RunPlanContext is RunPlan under a context: when the context is
+// cancelled, cells already executing finish (their runs are recorded
+// normally — a half-written campaign is worse than a slightly longer
+// shutdown), cells not yet started report ctx.Err() in their outcome,
+// and the summary is still aggregated over whatever was recorded. This
+// is the daemon's clean-shutdown path.
+func (e *Engine) RunPlanContext(ctx context.Context, plan *Plan) (*Summary, error) {
 	if e.sys == nil {
 		return nil, fmt.Errorf("campaign: engine has no system")
 	}
@@ -157,6 +234,17 @@ func (e *Engine) Run(cells []Cell) (*Summary, error) {
 		workers = 1
 	}
 
+	cells := make([]Cell, len(plan.Cells))
+	for i, pc := range plan.Cells {
+		cells[i] = pc.Cell
+	}
+	// Fill in missing digests now, before any cell executes: a migrate
+	// cell's completion record must be keyed by the campaign-entry
+	// input state (the state a later planner will recompute), not by
+	// whatever revision earlier migrations have moved the repository to
+	// by the time the cell starts. Plans from Engine.Plan and ForcePlan
+	// already carry entry digests; bare ForceAll plans get theirs here.
+	e.fillDigests(plan)
 	outcomes := make([]Outcome, len(cells))
 	done := make([]chan struct{}, len(cells))
 	for i := range done {
@@ -166,17 +254,35 @@ func (e *Engine) Run(cells []Cell) (*Summary, error) {
 
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for i := range cells {
+	for i := range plan.Cells {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer close(done[i])
+			pc := plan.Cells[i]
+			if pc.Decision == DecisionSkip {
+				outcomes[i] = Outcome{Cell: pc.Cell, RunID: pc.PriorRunID, Skipped: true, Passed: true}
+				return
+			}
 			for _, d := range deps[i] {
 				<-done[d]
 			}
-			sem <- struct{}{}
+			select {
+			case <-ctx.Done():
+				outcomes[i] = Outcome{Cell: pc.Cell, Err: ctx.Err()}
+				return
+			case sem <- struct{}{}:
+			}
 			defer func() { <-sem }()
-			outcomes[i] = e.runCell(cells[i])
+			// Re-check after possibly queuing behind busy workers: a
+			// cancelled campaign must not start new cells.
+			select {
+			case <-ctx.Done():
+				outcomes[i] = Outcome{Cell: pc.Cell, Err: ctx.Err()}
+				return
+			default:
+			}
+			outcomes[i] = e.runCell(pc)
 		}(i)
 	}
 	wg.Wait()
@@ -187,6 +293,7 @@ func (e *Engine) Run(cells []Cell) (*Summary, error) {
 	}
 	return &Summary{
 		Outcomes:  outcomes,
+		Plan:      plan,
 		Matrix:    matrix,
 		TotalRuns: e.sys.Book.TotalRuns(),
 	}, nil
@@ -215,8 +322,12 @@ func dependencies(cells []Cell) [][]int {
 	return deps
 }
 
-// runCell executes one cell.
-func (e *Engine) runCell(c Cell) Outcome {
+// runCell executes one planned cell. pc.Digest — the cell's input
+// digest at campaign entry — keys the completion record of a migrate
+// cell, letting a later planner recognize the same input state as
+// already handled.
+func (e *Engine) runCell(pc PlannedCell) Outcome {
+	c := pc.Cell
 	out := Outcome{Cell: c}
 	tag := c.Tag
 	if tag == "" {
@@ -238,6 +349,11 @@ func (e *Engine) runCell(c Cell) Outcome {
 		out.RunID = rep.FinalRunID
 		out.Runs = len(rep.Iterations)
 		out.Passed = rep.Succeeded
+		if pc.Digest != "" {
+			if err := recordCellCompletion(e.sys.Store, pc.Digest, c, rep.FinalRunID, rep.Succeeded); err != nil {
+				out.Err = fmt.Errorf("campaign: recording cell completion: %w", err)
+			}
+		}
 	default:
 		rec, err := e.sys.Validate(c.Experiment, c.Config, c.Externals, tag)
 		if err != nil {

@@ -123,6 +123,26 @@ func NewWithRegistry(reg *platform.Registry) *SPSystem {
 	return NewWith(storage.NewStore(), reg)
 }
 
+// NewHERA returns an SPSystem over the store with every HERA experiment
+// registered; quick scales workloads down via experiments.QuickScale.
+// This is the one constructor every front end sharing a store must use:
+// registration (order, definitions, scaling) feeds the suite
+// fingerprints and hence the input digests, so two processes building
+// their systems differently would disagree about which recorded cells
+// are up-to-date.
+func NewHERA(store *storage.Store, quick bool) (*SPSystem, error) {
+	sys := NewWith(store, platform.NewRegistry())
+	for _, def := range experiments.All() {
+		if quick {
+			def = experiments.QuickScale(def)
+		}
+		if err := sys.RegisterExperiment(def); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
 // RegisterExperiment generates the experiment's software repository and
 // validation suite and adds it to the system.
 func (s *SPSystem) RegisterExperiment(def experiments.Definition) error {
@@ -237,6 +257,20 @@ func (s *SPSystem) Validate(experiment string, cfg platform.Config, exts *extern
 		return nil, err
 	}
 	return s.Runner.Run(st.Suite, s.context(st, cfg, exts, build), tag)
+}
+
+// CellDigest returns the content-addressed input digest a validation of
+// the experiment on (cfg, exts) would record right now: the experiment's
+// suite definition and current repository revision plus the cell's
+// configuration and externals, hashed by runner.InputDigest. The
+// campaign planner diffs these desired digests against the recorded
+// bookkeeping to decide which cells actually need re-validation.
+func (s *SPSystem) CellDigest(experiment string, cfg platform.Config, exts *externals.Set) (string, error) {
+	st, err := s.Experiment(experiment)
+	if err != nil {
+		return "", err
+	}
+	return runner.InputDigest(st.Suite, st.Repo.Revision, cfg, exts), nil
 }
 
 // RunFunc adapts Validate for the migration planner.

@@ -1,0 +1,62 @@
+package cron
+
+import (
+	"fmt"
+	"time"
+)
+
+// NextFunc computes the next firing instant strictly after t. It is the
+// cadence abstraction shared by the simulated Scheduler and the
+// real-time Driver: Schedule.Next is one, Every produces another.
+type NextFunc func(t time.Time) (time.Time, error)
+
+// Every returns a NextFunc firing at fixed intervals — the sub-minute
+// cadence five-field cron cannot express, used by daemon smoke tests
+// and fast local loops.
+func Every(d time.Duration) (NextFunc, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("cron: interval must be positive, got %v", d)
+	}
+	return func(t time.Time) (time.Time, error) { return t.Add(d), nil }, nil
+}
+
+// Driver blocks a real process until a schedule's next firing — the
+// wall-clock counterpart of the simulated Scheduler. The paper's
+// sp-system is cron-driven ("a regular build of the experimental
+// software is done automatically"); the Driver is what lets spd reuse
+// the exact same Schedule math against real time.
+//
+// A Driver is single-consumer: one goroutine calls Wait in a loop.
+type Driver struct {
+	next NextFunc
+	// now is the clock source, a seam for tests; time.Now in production.
+	now func() time.Time
+}
+
+// NewDriver returns a Driver over any NextFunc.
+func NewDriver(next NextFunc) *Driver {
+	return &Driver{next: next, now: time.Now}
+}
+
+// Driver returns a real-time driver firing on the schedule.
+func (s *Schedule) Driver() *Driver { return NewDriver(s.Next) }
+
+// Wait blocks until the next firing instant or until stop closes,
+// whichever comes first. It returns the firing instant and true on a
+// firing, and false when stopped; the error reports a cadence that
+// cannot fire (e.g. an unsatisfiable schedule).
+func (d *Driver) Wait(stop <-chan struct{}) (time.Time, bool, error) {
+	now := d.now()
+	next, err := d.next(now)
+	if err != nil {
+		return time.Time{}, false, err
+	}
+	timer := time.NewTimer(next.Sub(d.now()))
+	defer timer.Stop()
+	select {
+	case <-stop:
+		return time.Time{}, false, nil
+	case <-timer.C:
+		return next, true, nil
+	}
+}

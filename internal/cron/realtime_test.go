@@ -1,0 +1,106 @@
+package cron
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEveryRejectsNonPositive(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		if _, err := Every(d); err == nil {
+			t.Fatalf("Every(%v) accepted", d)
+		}
+	}
+}
+
+func TestDriverFiresOnInterval(t *testing.T) {
+	next, err := Every(5 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(next)
+	stop := make(chan struct{})
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		at, ok, err := d.Wait(stop)
+		if err != nil || !ok {
+			t.Fatalf("firing %d: ok=%t err=%v", i, ok, err)
+		}
+		if at.Before(start) {
+			t.Fatalf("firing %d at %v precedes start %v", i, at, start)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("three 5ms firings took %v", elapsed)
+	}
+}
+
+func TestDriverStops(t *testing.T) {
+	next, err := Every(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(next)
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(stop)
+	}()
+	finished := make(chan struct{})
+	var ok bool
+	var werr error
+	go func() {
+		_, ok, werr = d.Wait(stop)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after stop")
+	}
+	if ok || werr != nil {
+		t.Fatalf("stopped Wait returned ok=%t err=%v", ok, werr)
+	}
+}
+
+// TestScheduleDriverUsesScheduleMath pins the Driver's firing instant to
+// Schedule.Next: with an injected clock just before a minute boundary,
+// Wait fires exactly at the boundary the schedule computes.
+func TestScheduleDriverUsesScheduleMath(t *testing.T) {
+	s := MustParse("* * * * *")
+	d := s.Driver()
+	boundary := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	// First call computes next from the frozen instant 5ms before the
+	// boundary; the second supplies the sleep origin, so the timer waits
+	// only the remaining real-time gap.
+	calls := 0
+	d.now = func() time.Time {
+		calls++
+		if calls == 1 {
+			return boundary.Add(-time.Minute)
+		}
+		return boundary.Add(-5 * time.Millisecond)
+	}
+	at, ok, err := d.Wait(nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%t err=%v", ok, err)
+	}
+	if !at.Equal(boundary) {
+		t.Fatalf("fired at %v, want schedule boundary %v", at, boundary)
+	}
+}
+
+func TestDriverPropagatesNextError(t *testing.T) {
+	d := NewDriver(func(time.Time) (time.Time, error) {
+		return time.Time{}, errUnsatisfiable
+	})
+	if _, ok, err := d.Wait(nil); ok || err == nil {
+		t.Fatalf("ok=%t err=%v, want error", ok, err)
+	}
+}
+
+var errUnsatisfiable = &unsatisfiableError{}
+
+type unsatisfiableError struct{}
+
+func (*unsatisfiableError) Error() string { return "never fires" }

@@ -131,6 +131,19 @@ func All() []Definition {
 	return []Definition{ZEUS(), H1(), HERMES()}
 }
 
+// QuickScale shrinks a definition's workloads for fast demonstration
+// runs (the front ends' -quick flag) while preserving the suite
+// structure. Every front end must scale through this one helper: the
+// suite definition feeds runner.InputDigest, so two processes scaling
+// differently would compute different digests over the same store and
+// re-validate cells that are in fact up-to-date.
+func QuickScale(def Definition) Definition {
+	def.RepoSpec.Packages = min(def.RepoSpec.Packages, 20)
+	def.ChainEvents = 300
+	def.StandaloneTests = min(def.StandaloneTests, 20)
+	return def
+}
+
 // BuildRepo generates the experiment's software repository.
 func (d Definition) BuildRepo() (*swrepo.Repository, error) {
 	return swrepo.Generate(d.RepoSpec, simrand.New(d.Seed))
@@ -190,6 +203,12 @@ func (d Definition) ChainSpecs(repo *swrepo.Repository) ([]chain.Spec, error) {
 // chains, and the standalone executable tests.
 func (d Definition) BuildSuite(repo *swrepo.Repository) (*valtest.Suite, error) {
 	suite := valtest.NewSuite(d.Name)
+	// The full definition is the suite's provenance: parameters like
+	// ChainEvents or Seed change test *outcomes* without changing test
+	// names, so they must reach the input digest through the
+	// fingerprint or a re-validation after changing them would be
+	// wrongly skipped as up-to-date.
+	suite.Fingerprint = fmt.Sprintf("%+v", d)
 
 	// Figure 2, part one: compilation of every package.
 	for _, p := range repo.Packages() {

@@ -28,9 +28,21 @@ import (
 // (experiment, configuration, externals) cell with outcome counts and
 // health.
 func TextMatrix(cells []bookkeep.Cell) string {
+	return TextMatrixNoted(cells, nil)
+}
+
+// TextMatrixNoted is TextMatrix with an extra per-cell NOTE column
+// supplied by note — how `spsys campaign` and spd surface "skipped:
+// up-to-date" cells after an incremental campaign. A nil note renders
+// the plain matrix.
+func TextMatrixNoted(cells []bookkeep.Cell, note func(bookkeep.Cell) string) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "EXPERIMENT\tCONFIGURATION\tEXTERNALS\tTESTS\tPASS\tFAIL\tSKIP\tERROR\tRUNS\tSTATUS")
+	header := "EXPERIMENT\tCONFIGURATION\tEXTERNALS\tTESTS\tPASS\tFAIL\tSKIP\tERROR\tRUNS\tSTATUS"
+	if note != nil {
+		header += "\tNOTE"
+	}
+	fmt.Fprintln(tw, header)
 	lastExp := ""
 	for _, c := range cells {
 		exp := c.Experiment
@@ -43,8 +55,12 @@ func TextMatrix(cells []bookkeep.Cell) string {
 		if !c.Healthy() {
 			status = "ATTENTION"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s",
 			exp, c.Config, c.Externals, c.Total(), c.Pass, c.Fail, c.Skip, c.Error, c.Runs, status)
+		if note != nil {
+			fmt.Fprintf(tw, "\t%s", note(c))
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 	return b.String()
@@ -108,11 +124,11 @@ td, th { border: 1px solid #888; padding: 4px 8px; }
 <h1>{{.Title}}</h1>
 <p>{{.Runs}} validation runs recorded.</p>
 <table>
-<tr><th>Experiment</th><th>Configuration</th><th>Externals</th><th>Pass</th><th>Fail</th><th>Skip</th><th>Error</th><th>Latest run</th></tr>
+<tr><th>Experiment</th><th>Configuration</th><th>Externals</th><th>Pass</th><th>Fail</th><th>Skip</th><th>Error</th><th>Latest run</th>{{if .HasNotes}}<th>Freshness</th>{{end}}</tr>
 {{range .Cells}}<tr class="{{if .Healthy}}ok{{else}}bad{{end}}">
 <td>{{.Experiment}}</td><td>{{.Config}}</td><td>{{.Externals}}</td>
 <td>{{.Pass}}</td><td>{{.Fail}}</td><td>{{.Skip}}</td><td>{{.Error}}</td>
-<td><a href="{{.Href}}">{{.RunID}}</a></td>
+<td><a href="{{.Href}}">{{.RunID}}</a></td>{{if $.HasNotes}}<td>{{.Note}}</td>{{end}}
 </tr>{{end}}
 </table></body></html>
 `))
@@ -137,25 +153,38 @@ td, th { border: 1px solid #888; padding: 4px 8px; }
 
 // matrixRow is one matrix table row: the cell plus the link target of
 // its latest-run column, so the same template serves both the static
-// site (relative "run-0001.html" pages) and spserve ("/runs/run-0001").
+// site (relative "run-0001.html" pages) and spserve ("/runs/run-0001"),
+// and an optional freshness note.
 type matrixRow struct {
 	bookkeep.Cell
 	Href string
+	Note string
 }
 
 // HTMLMatrixLinked renders the status matrix page with runHref
 // supplying each cell's latest-run link target.
 func HTMLMatrixLinked(title string, cells []bookkeep.Cell, totalRuns int, runHref func(runID string) string) (string, error) {
+	return HTMLMatrixNoted(title, cells, totalRuns, runHref, nil)
+}
+
+// HTMLMatrixNoted is HTMLMatrixLinked with a per-cell freshness column
+// supplied by note — how spserve surfaces the cells the producer's last
+// plan skipped as up-to-date. A nil note omits the column.
+func HTMLMatrixNoted(title string, cells []bookkeep.Cell, totalRuns int, runHref func(runID string) string, note func(bookkeep.Cell) string) (string, error) {
 	rows := make([]matrixRow, len(cells))
 	for i, c := range cells {
 		rows[i] = matrixRow{Cell: c, Href: runHref(c.RunID)}
+		if note != nil {
+			rows[i].Note = note(c)
+		}
 	}
 	var b strings.Builder
 	err := matrixTmpl.Execute(&b, struct {
-		Title string
-		Runs  int
-		Cells []matrixRow
-	}{title, totalRuns, rows})
+		Title    string
+		Runs     int
+		HasNotes bool
+		Cells    []matrixRow
+	}{title, totalRuns, note != nil, rows})
 	if err != nil {
 		return "", fmt.Errorf("report: %w", err)
 	}

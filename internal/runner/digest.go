@@ -1,0 +1,43 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/valtest"
+)
+
+// InputDigest summarizes everything that determines a validation run's
+// outcome into one content-addressed identifier: the suite definition
+// (experiment, construction fingerprint, test names, categories and
+// dependency edges), the software repository revision, the platform
+// configuration and the external software set. Two runs with equal
+// digests exercised the same inputs, so a green run makes every later
+// run with the same digest redundant — the property the campaign
+// planner uses to skip up-to-date cells. The digest is a hex SHA-256,
+// stable across processes: the suite listing is taken in insertion
+// order (deterministic, the suites are generated from seeded
+// definitions) and the config and externals enter through their
+// canonical Key forms. The fingerprint carries the generation
+// parameters the test listing cannot encode (Monte-Carlo statistics,
+// seeds), so changing those stales recorded results too.
+func InputDigest(suite *valtest.Suite, revision int, cfg platform.Config, exts *externals.Set) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "experiment:%s\nfingerprint:%s\n", suite.Experiment, suite.Fingerprint)
+	for _, t := range suite.Tests() {
+		deps := append([]string(nil), t.DependsOn()...)
+		sort.Strings(deps)
+		fmt.Fprintf(h, "test:%s|%d|%s\n", t.Name(), t.Category(), strings.Join(deps, ","))
+	}
+	extKey := "(no externals)"
+	if exts != nil {
+		extKey = exts.Key()
+	}
+	fmt.Fprintf(h, "revision:%d\nconfig:%s\nexternals:%s\n", revision, cfg.Key(), extKey)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+func digestSuite(t *testing.T, experiment string, tests ...string) *valtest.Suite {
+	t.Helper()
+	s := valtest.NewSuite(experiment)
+	for _, name := range tests {
+		s.MustAdd(&valtest.FuncTest{
+			TestName: name, Cat: valtest.CatStandalone,
+			Fn: func(*valtest.Context) valtest.Result { return valtest.Result{Outcome: valtest.OutcomePass} },
+		})
+	}
+	return s
+}
+
+func digestExts(t *testing.T) *externals.Set {
+	t.Helper()
+	cat := externals.NewCatalogue()
+	root, err := cat.Get(externals.ROOT, "5.34")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := externals.NewSet(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestInputDigestDiscriminates: equal inputs digest equal; changing any
+// single input — suite definition, revision, configuration, externals —
+// changes the digest.
+func TestInputDigestDiscriminates(t *testing.T) {
+	cfg := platform.OriginalConfig()
+	exts := digestExts(t)
+	base := InputDigest(digestSuite(t, "H1", "a", "b"), 3, cfg, exts)
+
+	if got := InputDigest(digestSuite(t, "H1", "a", "b"), 3, cfg, exts); got != base {
+		t.Fatalf("identical inputs digest differently: %s vs %s", got, base)
+	}
+	reFingered := digestSuite(t, "H1", "a", "b")
+	reFingered.Fingerprint = "ChainEvents:5000"
+	variants := map[string]string{
+		"suite":       InputDigest(digestSuite(t, "H1", "a", "c"), 3, cfg, exts),
+		"exp":         InputDigest(digestSuite(t, "ZEUS", "a", "b"), 3, cfg, exts),
+		"fingerprint": InputDigest(reFingered, 3, cfg, exts),
+		"revision":    InputDigest(digestSuite(t, "H1", "a", "b"), 4, cfg, exts),
+		"config":      InputDigest(digestSuite(t, "H1", "a", "b"), 3, platform.ReferenceConfig(), exts),
+		"externals":   InputDigest(digestSuite(t, "H1", "a", "b"), 3, cfg, nil),
+	}
+	seen := map[string]string{base: "base"}
+	for name, d := range variants {
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("changing %s collides with %s: %s", name, prev, d)
+		}
+		seen[d] = name
+	}
+	if len(base) != 64 {
+		t.Fatalf("digest is not a hex SHA-256: %q", base)
+	}
+}
+
+// TestRunRecordsInputDigest: every recorded run carries the digest of
+// the inputs it actually exercised.
+func TestRunRecordsInputDigest(t *testing.T) {
+	store := storage.NewStore()
+	rn := New(store, simclock.New())
+	suite := digestSuite(t, "H1", "a")
+	exts := digestExts(t)
+	ctx := &valtest.Context{
+		Store:     store,
+		Env:       storage.Env{},
+		Config:    platform.OriginalConfig(),
+		Externals: exts,
+	}
+	rec, err := rn.Run(suite, ctx, "digest test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := InputDigest(suite, 0, platform.OriginalConfig(), exts)
+	if rec.InputDigest != want {
+		t.Fatalf("recorded digest %s, want %s", rec.InputDigest, want)
+	}
+	back, err := LoadRun(store, rec.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.InputDigest != want {
+		t.Fatalf("digest lost across storage round-trip: %q", back.InputDigest)
+	}
+}

@@ -54,6 +54,12 @@ type RunRecord struct {
 	Externals string `json:"externals"`
 	// RepoRevision is the experiment software revision validated.
 	RepoRevision int `json:"repo_revision"`
+	// InputDigest is the content-addressed summary of the run's inputs
+	// (suite definition, repository revision, configuration, externals)
+	// — see InputDigest. Records written before the digest existed
+	// decode with an empty value and are treated as always-stale by the
+	// campaign planner.
+	InputDigest string `json:"input_digest,omitempty"`
 	// Timestamp is the Unix start time (simulated clock).
 	Timestamp int64 `json:"timestamp"`
 	// Jobs holds every job in deterministic (topological) order.
@@ -157,6 +163,7 @@ func (rn *Runner) Run(suite *valtest.Suite, base *valtest.Context, description s
 	if base.Repo != nil {
 		rec.RepoRevision = base.Repo.Revision
 	}
+	rec.InputDigest = InputDigest(suite, rec.RepoRevision, base.Config, base.Externals)
 
 	outcomes := make(map[string]valtest.Outcome, len(ordered))
 	results := make(map[string]valtest.Result, len(ordered))

@@ -228,6 +228,14 @@ func (t *FuncTest) Run(ctx *Context) Result {
 type Suite struct {
 	// Experiment is the owning collaboration.
 	Experiment string
+	// Fingerprint captures the outcome-determining parameters of the
+	// suite's construction that the test listing alone cannot encode —
+	// for generated suites, the full experiment definition (seed,
+	// Monte-Carlo statistics per chain, repository generation spec).
+	// It feeds runner.InputDigest, so changing any such parameter makes
+	// recorded validation results stale. Hand-built suites may leave it
+	// empty.
+	Fingerprint string
 
 	tests map[string]Test
 	order []string // insertion order, for stable listings
