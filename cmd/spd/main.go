@@ -32,6 +32,11 @@
 // records its plan under the "plan" namespace and republishes the
 // status site, so a concurrent `spserve -store DIR` (which attaches
 // through the shared-lock read view) shows runs, matrix and plan live.
+// After publishing, the cycle refreshes the store's persisted index
+// segment (via PublishReports) and — once the name journal outgrows a
+// threshold — compacts the store (`spsys store compact`'s operation,
+// run opportunistically), so open and index costs stay O(recent
+// change) no matter how long the daemon has been feeding the archive.
 //
 // On SIGTERM or SIGINT the daemon shuts down cleanly: cells already
 // executing finish and are recorded, no new cell starts, the store's
@@ -220,5 +225,34 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 	if _, err := sys.PublishReports(opts.title); err != nil {
 		return err
 	}
+	return compactIfWorthwhile(store)
+}
+
+// compactJournalThreshold is the journal-tail size above which a cycle
+// ends with a compaction. Below it, folding the journal would cost more
+// than the next Open saves.
+const compactJournalThreshold = 256 << 10 // 256 KiB
+
+// compactIfWorthwhile opportunistically folds the store's name journal
+// into a snapshot after a cycle, once the tail has grown past the
+// threshold. The daemon is the natural place for this: it owns the
+// writer lock anyway, runs on a cadence, and is exactly the long-lived
+// producer whose journal would otherwise grow without bound. Readers
+// (spserve on the same directory) tolerate the compaction live via the
+// snapshot generation check in their Refresh.
+func compactIfWorthwhile(store *storage.Store) error {
+	// Position (not Info): the journal tail length is all the decision
+	// needs, and Info would force the lazy blob-statistics walk — an
+	// O(blobs) cost the steady-state cycle must not pay.
+	pos, ok := store.Position()
+	if !ok || pos.Offset < compactJournalThreshold {
+		return nil
+	}
+	cs, err := store.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spd: compacted store: generation %d, %d journal bytes folded into a %d-byte snapshot\n",
+		cs.Generation, cs.JournalBytes, cs.SnapshotBytes)
 	return nil
 }

@@ -27,7 +27,11 @@
 //	/blob/{hash} raw kept artifact by content hash
 //	/api/matrix  JSON status matrix (cells carry their input digest)
 //	/api/plan    JSON form of the producer's last recorded campaign plan
-//	/api/runs    JSON run list
+//	/api/runs    JSON run list, paginated: ?limit= (default 500, capped
+//	             at 5000) and ?after=run-NNNN (cursor; the response's
+//	             next_after feeds the next page), ?experiment= restricts
+//	             to one experiment. No request materializes the full
+//	             run list of a large archive.
 //	/healthz     liveness + store freshness
 //
 // -refresh bounds how often the journal is re-tailed: at most one
@@ -42,6 +46,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -331,20 +336,60 @@ type runSummary struct {
 	Passed      bool   `json:"passed"`
 }
 
+// Pagination bounds for /api/runs: the default page, and the hard cap a
+// client-supplied limit is clamped to. No request can make the service
+// serialize the full run list of a long-lived archive.
+const (
+	defaultRunsLimit = 500
+	maxRunsLimit     = 5000
+)
+
+// parseRunsQuery extracts limit/after/experiment from the request, with
+// clamped defaults.
+func parseRunsQuery(r *http.Request) (limit int, after, experiment string) {
+	q := r.URL.Query()
+	limit = defaultRunsLimit
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	if limit > maxRunsLimit {
+		limit = maxRunsLimit
+	}
+	return limit, q.Get("after"), q.Get("experiment")
+}
+
+// serveAPIRuns answers the paged run listing: up to `limit` runs
+// (default 500, capped) strictly after the `after` cursor, in execution
+// order, with `next_after` carrying the cursor for the following page
+// ("" on the last page). `experiment` restricts the walk to one
+// experiment's runs via its per-experiment cursor.
 func (s *server) serveAPIRuns(w http.ResponseWriter, r *http.Request) {
 	s.refresh()
-	recs := s.index.Runs()
-	out := make([]runSummary, len(recs))
-	for i, rec := range recs {
+	limit, after, experiment := parseRunsQuery(r)
+	var metas []*bookkeep.RunMeta
+	var next string
+	total := s.index.TotalRuns()
+	if experiment != "" {
+		metas, next = s.index.RunsForPage(experiment, "", after, limit)
+		total = s.index.TotalRunsFor(experiment)
+	} else {
+		metas, next = s.index.RunsPage(after, limit)
+	}
+	out := make([]runSummary, len(metas))
+	for i, m := range metas {
 		out[i] = runSummary{
-			RunID: rec.RunID, Description: rec.Description, Experiment: rec.Experiment,
-			Config: rec.Config, Externals: rec.Externals, Revision: rec.RepoRevision,
-			Timestamp: rec.Timestamp, Jobs: len(rec.Jobs), Passed: rec.Passed(),
+			RunID: m.RunID, Description: m.Description, Experiment: m.Experiment,
+			Config: m.Config, Externals: m.Externals, Revision: m.Revision,
+			Timestamp: m.Timestamp, Jobs: m.Jobs, Passed: m.Passed,
 		}
 	}
 	writeJSON(w, struct {
-		Runs []runSummary `json:"runs"`
-	}{out})
+		Runs      []runSummary `json:"runs"`
+		Total     int          `json:"total"` // runs in the listing's scope (the experiment's when filtered)
+		NextAfter string       `json:"next_after,omitempty"`
+	}{out, total, next})
 }
 
 func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {

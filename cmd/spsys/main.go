@@ -13,7 +13,15 @@
 //	spsys validate  -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
 //	spsys migrate   -experiment H1 -config "SL6/64bit gcc4.4" [-root 5.34] [-store DIR]
 //	spsys matrix    [-save FILE] [-store DIR]    print the status matrix
-//	spsys runs      [-store DIR]                 list recorded runs
+//	spsys runs      [-store DIR] [-limit N] [-after RUN] [-experiment E]
+//	                list recorded runs, paged (default 500 per page; the
+//	                trailer prints the -after cursor for the next page)
+//	spsys store     stats|compact|synth — storage administration:
+//	                stats prints snapshot/journal/blob figures (read-only,
+//	                works beside a live writer), compact folds the name
+//	                journal into a names.snapshot so reopening the store
+//	                is O(appends since compaction), synth appends
+//	                synthetic run records for scaling smoke tests
 //
 // Every subcommand accepts -store DIR: the common sp-system storage is
 // then the durable on-disk store rooted at DIR instead of process
@@ -40,6 +48,7 @@ import (
 	"repro/internal/externals"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/storage"
 )
 
@@ -63,6 +72,8 @@ func main() {
 		err = runRuns(args)
 	case "history":
 		err = runHistory(args)
+	case "store":
+		err = runStore(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,8 +94,12 @@ commands:
   validate   one validation run of an experiment on a configuration
   migrate    adapt-and-validate migration campaign
   matrix     print the Figure 3 status matrix
-  runs       list recorded validation runs
+  runs       list recorded validation runs (paged: -limit/-after)
   history    show one test's outcomes across a quick campaign
+  store      admin operations on the on-disk storage:
+               store stats   -store DIR   snapshot/journal/blob figures
+               store compact -store DIR   fold the journal into a snapshot
+               store synth   -store DIR -runs N   append synthetic records
 
 every command accepts -store DIR to record onto (and read back from)
 the durable on-disk common storage at DIR instead of process memory`)
@@ -467,6 +482,9 @@ func runHistory(args []string) (err error) {
 
 func runRuns(args []string) (err error) {
 	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	limit := fs.Int("limit", 500, "maximum runs to list per invocation (0: no limit)")
+	after := fs.String("after", "", "list runs strictly after this run ID (cursor from the previous page)")
+	experiment := fs.String("experiment", "", "restrict the listing to one experiment")
 	storeDir := storeFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -494,14 +512,129 @@ func runRuns(args []string) (err error) {
 			}
 		}
 	}
-	runs, err := sys.Book.Runs()
+	// Paged through the index (segment-accelerated when the store holds
+	// one): the listing never materializes the full run history.
+	x, err := bookkeep.BuildIndex(store)
 	if err != nil {
 		return err
 	}
-	for _, rec := range runs {
-		counts := rec.Counts()
-		fmt.Printf("%s  %-7s %-20s pass=%d fail=%d  %q\n",
-			rec.RunID, rec.Experiment, rec.Config, counts[0], counts[1], rec.Description)
+	var metas []*bookkeep.RunMeta
+	var next string
+	total := x.TotalRuns()
+	if *experiment != "" {
+		metas, next = x.RunsForPage(*experiment, "", *after, *limit)
+		total = x.TotalRunsFor(*experiment)
+	} else {
+		metas, next = x.RunsPage(*after, *limit)
 	}
+	for _, m := range metas {
+		fmt.Printf("%s  %-7s %-20s pass=%d fail=%d  %q\n",
+			m.RunID, m.Experiment, m.Config, m.Pass, m.Fail, m.Description)
+	}
+	if next != "" {
+		fmt.Printf("(%d of %d runs; continue with -after %s)\n", len(metas), total, next)
+	}
+	return nil
+}
+
+// runStore dispatches the storage admin subcommands.
+func runStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: spsys store <stats|compact|synth> [flags]")
+	}
+	switch sub, rest := args[0], args[1:]; sub {
+	case "stats":
+		return runStoreStats(rest)
+	case "compact":
+		return runStoreCompact(rest)
+	case "synth":
+		return runStoreSynth(rest)
+	default:
+		return fmt.Errorf("unknown store subcommand %q (want stats, compact or synth)", sub)
+	}
+}
+
+// runStoreStats prints the extended store figures through the read-only
+// view, so it works beside a live writer.
+func runStoreStats(args []string) (err error) {
+	fs := flag.NewFlagSet("store stats", flag.ExitOnError)
+	storeDir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store stats: -store is required")
+	}
+	store, err := storage.OpenReadOnly(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	info, err := store.Info()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("store %s\n", *storeDir)
+	fmt.Printf("  bindings        %d\n", info.Bindings)
+	fmt.Printf("  blobs           %d (%d bytes)\n", info.Blobs, info.Bytes)
+	fmt.Printf("  snapshot        generation %d (%d bytes)\n", info.Generation, info.SnapshotBytes)
+	fmt.Printf("  journal tail    %d bytes\n", info.JournalBytes)
+	return nil
+}
+
+// runStoreCompact takes the writer lock and folds the journal into a
+// fresh snapshot.
+func runStoreCompact(args []string) (err error) {
+	fs := flag.NewFlagSet("store compact", flag.ExitOnError)
+	storeDir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store compact: -store is required")
+	}
+	store, err := storage.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	cs, err := store.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: generation %d, %d bindings, %d journal bytes folded into a %d-byte snapshot\n",
+		*storeDir, cs.Generation, cs.Bindings, cs.JournalBytes, cs.SnapshotBytes)
+	return nil
+}
+
+// runStoreSynth appends synthetic run records — the fixture builder for
+// scaling smoke tests and benchmarks. It opens the store without
+// fsyncs (the data is synthetic; speed is the point) but closes it
+// cleanly, so the result is a valid store.
+func runStoreSynth(args []string) (err error) {
+	fs := flag.NewFlagSet("store synth", flag.ExitOnError)
+	n := fs.Int("runs", 1000, "number of synthetic run records to append")
+	experiment := fs.String("experiment", "SYNTH", "experiment label on the synthetic runs")
+	failEvery := fs.Int("fail-every", 10, "every k-th run carries a failing job (0: all green)")
+	storeDir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store synth: -store is required")
+	}
+	store, err := storage.OpenWith(*storeDir, storage.Options{Sync: storage.SyncNone})
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	first, last, err := runner.SynthesizeRuns(store, *n, runner.SynthOptions{
+		Experiment: *experiment,
+		FailEvery:  *failEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthesized %d runs (%s .. %s) into %s\n", *n, first, last, *storeDir)
 	return nil
 }

@@ -291,3 +291,106 @@ func TestCampaignIncrementalRerun(t *testing.T) {
 		t.Fatalf("re-campaign output does not surface the skips:\n%s", second)
 	}
 }
+
+// TestStoreAdminCommands drives the storage admin family end to end:
+// synth populates a store, stats reads it (read-only, beside nothing),
+// compact folds the journal, and the compacted store still serves the
+// paged runs listing and records real campaigns afterwards.
+func TestStoreAdminCommands(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "adminstore")
+	if err := runStore([]string{"synth", "-runs", "120", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStore([]string{"stats", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := storage.OpenReadOnly(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := st.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 0 || info.JournalBytes == 0 {
+		t.Fatalf("pre-compact info = %+v", info)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runStore([]string{"compact", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := storage.OpenReadOnly(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2, err := st2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Generation != 1 || info2.JournalBytes != 0 {
+		t.Fatalf("post-compact info = %+v", info2)
+	}
+	x, err := bookkeep.BuildIndex(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TotalRuns() != 120 {
+		t.Fatalf("synthesized runs after compact = %d, want 120", x.TotalRuns())
+	}
+	page, next := x.RunsPage("", 50)
+	if len(page) != 50 || next == "" {
+		t.Fatalf("paged listing over synthesized store: %d runs, next %q", len(page), next)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The paged CLI listing works over the compacted store.
+	if err := runRuns([]string{"-store", storeDir, "-limit", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// A real recording process opens the compacted store and mints IDs
+	// past the synthesized ones.
+	if err := runValidate([]string{"-quick", "-experiment", "H1", "-config", "SL5/64bit gcc4.1", "-store", storeDir}); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := storage.OpenReadOnly(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	x3, err := bookkeep.BuildIndex(st3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x3.TotalRuns() != 121 {
+		t.Fatalf("runs after validate on compacted store = %d, want 121", x3.TotalRuns())
+	}
+	if _, err := x3.Run("run-0121"); err != nil {
+		t.Fatalf("real run after 120 synthetic ones did not mint run-0121: %v", err)
+	}
+}
+
+// TestStoreCommandUsage rejects unknown/missing subcommands and missing
+// -store flags with errors instead of panics.
+func TestStoreCommandUsage(t *testing.T) {
+	if err := runStore(nil); err == nil {
+		t.Fatal("store with no subcommand succeeded")
+	}
+	if err := runStore([]string{"bogus"}); err == nil {
+		t.Fatal("store bogus succeeded")
+	}
+	if err := runStore([]string{"stats"}); err == nil {
+		t.Fatal("store stats without -store succeeded")
+	}
+	if err := runStore([]string{"compact"}); err == nil {
+		t.Fatal("store compact without -store succeeded")
+	}
+	if err := runStore([]string{"synth"}); err == nil {
+		t.Fatal("store synth without -store succeeded")
+	}
+}

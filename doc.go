@@ -26,6 +26,16 @@
 // executing the matrix on a real cron cadence with clean SIGTERM
 // shutdown.
 //
+// The store is built for decades of accumulated history: `spsys store
+// compact` folds the name journal into a checksummed, generation-
+// counted snapshot (spd does it opportunistically), the bookkeeping
+// index persists itself as a segment keyed by the journal position it
+// covers, and every list-of-runs surface (`/api/runs`, `spsys runs`)
+// pages with cursors — so opening, indexing and serving an archive
+// cost O(what changed recently), not O(everything ever recorded).
+// `spsys store stats` shows the snapshot/journal figures; `spsys store
+// synth` builds large synthetic stores for scaling work.
+//
 // See DESIGN.md for the system inventory (including the storage backend
 // contract and on-disk layout), EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the harnesses that

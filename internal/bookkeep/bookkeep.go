@@ -305,28 +305,18 @@ func (c *Cell) Total() int { return c.Pass + c.Fail + c.Skip + c.Error }
 // externals) triple.
 type cellKey struct{ exp, cfg, ext string }
 
-// makeCell builds the Cell for a key from its latest run and total run
-// count — shared by the full-rescan Matrix here and the incremental
-// Index, so both produce identical cells from identical inputs.
-func makeCell(k cellKey, r *runner.RunRecord, count int) Cell {
-	c := Cell{
+// makeCell builds the Cell for a key from its latest run's meta and the
+// total run count — shared by the full-rescan Matrix here (which
+// summarizes each record first) and the incremental Index (which holds
+// metas already), so both produce identical cells from identical
+// inputs.
+func makeCell(k cellKey, m *RunMeta, count int) Cell {
+	return Cell{
 		Experiment: k.exp, Config: k.cfg, Externals: k.ext,
-		RunID: r.RunID, Timestamp: r.Timestamp, Runs: count,
-		InputDigest: r.InputDigest,
+		RunID: m.RunID, Timestamp: m.Timestamp, Runs: count,
+		InputDigest: m.InputDigest,
+		Pass:        m.Pass, Fail: m.Fail, Skip: m.Skip, Error: m.Error,
 	}
-	for _, j := range r.Jobs {
-		switch j.Result.Outcome {
-		case valtest.OutcomePass:
-			c.Pass++
-		case valtest.OutcomeFail:
-			c.Fail++
-		case valtest.OutcomeSkip:
-			c.Skip++
-		default:
-			c.Error++
-		}
-	}
-	return c
 }
 
 // sortCells orders matrix cells by experiment, then config, then
@@ -365,7 +355,7 @@ func (b *Book) Matrix() ([]Cell, error) {
 	}
 	cells := make([]Cell, 0, len(latest))
 	for k, r := range latest {
-		cells = append(cells, makeCell(k, r, count[k]))
+		cells = append(cells, makeCell(k, Summarize(r), count[k]))
 	}
 	sortCells(cells)
 	return cells, nil

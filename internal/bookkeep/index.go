@@ -7,12 +7,71 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/storage"
+	"repro/internal/valtest"
 )
 
-// Index is the incremental form of the bookkeeping: it loads each run
-// record from the common storage exactly once and keeps the derived
+// RunMeta is the compact, memory-resident summary of one run record:
+// everything the bookkeeping queries (run lists, matrix cells,
+// baselines, pagination) need, without the per-job payload. A million
+// RunMetas fit in memory where a million full RunRecords — each
+// carrying every job result and environment key — would not; full
+// records are loaded from storage on demand (Index.Run), one at a time.
+type RunMeta struct {
+	RunID       string
+	Description string
+	Experiment  string
+	Config      string
+	Externals   string
+	Revision    int
+	InputDigest string
+	Timestamp   int64
+	// Jobs is the job count; Pass/Fail/Skip/Error split it by outcome.
+	Jobs                    int
+	Pass, Fail, Skip, Error int
+	// Passed reports whether every job passed (RunRecord.Passed).
+	Passed bool
+}
+
+// Summarize reduces a full run record to its meta. Every consumer that
+// derives summary state from records — the incremental Index, the
+// full-rescan Book's matrix — goes through here, so the two can never
+// disagree about what a record summarizes to.
+func Summarize(rec *runner.RunRecord) *RunMeta {
+	m := &RunMeta{
+		RunID:       rec.RunID,
+		Description: rec.Description,
+		Experiment:  rec.Experiment,
+		Config:      rec.Config,
+		Externals:   rec.Externals,
+		Revision:    rec.RepoRevision,
+		InputDigest: rec.InputDigest,
+		Timestamp:   rec.Timestamp,
+		Jobs:        len(rec.Jobs),
+		Passed:      true,
+	}
+	for _, j := range rec.Jobs {
+		switch j.Result.Outcome {
+		case valtest.OutcomePass:
+			m.Pass++
+		case valtest.OutcomeFail:
+			m.Fail++
+		case valtest.OutcomeSkip:
+			m.Skip++
+		default:
+			m.Error++
+		}
+		if !j.Result.Outcome.Passed() {
+			m.Passed = false
+		}
+	}
+	return m
+}
+
+// Index is the incremental form of the bookkeeping: it summarizes each
+// run record from the common storage exactly once and keeps the derived
 // structures — the execution-ordered run list, per-experiment run
-// lists, and the Figure 3 matrix cells — up to date in memory.
+// lists, and the Figure 3 matrix cells — up to date in memory as
+// compact RunMetas.
 //
 // Book answers every query by re-listing and re-loading all N recorded
 // runs, which makes a campaign that publishes after each run O(N²)
@@ -20,10 +79,16 @@ import (
 // Index answers the same queries from memory; Refresh catches up on
 // runs recorded since the last call (by this process or — over the
 // read-only store view — by a separate writer process) by loading only
-// the new records.
+// the new records, and skips even the run-list enumeration when the
+// store's journal position has not moved.
+//
+// The summarized state can be persisted back into the store as a
+// *segment* (SaveSegment) keyed by the journal position it covers, so
+// a later process's BuildIndex decodes one segment blob plus the
+// records recorded after it — O(tail), not O(history). See segment.go.
 //
 // Index produces results identical to Book on the same store: the two
-// share the cell construction and ordering code, and the property test
+// share the summary and cell construction code, and the property test
 // in index_test.go asserts byte-identical matrix and diff rendering
 // under arbitrary insertion interleavings.
 //
@@ -32,12 +97,14 @@ type Index struct {
 	store *storage.Store
 
 	mu     sync.RWMutex
-	runs   map[string]*runner.RunRecord
+	runs   map[string]*RunMeta
 	order  []string            // all run IDs in execution (CompareIDs) order
 	byExp  map[string][]string // per-experiment run IDs, same order
 	latest map[cellKey]string  // run ID of each cell's latest run
 	count  map[cellKey]int     // total runs recorded per cell
 	green  map[string]string   // input digest -> latest fully passing run ID
+	pos    storage.Position    // store history position covered by the index
+	posOK  bool
 }
 
 // NewIndex returns an empty index over the store. Call Refresh to load
@@ -45,7 +112,7 @@ type Index struct {
 func NewIndex(store *storage.Store) *Index {
 	return &Index{
 		store:  store,
-		runs:   make(map[string]*runner.RunRecord),
+		runs:   make(map[string]*RunMeta),
 		byExp:  make(map[string][]string),
 		latest: make(map[cellKey]string),
 		count:  make(map[cellKey]int),
@@ -53,8 +120,25 @@ func NewIndex(store *storage.Store) *Index {
 	}
 }
 
-// BuildIndex returns an index with every currently recorded run loaded.
+// BuildIndex returns an index covering every currently recorded run.
+// If the store carries a persisted index segment, only records newer
+// than the segment are decoded from their blobs (and the run list is
+// enumerated at most once, shared between segment validation and the
+// catch-up); otherwise every record is loaded once (RebuildIndex's
+// behavior).
 func BuildIndex(store *storage.Store) (*Index, error) {
+	x := NewIndex(store)
+	if err := x.refreshFromSegment(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// RebuildIndex is BuildIndex ignoring any persisted segment: every
+// record is decoded from its blob. This is the pre-segment behavior,
+// kept for the scaling benchmarks and as the recovery path for a
+// segment that fails validation.
+func RebuildIndex(store *storage.Store) (*Index, error) {
 	x := NewIndex(store)
 	if err := x.Refresh(); err != nil {
 		return nil, err
@@ -62,13 +146,29 @@ func BuildIndex(store *storage.Store) (*Index, error) {
 	return x, nil
 }
 
-// Refresh indexes runs recorded since the last Refresh. Only records
-// not yet indexed are loaded from storage, so a steady-state refresh
-// against an unchanged store costs one name enumeration and zero blob
-// reads. Run records are immutable once written, so an already-indexed
-// ID is never reloaded.
+// Refresh indexes runs recorded since the last Refresh. When the
+// store's history position is unchanged, the call returns after one
+// position comparison — no enumeration, no loads. Otherwise only
+// records not yet indexed are loaded from storage. Run records are
+// immutable once written, so an already-indexed ID is never reloaded.
 func (x *Index) Refresh() error {
-	ids := runner.ListRuns(x.store)
+	pos, posOK := x.store.Position()
+	x.mu.RLock()
+	unchanged := posOK && x.posOK && pos == x.pos
+	x.mu.RUnlock()
+	if unchanged {
+		return nil
+	}
+	// The position was sampled before the enumeration below, so the
+	// index can only under-claim coverage — a run recorded in between is
+	// either listed now or picked up by the next Refresh.
+	return x.refreshIDs(runner.ListRuns(x.store), pos, posOK)
+}
+
+// refreshIDs indexes the not-yet-indexed runs among ids, then records
+// coverage up to the given position — which the caller sampled *before*
+// enumerating ids.
+func (x *Index) refreshIDs(ids []string, pos storage.Position, posOK bool) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	for _, id := range ids {
@@ -79,8 +179,9 @@ func (x *Index) Refresh() error {
 		if err != nil {
 			return err
 		}
-		x.addLocked(rec)
+		x.addLocked(Summarize(rec))
 	}
+	x.pos, x.posOK = pos, posOK
 	return nil
 }
 
@@ -90,31 +191,31 @@ func (x *Index) Refresh() error {
 func (x *Index) Add(rec *runner.RunRecord) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.addLocked(rec)
+	x.addLocked(Summarize(rec))
 }
 
-// addLocked inserts the record into every derived structure. The caller
-// holds x.mu. A record whose ID is already indexed is ignored (run
+// addLocked inserts the meta into every derived structure. The caller
+// holds x.mu. A meta whose ID is already indexed is ignored (run
 // records are immutable).
-func (x *Index) addLocked(rec *runner.RunRecord) {
-	if _, dup := x.runs[rec.RunID]; dup {
+func (x *Index) addLocked(m *RunMeta) {
+	if _, dup := x.runs[m.RunID]; dup {
 		return
 	}
-	x.runs[rec.RunID] = rec
-	x.order = insertID(x.order, rec.RunID)
-	x.byExp[rec.Experiment] = insertID(x.byExp[rec.Experiment], rec.RunID)
-	k := cellKey{rec.Experiment, rec.Config, rec.Externals}
+	x.runs[m.RunID] = m
+	x.order = insertID(x.order, m.RunID)
+	x.byExp[m.Experiment] = insertID(x.byExp[m.Experiment], m.RunID)
+	k := cellKey{m.Experiment, m.Config, m.Externals}
 	x.count[k]++
-	if cur, ok := x.latest[k]; !ok || runner.CompareIDs(rec.RunID, cur) > 0 {
-		x.latest[k] = rec.RunID
+	if cur, ok := x.latest[k]; !ok || runner.CompareIDs(m.RunID, cur) > 0 {
+		x.latest[k] = m.RunID
 	}
 	// Records from before the digest existed carry an empty InputDigest
 	// and are deliberately never entered here: the planner treats them
 	// as always-stale, so pre-digest history can only be confirmed, not
 	// silently trusted.
-	if rec.InputDigest != "" && rec.Passed() {
-		if cur, ok := x.green[rec.InputDigest]; !ok || runner.CompareIDs(rec.RunID, cur) > 0 {
-			x.green[rec.InputDigest] = rec.RunID
+	if m.InputDigest != "" && m.Passed {
+		if cur, ok := x.green[m.InputDigest]; !ok || runner.CompareIDs(m.RunID, cur) > 0 {
+			x.green[m.InputDigest] = m.RunID
 		}
 	}
 }
@@ -135,7 +236,7 @@ func (x *Index) GreenRun(digest string) (string, bool) {
 
 // Latest returns the most recent run of the (experiment, config,
 // externals) cell, labels as recorded on the run records.
-func (x *Index) Latest(experiment, config, externals string) (*runner.RunRecord, bool) {
+func (x *Index) Latest(experiment, config, externals string) (*RunMeta, bool) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	id, ok := x.latest[cellKey{experiment, config, externals}]
@@ -166,40 +267,114 @@ func (x *Index) TotalRuns() int {
 	return len(x.order)
 }
 
-// Runs returns every indexed run in execution order.
-func (x *Index) Runs() []*runner.RunRecord {
+// TotalRunsFor returns the number of indexed runs of one experiment —
+// the total a paged per-experiment listing should report.
+func (x *Index) TotalRunsFor(experiment string) int {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	out := make([]*runner.RunRecord, len(x.order))
+	return len(x.byExp[experiment])
+}
+
+// Runs returns every indexed run's meta in execution order. Consumers
+// that page (spserve, spsys runs) should use RunsPage instead.
+func (x *Index) Runs() []*RunMeta {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	out := make([]*RunMeta, len(x.order))
 	for i, id := range x.order {
 		out[i] = x.runs[id]
 	}
 	return out
 }
 
-// Run returns one indexed run by ID.
+// pageAfter returns the slice of ids strictly after the cursor ("" =
+// from the beginning), capped at limit, plus the next-page cursor (""
+// at the end). ids is CompareIDs-sorted.
+func pageAfter(ids []string, after string, limit int) (page []string, next string) {
+	start := 0
+	if after != "" {
+		start = sort.Search(len(ids), func(i int) bool { return runner.CompareIDs(ids[i], after) > 0 })
+	}
+	end := len(ids)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	page = ids[start:end]
+	if end < len(ids) && len(page) > 0 {
+		next = page[len(page)-1]
+	}
+	return page, next
+}
+
+// RunsPage returns up to limit run metas strictly after the cursor run
+// ID ("" starts from the beginning) in execution order, plus the cursor
+// to pass for the following page ("" when this page reaches the end).
+// limit <= 0 means no limit. This is the query every list-of-runs
+// surface (JSON API, CLI listing) pages with, so no handler ever
+// materializes the full run list.
+func (x *Index) RunsPage(after string, limit int) ([]*RunMeta, string) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ids, next := pageAfter(x.order, after, limit)
+	out := make([]*RunMeta, len(ids))
+	for i, id := range ids {
+		out[i] = x.runs[id]
+	}
+	return out, next
+}
+
+// RunsForPage is RunsPage restricted to one experiment — the
+// per-experiment cursor behind paged history views. A non-empty config
+// filters further; filtered-out runs still advance the cursor, so the
+// page size bounds work per call, not matches.
+func (x *Index) RunsForPage(experiment, config, after string, limit int) ([]*RunMeta, string) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	ids, next := pageAfter(x.byExp[experiment], after, limit)
+	var out []*RunMeta
+	for _, id := range ids {
+		m := x.runs[id]
+		if config != "" && m.Config != config {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out, next
+}
+
+// Run returns one indexed run's full record, loaded from the common
+// storage on demand — the index itself holds only metas.
 func (x *Index) Run(id string) (*runner.RunRecord, error) {
 	x.mu.RLock()
-	rec, ok := x.runs[id]
+	_, ok := x.runs[id]
 	x.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("bookkeep: no indexed run %q", id)
 	}
-	return rec, nil
+	return runner.LoadRun(x.store, id)
 }
 
-// RunsFor returns the runs of one experiment, optionally filtered to a
-// configuration label ("" matches all), in execution order.
-func (x *Index) RunsFor(experiment, config string) []*runner.RunRecord {
+// Meta returns one indexed run's meta.
+func (x *Index) Meta(id string) (*RunMeta, bool) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	var out []*runner.RunRecord
+	m, ok := x.runs[id]
+	return m, ok
+}
+
+// RunsFor returns the metas of one experiment's runs, optionally
+// filtered to a configuration label ("" matches all), in execution
+// order.
+func (x *Index) RunsFor(experiment, config string) []*RunMeta {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []*RunMeta
 	for _, id := range x.byExp[experiment] {
-		r := x.runs[id]
-		if config != "" && r.Config != config {
+		m := x.runs[id]
+		if config != "" && m.Config != config {
 			continue
 		}
-		out = append(out, r)
+		out = append(out, m)
 	}
 	return out
 }
@@ -207,18 +382,18 @@ func (x *Index) RunsFor(experiment, config string) []*runner.RunRecord {
 // LastSuccessful returns the most recent fully passing run of the
 // experiment before the given run ID ("" means before anything, i.e.
 // the latest overall) — Book.LastSuccessful answered from memory.
-func (x *Index) LastSuccessful(experiment, beforeRunID string) (*runner.RunRecord, error) {
+func (x *Index) LastSuccessful(experiment, beforeRunID string) (*RunMeta, error) {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	ids := x.byExp[experiment]
 	// Walk backwards: the first passing run below the bound is the answer.
 	for i := len(ids) - 1; i >= 0; i-- {
-		r := x.runs[ids[i]]
-		if beforeRunID != "" && runner.CompareIDs(r.RunID, beforeRunID) >= 0 {
+		m := x.runs[ids[i]]
+		if beforeRunID != "" && runner.CompareIDs(m.RunID, beforeRunID) >= 0 {
 			continue
 		}
-		if r.Passed() {
-			return r, nil
+		if m.Passed {
+			return m, nil
 		}
 	}
 	return nil, fmt.Errorf("bookkeep: no successful %s run before %q", experiment, beforeRunID)
@@ -226,9 +401,14 @@ func (x *Index) LastSuccessful(experiment, beforeRunID string) (*runner.RunRecor
 
 // DiffAgainstLastSuccess diffs the run against the last fully
 // successful run of the same experiment — the paper's prescribed
-// comparison, computed without touching storage.
+// comparison. The baseline is located from memory; only its full record
+// is loaded from storage.
 func (x *Index) DiffAgainstLastSuccess(current *runner.RunRecord) (*Diff, error) {
-	baseline, err := x.LastSuccessful(current.Experiment, current.RunID)
+	base, err := x.LastSuccessful(current.Experiment, current.RunID)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := runner.LoadRun(x.store, base.RunID)
 	if err != nil {
 		return nil, err
 	}

@@ -221,7 +221,7 @@ func staleReason(x *bookkeep.Index, c Cell) string {
 	switch {
 	case !ok:
 		return "stale: never validated"
-	case !latest.Passed():
+	case !latest.Passed:
 		return fmt.Sprintf("stale: last run %s was not green", latest.RunID)
 	default:
 		return fmt.Sprintf("stale: inputs changed since %s", latest.RunID)

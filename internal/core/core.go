@@ -314,13 +314,41 @@ func (s *SPSystem) Diagnose(rec *runner.RunRecord) (*bookkeep.Diff, bookkeep.Att
 	return diff, bookkeep.Classify(diff), nil
 }
 
-// Matrix returns the current Figure 3 status matrix.
-func (s *SPSystem) Matrix() ([]bookkeep.Cell, error) { return s.Book.Matrix() }
+// Matrix returns the current Figure 3 status matrix. It is answered
+// from a bookkeeping index — accelerated by the store's persisted index
+// segment when one exists — rather than a full record rescan, so the
+// cost scales with what changed since the segment, not with the length
+// of the recorded history. The index and the rescanning Book produce
+// identical matrices (property-tested).
+func (s *SPSystem) Matrix() ([]bookkeep.Cell, error) {
+	x, err := bookkeep.BuildIndex(s.Store)
+	if err != nil {
+		return nil, err
+	}
+	return x.Matrix(), nil
+}
 
 // PublishReports regenerates the status web pages onto the common
-// storage and returns the number of pages written.
+// storage and returns the number of pages the site comprises. Publish
+// cost is O(what changed): already-stored run pages are skipped without
+// being loaded or rendered. Afterwards the bookkeeping index is
+// persisted as the store's index segment, so any later process —
+// another CLI run, spserve, the next daemon cycle — indexes the store
+// by decoding one segment plus the records recorded since, instead of
+// every record ever written.
 func (s *SPSystem) PublishReports(title string) (int, error) {
-	return report.PublishSite(s.Store, title)
+	x, err := bookkeep.BuildIndex(s.Store)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := report.PublishSiteIndexed(s.Store, x, title)
+	if err != nil {
+		return stats.Pages, err
+	}
+	if err := x.SaveSegment(s.Store); err != nil {
+		return stats.Pages, err
+	}
+	return stats.Pages, nil
 }
 
 // Freeze conserves an image at the current simulated time — the final

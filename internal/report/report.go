@@ -235,9 +235,25 @@ func HTMLRun(rec *runner.RunRecord) (string, error) {
 // WebNS is the storage namespace the generated site is written to.
 const WebNS = "web"
 
+// siteFormatNS/siteFormatKey name the marker binding recording which
+// site format (template revision) the stored pages were rendered with.
+// It lives outside WebNS so the web namespace holds exactly the pages.
+const (
+	siteFormatNS  = "meta"
+	siteFormatKey = "site_format"
+	// siteFormat identifies the current page templates. Bump it when a
+	// template changes so PublishSiteIndexed re-renders pages it would
+	// otherwise skip as already stored (run records are immutable, so a
+	// stored page only goes stale when the rendering itself changes).
+	siteFormat = "1"
+)
+
 // RenderSite renders the whole static site — index.html plus one page
-// per run — from the index, without touching storage for anything but
-// the records the index already holds. The map is keyed by page name.
+// per run — from the index, loading each full record from storage on
+// demand (the index holds only metas). The map is keyed by page name.
+// This materializes every page at once; it backs the batch exporter
+// (spreport -out). The incremental publisher below renders only what
+// the store does not already hold.
 func RenderSite(x *bookkeep.Index, title string) (map[string][]byte, error) {
 	pages := make(map[string][]byte)
 	index, err := HTMLMatrix(title, x.Matrix(), x.TotalRuns())
@@ -245,7 +261,11 @@ func RenderSite(x *bookkeep.Index, title string) (map[string][]byte, error) {
 		return nil, err
 	}
 	pages["index.html"] = []byte(index)
-	for _, rec := range x.Runs() {
+	for _, m := range x.Runs() {
+		rec, err := x.Run(m.RunID)
+		if err != nil {
+			return nil, err
+		}
 		page, err := HTMLRun(rec)
 		if err != nil {
 			return nil, err
@@ -267,26 +287,74 @@ type PublishStats struct {
 }
 
 // PublishSiteIndexed regenerates the site from the (already refreshed)
-// index onto the common storage. Pages identical to their stored
-// version are detected by content hash — no blob load, no write, no new
-// journal entry — so the cost of a republish scales with what changed,
-// not with the size of the recorded history.
+// index onto the common storage, doing O(what changed) work:
+//
+//   - A run page already bound in WebNS is skipped without loading the
+//     record or rendering anything — run records are immutable, so a
+//     stored page can only go stale if the templates change, which the
+//     site-format marker detects (then everything re-renders once, with
+//     hash-skip writes).
+//   - A missing run page loads its record on demand and renders it.
+//   - The index page is always re-rendered (it summarizes the whole
+//     matrix) but only written when its content hash changed.
+//
+// No step materializes the full run list or all pages in memory, so a
+// republish over a million-run archive costs the index page plus the
+// new runs.
 func PublishSiteIndexed(store *storage.Store, x *bookkeep.Index, title string) (PublishStats, error) {
 	var stats PublishStats
-	pages, err := RenderSite(x, title)
+	storedFormat, _ := store.Get(siteFormatNS, siteFormatKey)
+	rerenderAll := string(storedFormat) != siteFormat
+
+	publish := func(name string, content []byte) error {
+		if prior, err := store.Hash(WebNS, name); err == nil && prior == storage.HashBytes(content) {
+			stats.Skipped++
+			return nil
+		}
+		if _, err := store.Put(WebNS, name, content); err != nil {
+			return err
+		}
+		stats.Written++
+		return nil
+	}
+
+	index, err := HTMLMatrix(title, x.Matrix(), x.TotalRuns())
 	if err != nil {
 		return stats, err
 	}
-	for name, content := range pages {
-		stats.Pages++
-		if prior, err := store.Hash(WebNS, name); err == nil && prior == storage.HashBytes(content) {
-			stats.Skipped++
-			continue
+	stats.Pages++
+	if err := publish("index.html", []byte(index)); err != nil {
+		return stats, err
+	}
+
+	const pageSize = 512
+	for after, done := "", false; !done; {
+		metas, next := x.RunsPage(after, pageSize)
+		for _, m := range metas {
+			stats.Pages++
+			name := m.RunID + ".html"
+			if !rerenderAll && store.Exists(WebNS, name) {
+				stats.Skipped++
+				continue
+			}
+			rec, err := x.Run(m.RunID)
+			if err != nil {
+				return stats, err
+			}
+			page, err := HTMLRun(rec)
+			if err != nil {
+				return stats, err
+			}
+			if err := publish(name, []byte(page)); err != nil {
+				return stats, err
+			}
 		}
-		if _, err := store.Put(WebNS, name, content); err != nil {
+		after, done = next, next == ""
+	}
+	if rerenderAll {
+		if _, err := store.Put(siteFormatNS, siteFormatKey, []byte(siteFormat)); err != nil {
 			return stats, err
 		}
-		stats.Written++
 	}
 	return stats, nil
 }

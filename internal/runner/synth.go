@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// SynthOptions configures SynthesizeRuns.
+type SynthOptions struct {
+	// Experiment labels the synthetic runs ("SYNTH" when empty), keeping
+	// them visually separate from real campaign records in every status
+	// surface.
+	Experiment string
+	// Configs are the platform labels the runs rotate through (a small
+	// default set when empty), so the synthesized store exercises
+	// multi-cell matrix paths.
+	Configs []string
+	// JobsPerRun is the number of job results per record (default 2).
+	JobsPerRun int
+	// FailEvery makes every k-th run carry one failing job (0: all
+	// green), so diff/baseline paths have something to chew on.
+	FailEvery int
+}
+
+// SynthesizeRuns appends n synthetic — but structurally valid — run
+// records to the store, for building large bookkeeping populations
+// without executing validation work: scaling benchmarks and the CI
+// large-store smoke job. Run (and job) IDs continue from the store's
+// persisted counters and the counters are advanced past them, so real
+// validation runs recorded afterwards mint non-colliding IDs. The
+// records index, page, diff and render exactly like real ones; they
+// carry no kept artifacts and no input digest (the planner treats them
+// as always-stale, like any pre-digest record).
+func SynthesizeRuns(store *storage.Store, n int, opts SynthOptions) (firstID, lastID string, err error) {
+	if n <= 0 {
+		return "", "", fmt.Errorf("runner: synthesizing %d runs", n)
+	}
+	if opts.Experiment == "" {
+		opts.Experiment = "SYNTH"
+	}
+	if len(opts.Configs) == 0 {
+		opts.Configs = []string{"SL6/64bit gcc4.4", "SL5/32bit gcc4.1"}
+	}
+	if opts.JobsPerRun <= 0 {
+		opts.JobsPerRun = 2
+	}
+	runBase, err := counterValue(store, "runseq")
+	if err != nil {
+		return "", "", err
+	}
+	jobBase, err := counterValue(store, "jobseq")
+	if err != nil {
+		return "", "", err
+	}
+	jobSeq := jobBase
+	for i := 1; i <= n; i++ {
+		seq := runBase + i
+		runID := fmt.Sprintf("run-%04d", seq)
+		rec := RunRecord{
+			RunID:        runID,
+			Description:  fmt.Sprintf("synthetic run %d", seq),
+			Experiment:   opts.Experiment,
+			Config:       opts.Configs[i%len(opts.Configs)],
+			Externals:    "root-5.34+cernlib-2006+mcgen-1.4",
+			RepoRevision: 1,
+			Timestamp:    1356998400 + int64(i)*60, // 2013 epoch + a minute per run
+			SerialCost:   time.Duration(opts.JobsPerRun) * time.Second,
+			WallCost:     time.Second,
+		}
+		for j := 0; j < opts.JobsPerRun; j++ {
+			jobSeq++
+			outcome := valtest.OutcomePass
+			detail := ""
+			if j == 0 && opts.FailEvery > 0 && i%opts.FailEvery == 0 {
+				outcome = valtest.OutcomeFail
+				detail = "synthetic failure"
+			}
+			rec.Jobs = append(rec.Jobs, JobRecord{
+				JobID:     fmt.Sprintf("job-%06d", jobSeq),
+				RunID:     runID,
+				Timestamp: rec.Timestamp,
+				Result: valtest.Result{
+					Test:     fmt.Sprintf("synthetic%02d", j),
+					Category: valtest.CatStandalone,
+					Outcome:  outcome,
+					Detail:   detail,
+					Cost:     time.Second,
+				},
+			})
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			return "", "", err
+		}
+		if _, err := store.Put(RunsNS, runID, data); err != nil {
+			return "", "", err
+		}
+		if i == 1 {
+			firstID = runID
+		}
+		lastID = runID
+	}
+	// Advance the persisted counters past the synthesized IDs so later
+	// real runs stay unique.
+	if err := setCounter(store, "runseq", runBase+n); err != nil {
+		return "", "", err
+	}
+	if err := setCounter(store, "jobseq", jobSeq); err != nil {
+		return "", "", err
+	}
+	return firstID, lastID, nil
+}
+
+// counterValue reads a persistent counter's current value (0 when
+// unbound).
+func counterValue(store *storage.Store, name string) (int, error) {
+	if !store.Exists(metaNS, name) {
+		return 0, nil
+	}
+	data, err := store.Get(metaNS, name)
+	if err != nil {
+		return 0, fmt.Errorf("runner: counter %s: %w", name, err)
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return 0, fmt.Errorf("runner: counter %s is not an integer: %w", name, err)
+	}
+	return n, nil
+}
+
+// setCounter binds a persistent counter to an explicit value, in the
+// same JSON form Increment writes.
+func setCounter(store *storage.Store, name string, v int) error {
+	data, _ := json.Marshal(v)
+	_, err := store.Put(metaNS, name, data)
+	return err
+}

@@ -9,8 +9,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // FSBackend is the durable, on-disk content-addressed backend: the form
@@ -25,9 +27,14 @@ import (
 //	                          digits of its SHA-256 so no directory grows
 //	                          unboundedly
 //	<dir>/tmp/                staging area for atomic writes
+//	<dir>/names.snapshot      compacted journal state: one header line
+//	                          (format version, generation, checksum,
+//	                          blob statistics) plus one entry per live
+//	                          binding; written atomically by Compact
 //	<dir>/names.log           append-only JSON-lines journal of name
-//	                          bindings; replayed at Open (last binding
-//	                          for a name wins)
+//	                          bindings appended since the snapshot;
+//	                          replayed on top of it at Open (last
+//	                          binding for a name wins)
 //	<dir>/lock                advisory lock file enforcing the
 //	                          one-live-writer rule below
 //
@@ -36,15 +43,31 @@ import (
 // empty blob addressable. Because the store is content-addressed and
 // blobs are immutable, every read re-verifies the content against its
 // hash — bit-rot is detected at access time, not silently propagated
-// into validation results. Name bindings (including the atomic run/job
-// ID counters, which are ordinary JSON blob bindings) are appended to
-// the journal as they happen and the journal is synced on Close: the
-// journal is durable against process exit, while a hard power loss
-// mid-run can lose recent bindings (never corrupt replayed state — a
-// torn final line is truncated away at replay, so later appends start
-// from a clean newline-terminated tail; interior corruption is an
-// Open-time error, and the referenced blobs remain addressable by
-// hash).
+// into validation results.
+//
+// # Journal, group commit and compaction
+//
+// Name bindings (including the atomic run/job ID counters, which are
+// ordinary JSON blob bindings) are appended to the journal through a
+// group-commit layer: concurrent BindName/Increment calls coalesce
+// their encoded entries into one batch, a single goroutine writes the
+// batch with one write syscall (plus one fsync under SyncJournal), and
+// every caller in the batch returns once its batch is down. Entry order
+// in the journal always matches in-memory binding order — lines are
+// enqueued in the same critical section that updates the map. The
+// journal is synced on Close; under the default SyncData mode a hard
+// power loss mid-run can lose recent bindings but never corrupt
+// replayed state (a torn final line is truncated away at replay, so
+// later appends start from a clean newline-terminated tail; interior
+// corruption is an Open-time error, and the referenced blobs remain
+// addressable by hash).
+//
+// Compact folds the journal into names.snapshot so replay cost stays
+// O(appends since last compaction) instead of O(lifetime): the snapshot
+// is staged and renamed atomically, then the journal is truncated. A
+// crash at any point between those steps recovers to identical state,
+// because replaying journal entries the snapshot already covers is
+// idempotent (last binding wins). See Compact.
 //
 // # One live writer per directory
 //
@@ -55,13 +78,13 @@ import (
 // macOS) Open therefore takes an exclusive advisory lock on <dir>/lock
 // and fails fast when another live process holds it (the lock dies with
 // its process, so a crash never wedges the store); elsewhere the rule
-// is a documented convention only. Share a store directory
-// sequentially — the paper's record-then-report workflow
-// (`spsys campaign -store DIR`, then `spreport -store DIR`) — or
-// through one process.
+// is a documented convention only. Read-only views (OpenReadOnly) are
+// exempt: they attach through a shared lock on <dir>/lock.read and
+// tolerate both live appends and live compactions (see FSReadBackend).
 type FSBackend struct {
-	dir  string
-	lock *os.File // held flock enforcing one live writer (nil where unsupported)
+	dir      string
+	lock     *os.File // held flock enforcing one live writer (nil where unsupported)
+	syncMode SyncMode
 
 	mu        sync.RWMutex
 	names     map[string]string // replayed + live journal state
@@ -69,9 +92,59 @@ type FSBackend struct {
 	log       *os.File          // append-only names.log handle
 	logFailed bool              // a journal append failed; the tail may be torn
 
-	statsMu   sync.Mutex
-	blobCount int
-	blobBytes int64
+	// Snapshot / compaction state (under mu).
+	gen        int   // generation of the snapshot this state is built on (0: none)
+	journalEnd int64 // acknowledged bytes in the live journal tail
+
+	// Group-commit state (under mu; see appendLocked).
+	gcBuf      []byte
+	gcCount    int    // entries in gcBuf
+	gcSeq      uint64 // id of the batch currently accumulating
+	gcDone     uint64 // highest batch id fully flushed
+	gcFailedAt uint64 // first batch id whose flush failed (0: none)
+	gcFlushing bool
+	gcErr      error
+	gcCond     *sync.Cond
+	inflight   atomic.Int32 // appenders between entry and enqueue
+
+	// compactFault, when set (tests only), is invoked between compaction
+	// protocol steps and aborts the compaction at that point when it
+	// returns an error — the fault-injection hook behind the
+	// crash-recovery interleaving tests.
+	compactFault func(stage string) error
+
+	statsMu    sync.Mutex
+	statsReady bool // blob stats established (snapshot header or walk)
+	blobCount  int
+	blobBytes  int64
+}
+
+// SyncMode selects how eagerly the backend pushes writes to stable
+// media.
+type SyncMode int
+
+const (
+	// SyncData is the default: blob content is fsynced before its rename
+	// becomes visible (a journal line never references a blob that could
+	// vanish in a power loss) and the journal is synced on Close.
+	// Acknowledged bindings survive process exit; a hard power loss can
+	// lose the most recent ones.
+	SyncData SyncMode = iota
+	// SyncJournal is SyncData plus one fsync per group-commit batch:
+	// every acknowledged binding survives power loss. Concurrent writers
+	// amortize the fsync across the batch — this is the mode the
+	// group-commit benchmarks price.
+	SyncJournal
+	// SyncNone performs no fsyncs at all. For tests and benchmark
+	// fixture builders that create large stores quickly; never for data
+	// anyone intends to keep.
+	SyncNone
+)
+
+// Options configures OpenFSBackendWith / OpenWith.
+type Options struct {
+	// Sync selects the durability mode; the zero value is SyncData.
+	Sync SyncMode
 }
 
 // journalEntry is one names.log line.
@@ -81,10 +154,16 @@ type journalEntry struct {
 }
 
 // OpenFSBackend opens (creating if necessary) the on-disk backend rooted
-// at dir, takes the store's exclusive writer lock, and replays its name
-// journal. It fails fast when another live process already holds the
-// store open.
+// at dir with default options, takes the store's exclusive writer lock,
+// loads its snapshot (if it has one) and replays the journal tail on
+// top. It fails fast when another live process already holds the store
+// open.
 func OpenFSBackend(dir string) (*FSBackend, error) {
+	return OpenFSBackendWith(dir, Options{})
+}
+
+// OpenFSBackendWith is OpenFSBackend with explicit Options.
+func OpenFSBackendWith(dir string, opts Options) (*FSBackend, error) {
 	for _, sub := range []string{"blobs", "tmp"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("storage: opening fs store: %w", err)
@@ -94,17 +173,40 @@ func OpenFSBackend(dir string) (*FSBackend, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &FSBackend{dir: dir, lock: lock, names: make(map[string]string), counters: make(map[string]int)}
+	b := &FSBackend{
+		dir: dir, lock: lock, syncMode: opts.Sync,
+		names: make(map[string]string), counters: make(map[string]int),
+		gcSeq: 1,
+	}
+	b.gcCond = sync.NewCond(&b.mu)
 	fail := func(err error) (*FSBackend, error) {
 		if lock != nil {
 			lock.Close()
 		}
 		return nil, err
 	}
+	snapNames, hdr, hasSnap, err := loadSnapshot(dir)
+	if err != nil {
+		return fail(err)
+	}
+	if hasSnap {
+		b.names = snapNames
+		b.gen = hdr.Generation
+	}
 	if err := b.replayJournal(); err != nil {
 		return fail(err)
 	}
-	if err := b.scanBlobs(); err != nil {
+	// Blob statistics are lazy: Open never walks the blob tree. A
+	// compacted store with an empty journal tail trusts the exact counts
+	// in its snapshot header; any other state defers the walk to the
+	// first Stats/Info call (and Compact re-walks, so snapshot headers
+	// are always exact). Opening — the operation every process pays —
+	// therefore costs O(snapshot + journal tail), never O(blobs).
+	if hasSnap && b.journalEnd == 0 {
+		b.blobCount, b.blobBytes = hdr.Blobs, hdr.BlobBytes
+		b.statsReady = true
+	}
+	if err := b.cleanStaging(); err != nil {
 		return fail(err)
 	}
 	log, err := os.OpenFile(b.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -152,12 +254,12 @@ func scanJournal(r io.Reader, startOffset int64, apply func(name, hash string)) 
 			case len(entry) == 0:
 				validEnd = end
 			default:
-				var e journalEntry
-				if err := json.Unmarshal(entry, &e); err != nil || !validName(e.Name) || e.Hash == "" {
+				name, hash, err := decodeJournalEntry(entry)
+				if err != nil {
 					pendingErr = fmt.Errorf("storage: name journal entry at offset %d is corrupt", end-int64(len(raw)))
 					continue
 				}
-				apply(e.Name, e.Hash)
+				apply(name, hash)
 				validEnd = end
 			}
 		}
@@ -170,13 +272,20 @@ func scanJournal(r io.Reader, startOffset int64, apply func(name, hash string)) 
 	}
 }
 
-// replayJournal loads names.log into memory. A torn final line (a
-// crash mid-append left the tail malformed or without its newline) was
-// never acknowledged: it is not applied, and the journal is truncated
-// back to the last good entry so later appends never concatenate onto
-// the tear and strand it mid-file — which the next Open would have to
-// treat as fatal corruption. Corruption anywhere before the final line
-// is an error.
+// replayJournal loads names.log into memory (on top of whatever the
+// snapshot already established). A torn final line (a crash mid-append
+// left the tail malformed or without its newline) was never
+// acknowledged: it is not applied, and the journal is truncated back to
+// the last good entry so later appends never concatenate onto the tear
+// and strand it mid-file — which the next Open would have to treat as
+// fatal corruption. Corruption anywhere before the final line is an
+// error.
+//
+// A journal that still contains entries the snapshot already covers —
+// the legacy of a compaction that crashed after the snapshot rename but
+// before the truncate — replays harmlessly: applying an entry the
+// snapshot subsumed is idempotent (last binding for a name wins, and
+// the snapshot *is* the last-wins state of those entries).
 func (b *FSBackend) replayJournal() error {
 	f, err := os.OpenFile(b.journalPath(), os.O_RDWR, 0)
 	if os.IsNotExist(err) {
@@ -198,13 +307,13 @@ func (b *FSBackend) replayJournal() error {
 			return fmt.Errorf("storage: truncating torn name journal tail: %w", err)
 		}
 	}
+	b.journalEnd = validEnd
 	return nil
 }
 
-// scanBlobs walks the blob tree once to establish stats and to clear any
-// staging leftovers from a crashed writer.
-func (b *FSBackend) scanBlobs() error {
-	err := filepath.WalkDir(filepath.Join(b.dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+// walkBlobStats walks the blob tree once, returning exact counts.
+func walkBlobStats(dir string) (count int, bytes int64, err error) {
+	err = filepath.WalkDir(filepath.Join(dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
@@ -212,15 +321,36 @@ func (b *FSBackend) scanBlobs() error {
 		if err != nil {
 			return err
 		}
-		b.blobCount++
-		b.blobBytes += info.Size()
+		count++
+		bytes += info.Size()
 		return nil
 	})
 	if err != nil {
-		return fmt.Errorf("storage: scanning blobs: %w", err)
+		return 0, 0, fmt.Errorf("storage: scanning blobs: %w", err)
 	}
-	// Staged files from a crashed writer are garbage by construction:
-	// anything that mattered was renamed into blobs/ first.
+	return count, bytes, nil
+}
+
+// ensureStatsLocked establishes blob statistics by a tree walk if they
+// are not already known. The caller holds statsMu, so no PutBlob can
+// commit a rename while the walk runs.
+func (b *FSBackend) ensureStatsLocked() error {
+	if b.statsReady {
+		return nil
+	}
+	count, bytes, err := walkBlobStats(b.dir)
+	if err != nil {
+		return err
+	}
+	b.blobCount, b.blobBytes = count, bytes
+	b.statsReady = true
+	return nil
+}
+
+// cleanStaging removes staged files a crashed writer left in tmp/. They
+// are garbage by construction: anything that mattered was renamed into
+// blobs/ (or to names.snapshot) first.
+func (b *FSBackend) cleanStaging() error {
 	leftovers, err := os.ReadDir(filepath.Join(b.dir, "tmp"))
 	if err != nil {
 		return err
@@ -257,10 +387,12 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	// Sync before rename: otherwise the rename can become durable before
 	// the data and a power loss would leave an empty file answering for
 	// this hash — a permanently lost artifact that HasBlob still claims.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("storage: syncing blob: %w", err)
+	if b.syncMode != SyncNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return fmt.Errorf("storage: syncing blob: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -274,7 +406,7 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 		}
 		// First blob of this shard: make the new shard directory's own
 		// entry durable too.
-		if err := syncDir(filepath.Join(b.dir, "blobs")); err != nil {
+		if err := b.syncDir(filepath.Join(b.dir, "blobs")); err != nil {
 			os.Remove(tmpName)
 			return err
 		}
@@ -297,7 +429,7 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	// Sync the shard directory so the rename itself is durable before
 	// any journal line referencing this hash can reach disk; otherwise a
 	// power loss could replay a binding whose blob entry never made it.
-	if err := syncDir(filepath.Dir(target)); err != nil {
+	if err := b.syncDir(filepath.Dir(target)); err != nil {
 		return err
 	}
 	if priorErr == nil {
@@ -307,6 +439,15 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 		b.blobBytes += int64(len(data))
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory (a no-op under SyncNone), making recently
+// renamed-in entries durable.
+func (b *FSBackend) syncDir(dir string) error {
+	if b.syncMode == SyncNone {
+		return nil
+	}
+	return syncDir(dir)
 }
 
 // syncDir fsyncs a directory, making recently renamed-in entries
@@ -381,19 +522,30 @@ func (b *FSBackend) HasBlob(hash string) bool { return fsHasBlob(b.dir, hash) }
 // ListBlobs walks the blob tree and returns all hashes, sorted.
 func (b *FSBackend) ListBlobs() ([]string, error) { return fsListBlobs(b.dir) }
 
-// BindName records the binding in memory and appends it to the journal.
+// BindName records the binding in memory and appends it to the journal
+// through the group-commit layer.
 func (b *FSBackend) BindName(name, hash string) error {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.writableLocked(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalEntry{Name: name, Hash: hash})
+	if err != nil {
+		return err
+	}
 	// An explicit rebind may overwrite a counter with arbitrary content;
 	// drop the cache so the next Increment re-reads the binding.
 	delete(b.counters, name)
-	return b.bindLocked(name, hash)
+	b.names[name] = hash
+	return b.appendLocked(append(line, '\n'))
 }
 
-// bindLocked appends a journal entry and updates the in-memory index.
-// The caller must hold b.mu.
-func (b *FSBackend) bindLocked(name, hash string) error {
+// writableLocked reports why the journal cannot accept appends, if it
+// cannot. The caller holds b.mu.
+func (b *FSBackend) writableLocked() error {
 	if b.log == nil {
 		return fmt.Errorf("storage: fs store at %s is closed", b.dir)
 	}
@@ -404,16 +556,102 @@ func (b *FSBackend) bindLocked(name, hash string) error {
 		// stays final and the next Open tolerates it.
 		return fmt.Errorf("storage: name journal at %s is in a failed state after a write error", b.dir)
 	}
-	line, err := json.Marshal(journalEntry{Name: name, Hash: hash})
-	if err != nil {
-		return err
-	}
-	if _, err := b.log.Write(append(line, '\n')); err != nil {
-		b.logFailed = true
-		return fmt.Errorf("storage: appending to name journal: %w", err)
-	}
-	b.names[name] = hash
 	return nil
+}
+
+// appendLocked enqueues an encoded journal line into the current
+// group-commit batch and blocks until that batch has been written (and,
+// under SyncJournal, fsynced). The caller holds b.mu and has already
+// applied the binding to the in-memory maps — enqueueing in the same
+// critical section keeps journal order identical to map-update order.
+//
+// The first goroutine to find no flush in progress becomes the batch
+// leader: it steals the whole accumulated buffer, releases b.mu for the
+// write (so more entries can accumulate into the *next* batch — this is
+// where concurrent writers coalesce), then publishes the result and
+// wakes everyone. A failed flush wedges the journal (logFailed), so the
+// possibly-torn tail stays final and the next Open can truncate it.
+func (b *FSBackend) appendLocked(line []byte) error {
+	b.gcBuf = append(b.gcBuf, line...)
+	b.gcCount++
+	my := b.gcSeq
+	for b.gcDone < my {
+		// Fail-stop: once any batch's flush failed, no later batch may
+		// write — the journal tail may be torn, and appending after the
+		// tear would strand it mid-file, which the next Open treats as
+		// fatal corruption. Waiters of failed-or-later batches return
+		// the sticky error instead of becoming leaders.
+		if b.gcFailedAt != 0 && my >= b.gcFailedAt {
+			return b.gcErr
+		}
+		if b.gcFlushing {
+			b.gcCond.Wait()
+			continue
+		}
+		// Become the leader for every entry accumulated so far.
+		b.gcFlushing = true
+		// Commit window (fsync-per-batch mode only, where a bigger batch
+		// saves a whole fsync): appenders that have entered BindName or
+		// Increment but not yet enqueued can still join this batch —
+		// entries appended while gcFlushing is set and the buffer is
+		// unstolen carry this batch's id. Yield a bounded number of
+		// times to let them land; under SyncData the write is cheap and
+		// latency wins, so steal immediately.
+		if b.syncMode == SyncJournal {
+			for spin := 0; spin < 8 && int(b.inflight.Load()) > b.gcCount; spin++ {
+				b.mu.Unlock()
+				runtime.Gosched()
+				b.mu.Lock()
+			}
+		}
+		buf := b.gcBuf
+		b.gcBuf = nil
+		b.gcCount = 0
+		batch := b.gcSeq
+		b.gcSeq++
+		log := b.log
+		b.mu.Unlock()
+		_, werr := log.Write(buf)
+		if werr == nil && b.syncMode == SyncJournal {
+			werr = log.Sync()
+		}
+		b.mu.Lock()
+		b.gcFlushing = false
+		b.gcDone = batch
+		if werr != nil {
+			b.logFailed = true
+			if b.gcFailedAt == 0 {
+				b.gcFailedAt = batch
+				b.gcErr = fmt.Errorf("storage: appending to name journal: %w", werr)
+			}
+			// Entries already accumulated for the next batch will never
+			// be written (their owners error out above); discard them so
+			// the drain in Close/Compact terminates.
+			b.gcBuf, b.gcCount = nil, 0
+		} else {
+			b.journalEnd += int64(len(buf))
+		}
+		b.gcCond.Broadcast()
+	}
+	if b.gcFailedAt != 0 && my >= b.gcFailedAt {
+		return b.gcErr
+	}
+	return nil
+}
+
+// drainCommitsLocked waits until no group-commit batch is accumulating
+// or flushing. The caller holds b.mu; entries can only accumulate while
+// b.mu is free, so once this returns the journal handle is quiescent
+// for as long as the caller keeps holding the lock.
+func (b *FSBackend) drainCommitsLocked() {
+	for b.gcFlushing || len(b.gcBuf) > 0 {
+		if !b.gcFlushing {
+			// Entries are waiting but no leader has picked them up yet;
+			// their owners were woken alongside us and will. Yield.
+			b.gcCond.Broadcast()
+		}
+		b.gcCond.Wait()
+	}
 }
 
 // ResolveName returns the hash bound to the name.
@@ -443,10 +681,18 @@ func (b *FSBackend) ListNames() ([]string, error) {
 // blob write and journal append, not a disk read + hash verification
 // per ID minted. The new counter value is committed as a blob before
 // its binding enters the journal, preserving the invariant that the
-// journal never references a missing blob.
+// journal never references a missing blob. The in-memory counter and
+// binding are updated *before* the group-commit wait (which may release
+// the lock), so a concurrent Increment that slips in during the wait
+// still observes the advanced value — IDs stay unique.
 func (b *FSBackend) Increment(name string) (int, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := b.writableLocked(); err != nil {
+		return 0, err
+	}
 	n, cached := b.counters[name]
 	if !cached {
 		if hash, ok := b.names[name]; ok {
@@ -465,34 +711,226 @@ func (b *FSBackend) Increment(name string) (int, error) {
 	if err := b.PutBlob(hash, data); err != nil {
 		return 0, err
 	}
-	if err := b.bindLocked(name, hash); err != nil {
+	line, err := json.Marshal(journalEntry{Name: name, Hash: hash})
+	if err != nil {
 		return 0, err
 	}
 	b.counters[name] = n
+	b.names[name] = hash
+	if err := b.appendLocked(append(line, '\n')); err != nil {
+		return 0, err
+	}
 	return n, nil
 }
 
-// Stats returns blob statistics maintained incrementally (established by
-// a single walk at Open) plus the live binding count.
+// Stats returns the live binding count plus blob statistics. Blob
+// statistics are established lazily — from the snapshot header when the
+// store opened compacted with an empty journal tail, otherwise by one
+// blob-tree walk on the first call — and maintained incrementally from
+// then on, so Open never pays an O(blobs) walk.
 func (b *FSBackend) Stats() (Stats, error) {
 	b.mu.RLock()
 	bindings := len(b.names)
 	b.mu.RUnlock()
 	b.statsMu.Lock()
 	defer b.statsMu.Unlock()
+	if err := b.ensureStatsLocked(); err != nil {
+		return Stats{Bindings: bindings}, err
+	}
 	return Stats{Blobs: b.blobCount, Bindings: bindings, Bytes: b.blobBytes}, nil
 }
 
-// Close syncs the name journal to stable media, releases the handle,
-// and drops the store's writer lock so another process may open the
-// directory. Using the backend after Close returns errors.
+// Info extends Stats with the snapshot and journal figures the
+// compaction machinery exposes to operators (`spsys store stats`).
+func (b *FSBackend) Info() (StoreInfo, error) {
+	st, err := b.Stats()
+	if err != nil {
+		return StoreInfo{Stats: st}, err
+	}
+	b.mu.RLock()
+	info := StoreInfo{
+		Stats:        st,
+		Generation:   b.gen,
+		JournalBytes: b.journalEnd,
+	}
+	b.mu.RUnlock()
+	if fi, err := os.Stat(snapshotPath(b.dir)); err == nil {
+		info.SnapshotBytes = fi.Size()
+	}
+	return info, nil
+}
+
+// Position identifies how much durable name history this backend has
+// applied: the snapshot generation plus the byte offset of acknowledged
+// journal content. Consumers that persist derived state (the bookkeep
+// index segment) key it by this position so a later process can tell
+// "nothing changed" apart from "decode the tail".
+func (b *FSBackend) Position() (Position, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Position{Generation: b.gen, Offset: b.journalEnd}, true
+}
+
+// CompactStats reports what a Compact call did.
+type CompactStats struct {
+	// Generation is the snapshot generation written.
+	Generation int
+	// Bindings is the number of live bindings in the snapshot.
+	Bindings int
+	// JournalBytes is the journal tail length folded into the snapshot.
+	JournalBytes int64
+	// SnapshotBytes is the size of the written snapshot file.
+	SnapshotBytes int64
+}
+
+// Compact folds the live journal into a fresh names.snapshot and
+// truncates the journal, so the next Open replays O(appends since this
+// compaction) instead of the store's lifetime history. The protocol is
+// crash-safe at every step:
+//
+//  1. The snapshot (generation G+1, current bindings, exact blob
+//     statistics, checksummed) is staged under tmp/ and fsynced.
+//     A crash here leaves the old snapshot and full journal: state
+//     unchanged, stale staging cleaned at next Open.
+//  2. The staged file is renamed over names.snapshot and the directory
+//     is fsynced. A crash *after* this point but before step 3 leaves
+//     the new snapshot plus the untruncated journal — which replays to
+//     identical state, because every journal entry the snapshot covers
+//     is idempotent under last-binding-wins.
+//  3. The journal is truncated to empty (its entire content is covered
+//     by the snapshot; the writer holds the store lock, so nothing can
+//     have appended in between) and, except under SyncNone, synced.
+//
+// Read-only views are tolerated mid-compaction without any lock
+// handshake: they detect the generation change in Refresh and reload
+// from the new snapshot instead of trusting stale byte offsets (see
+// FSReadBackend).
+func (b *FSBackend) Compact() (CompactStats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.writableLocked(); err != nil {
+		return CompactStats{}, err
+	}
+	b.drainCommitsLocked()
+	// Re-check after the drain: a flush that failed while we waited has
+	// wedged the journal, and b.names now holds bindings whose callers
+	// were told the bind failed — snapshotting them would make
+	// unacknowledged writes durable.
+	if err := b.writableLocked(); err != nil {
+		return CompactStats{}, err
+	}
+	// The snapshot header carries exact blob statistics (the next Open
+	// trusts them without walking), so re-establish them by a fresh walk
+	// here: compaction is where incremental drift — e.g. blobs orphaned
+	// by a crash between PutBlob and the journal append — gets squared
+	// away.
+	b.statsMu.Lock()
+	b.statsReady = false
+	if err := b.ensureStatsLocked(); err != nil {
+		b.statsMu.Unlock()
+		return CompactStats{}, err
+	}
+	hdr := snapshotHeader{
+		Generation: b.gen + 1,
+		Blobs:      b.blobCount,
+		BlobBytes:  b.blobBytes,
+	}
+	b.statsMu.Unlock()
+	data, err := encodeSnapshot(hdr, b.names)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	stats := CompactStats{
+		Generation:    hdr.Generation,
+		Bindings:      len(b.names),
+		JournalBytes:  b.journalEnd,
+		SnapshotBytes: int64(len(data)),
+	}
+
+	// Step 1: stage + fsync.
+	tmp, err := os.CreateTemp(filepath.Join(b.dir, "tmp"), "snap-*")
+	if err != nil {
+		return CompactStats{}, fmt.Errorf("storage: staging snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	abort := func(err error) (CompactStats, error) {
+		os.Remove(tmpName)
+		return CompactStats{}, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return abort(fmt.Errorf("storage: staging snapshot: %w", err))
+	}
+	if b.syncMode != SyncNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return abort(fmt.Errorf("storage: syncing snapshot: %w", err))
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return abort(fmt.Errorf("storage: staging snapshot: %w", err))
+	}
+	if err := b.fault("snapshot-staged"); err != nil {
+		return abort(err)
+	}
+
+	// Step 2: atomic rename + directory sync.
+	if err := os.Rename(tmpName, snapshotPath(b.dir)); err != nil {
+		return abort(fmt.Errorf("storage: committing snapshot: %w", err))
+	}
+	// The rename happened: from here on this process's state is built on
+	// generation G+1 even if a later step fails — otherwise a repeated
+	// compaction could reuse the on-disk generation number for different
+	// content and defeat the readers' staleness check.
+	b.gen = hdr.Generation
+	if err := b.syncDir(b.dir); err != nil {
+		return stats, err
+	}
+	if err := b.fault("snapshot-renamed"); err != nil {
+		return stats, err
+	}
+
+	// Step 3: drop the journal content the snapshot now covers.
+	if err := b.log.Truncate(0); err != nil {
+		// The on-disk state is consistent (snapshot + covered journal),
+		// but this handle's view of the journal is now unreliable:
+		// fail-stop, exactly like a torn append.
+		b.logFailed = true
+		return stats, fmt.Errorf("storage: truncating journal after compaction: %w", err)
+	}
+	if b.syncMode != SyncNone {
+		if err := b.log.Sync(); err != nil {
+			b.logFailed = true
+			return stats, fmt.Errorf("storage: syncing truncated journal: %w", err)
+		}
+	}
+	b.journalEnd = 0
+	return stats, nil
+}
+
+// fault invokes the test-only fault-injection hook.
+func (b *FSBackend) fault(stage string) error {
+	if b.compactFault == nil {
+		return nil
+	}
+	return b.compactFault(stage)
+}
+
+// Close flushes pending group-commit batches, syncs the name journal to
+// stable media, releases the handle, and drops the store's writer lock
+// so another process may open the directory. Using the backend after
+// Close returns errors.
 func (b *FSBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.log == nil {
 		return nil
 	}
-	syncErr := b.log.Sync()
+	b.drainCommitsLocked()
+	var syncErr error
+	if b.syncMode != SyncNone {
+		syncErr = b.log.Sync()
+	}
 	closeErr := b.log.Close()
 	b.log = nil
 	if b.lock != nil {

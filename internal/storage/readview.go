@@ -19,12 +19,22 @@ import (
 //   - It takes the *shared* reader lock (<dir>/lock.read) instead of
 //     the exclusive writer lock, so any number of readers coexist with
 //     the one live writer (see lockStoreDirShared for the protocol).
-//   - Its journal replay never truncates or repairs anything: a torn
-//     or in-flux tail is simply not applied yet. Repair is the writer's
+//   - Its load never truncates or repairs anything: a torn or in-flux
+//     journal tail is simply not applied yet. Repair is the writer's
 //     job — the read path must not mutate a store it does not own.
 //   - Refresh re-tails the journal from the last applied offset, so
 //     picking up the writer's new bindings costs one stat plus reading
 //     only the appended bytes — not a full replay.
+//
+// The view is also compaction-tolerant: it remembers the snapshot
+// generation its state is built on and re-checks it (one tiny header
+// read) at every Refresh. When the writer compacts — replacing
+// names.snapshot and truncating the journal — the generation changes
+// and the view reloads from the new snapshot instead of trusting a
+// stale byte offset into a journal that no longer holds those bytes.
+// No lock handshake is needed: the writer renames the snapshot into
+// place *before* truncating, and the view re-verifies the generation
+// after each full load, retrying if a compaction raced it.
 //
 // All mutating Backend methods return an error: the view is a Backend
 // only so the ordinary Store query API (and everything built on it —
@@ -35,6 +45,7 @@ type FSReadBackend struct {
 
 	mu       sync.RWMutex
 	names    map[string]string
+	gen      int         // snapshot generation the state is built on (0: none)
 	validEnd int64       // journal offset just past the last applied entry
 	journal  os.FileInfo // identity of the journal last tailed (nil before it exists)
 	closed   bool
@@ -85,25 +96,41 @@ func OpenReadOnly(dir string) (*Store, error) {
 
 func (b *FSReadBackend) journalPath() string { return filepath.Join(b.dir, "names.log") }
 
-// Refresh re-tails the name journal, applying entries appended since
-// the last call. A torn or in-flux final line (the writer mid-append,
+// Refresh catches the view up with the writer. The cheap steady-state
+// path is: one snapshot-header read (generation unchanged), one journal
+// stat (size unchanged) — no bytes re-read. A grown journal is tailed
+// from the last applied offset. Three events force a full reload from
+// the snapshot: a generation change (the writer compacted), a journal
+// that shrank or changed identity (the store was compacted by a *new*
+// writer, or deleted and re-created), and a re-tail that hits malformed
+// content (a re-created journal that reused the inode and grew past the
+// stale offset). A torn or in-flux final line (the writer mid-append,
 // or a crashed writer's tear awaiting the next writer's truncation) is
 // left unapplied without error — it is re-examined on the next call.
 // Malformed content *followed by further entries* is real corruption
-// and is reported. If the journal shrank below the applied offset or
-// disappeared (the store was re-created), the view reloads from
-// scratch.
+// and is reported.
 func (b *FSReadBackend) Refresh() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return fmt.Errorf("storage: read-only view of %s is closed", b.dir)
 	}
+	gen, err := readSnapshotGeneration(b.dir)
+	if err != nil {
+		// The header may be mid-replacement (rename in flight) or the
+		// store may be mid-recreation; a full reload re-reads it with
+		// retry semantics.
+		return b.reloadLocked()
+	}
+	if gen != b.gen {
+		return b.reloadLocked()
+	}
 	f, err := os.Open(b.journalPath())
 	if os.IsNotExist(err) {
 		if b.validEnd != 0 {
-			b.names = make(map[string]string)
-			b.validEnd = 0
+			// The journal vanished beneath applied entries: the store was
+			// deleted or re-created. Reload from whatever is there now.
+			return b.reloadLocked()
 		}
 		b.journal = nil
 		return nil
@@ -118,39 +145,113 @@ func (b *FSReadBackend) Refresh() error {
 	}
 	// A different file at the journal path, or one shorter than what we
 	// already applied (the writer's torn-tail truncation never cuts
-	// below an applied entry), means the store was deleted and
-	// re-created: start over rather than tailing an unrelated journal
-	// from a stale offset.
+	// below an applied entry), means the store was compacted by a new
+	// writer or deleted and re-created: reload rather than tailing from
+	// a stale offset.
 	if (b.journal != nil && !os.SameFile(b.journal, fi)) || fi.Size() < b.validEnd {
-		b.names = make(map[string]string)
-		b.validEnd = 0
+		return b.reloadLocked()
 	}
 	b.journal = fi
 	if fi.Size() == b.validEnd {
 		return nil
 	}
-	if err := b.tailFrom(f, b.validEnd); err != nil {
+	if err := b.tailFrom(f, b.validEnd, b.names); err != nil {
 		// A re-tail that finds corruption may simply be reading an
 		// unrelated journal from a stale offset: a re-created store can
 		// reuse the old journal's inode (defeating the identity check
 		// above) and grow past the applied offset (defeating the size
 		// check). Before reporting corruption, reload once from the
-		// beginning; if the journal really is corrupt mid-file, the
-		// full scan fails at the same place and that error stands.
-		b.names = make(map[string]string)
-		b.validEnd = 0
-		return b.tailFrom(f, 0)
+		// beginning; if the journal really is corrupt mid-file, the full
+		// scan fails at the same place and that error stands.
+		return b.reloadLocked()
+	}
+	// Re-check the generation after the tail, mirroring reloadLocked: a
+	// compaction that landed between the probe above and the read could
+	// have truncated the journal and regrown it past our offset (same
+	// inode, larger size — invisible to both checks), making the bytes
+	// just applied belong to the new journal. If the generation moved
+	// during the read, discard and reload from the covering snapshot.
+	if gen, err := readSnapshotGeneration(b.dir); err != nil || gen != b.gen {
+		return b.reloadLocked()
 	}
 	return nil
 }
 
+// reloadLocked rebuilds the whole state: snapshot (if any), then the
+// journal from offset zero. Because a writer's compaction replaces the
+// snapshot *before* truncating the journal, a load that interleaves
+// with one could pair an old snapshot with an already-truncated journal
+// and lose the bindings in between — so after each attempt the snapshot
+// generation is re-checked and the load retried if it moved. The caller
+// holds b.mu.
+func (b *FSReadBackend) reloadLocked() error {
+	const maxAttempts = 5
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		names, hdr, hasSnap, err := loadSnapshot(b.dir)
+		if err != nil {
+			// A compaction can race this read; remember the error and
+			// retry. If it persists, the snapshot really is damaged.
+			lastErr = err
+			continue
+		}
+		gen := 0
+		if hasSnap {
+			gen = hdr.Generation
+		} else {
+			names = make(map[string]string)
+		}
+		validEnd := int64(0)
+		var journal os.FileInfo
+		f, err := os.Open(b.journalPath())
+		switch {
+		case os.IsNotExist(err):
+			// No journal (yet): the state is the snapshot alone.
+		case err != nil:
+			return fmt.Errorf("storage: opening name journal: %w", err)
+		default:
+			fi, statErr := f.Stat()
+			if statErr != nil {
+				f.Close()
+				return fmt.Errorf("storage: reading name journal: %w", statErr)
+			}
+			journal = fi
+			end, _, scanErr := scanJournal(f, 0, func(name, hash string) { names[name] = hash })
+			f.Close()
+			if scanErr != nil {
+				// Mid-file corruption — or a compaction truncated the
+				// journal mid-scan. The generation re-check below
+				// distinguishes the two.
+				lastErr = scanErr
+				if g, err := readSnapshotGeneration(b.dir); err == nil && g != gen {
+					continue
+				}
+				return scanErr
+			}
+			validEnd = end
+		}
+		// The load is consistent only if no compaction replaced the
+		// snapshot while we were reading the journal.
+		if g, err := readSnapshotGeneration(b.dir); err != nil || g != gen {
+			lastErr = err
+			continue
+		}
+		b.names, b.gen, b.validEnd, b.journal = names, gen, validEnd, journal
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("snapshot generation kept changing")
+	}
+	return fmt.Errorf("storage: store at %s is compacting faster than it can be loaded: %w", b.dir, lastErr)
+}
+
 // tailFrom scans journal entries from the given offset to EOF, applying
-// them and advancing validEnd past the last applied entry.
-func (b *FSReadBackend) tailFrom(f *os.File, offset int64) error {
+// them into names and advancing validEnd past the last applied entry.
+func (b *FSReadBackend) tailFrom(f *os.File, offset int64, names map[string]string) error {
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return fmt.Errorf("storage: seeking name journal: %w", err)
 	}
-	validEnd, _, err := scanJournal(f, offset, func(name, hash string) { b.names[name] = hash })
+	validEnd, _, err := scanJournal(f, offset, func(name, hash string) { names[name] = hash })
 	b.validEnd = validEnd
 	return err
 }
@@ -203,13 +304,22 @@ func (b *FSReadBackend) Increment(name string) (int, error) {
 	return 0, fmt.Errorf("storage: Increment %s on %s: %w", name, b.dir, ErrReadOnly)
 }
 
-// Stats reports the binding count from memory and walks the blob tree
-// for blob statistics — the walk is per-call, so this is a diagnostic,
-// not a hot path.
+// Stats reports the binding count from memory and blob statistics the
+// cheapest accurate way available: a view of a compacted store whose
+// journal tail it has not applied any entries from serves the exact
+// figures recorded in the snapshot header (nothing can have been added
+// without a tail binding); otherwise it walks the blob tree — the walk
+// is per-call, so this is a diagnostic, not a hot path.
 func (b *FSReadBackend) Stats() (Stats, error) {
 	b.mu.RLock()
 	bindings := len(b.names)
+	gen, validEnd := b.gen, b.validEnd
 	b.mu.RUnlock()
+	if gen > 0 && validEnd == 0 {
+		if hdr, ok, err := readSnapshotHeader(b.dir); err == nil && ok && hdr.Generation == gen {
+			return Stats{Blobs: hdr.Blobs, Bindings: bindings, Bytes: hdr.BlobBytes}, nil
+		}
+	}
 	st := Stats{Bindings: bindings}
 	hashes, err := fsListBlobs(b.dir)
 	if err != nil {
@@ -222,6 +332,32 @@ func (b *FSReadBackend) Stats() (Stats, error) {
 		}
 	}
 	return st, nil
+}
+
+// Info extends Stats with the view's snapshot generation and journal
+// figures — `spsys store stats` against a store another process holds
+// the writer lock on.
+func (b *FSReadBackend) Info() (StoreInfo, error) {
+	st, err := b.Stats()
+	if err != nil {
+		return StoreInfo{Stats: st}, err
+	}
+	b.mu.RLock()
+	info := StoreInfo{Stats: st, Generation: b.gen, JournalBytes: b.validEnd}
+	b.mu.RUnlock()
+	if fi, err := os.Stat(snapshotPath(b.dir)); err == nil {
+		info.SnapshotBytes = fi.Size()
+	}
+	return info, nil
+}
+
+// Position identifies how much name history the view has applied: the
+// snapshot generation plus the journal offset of the last applied
+// entry. See (*FSBackend).Position.
+func (b *FSReadBackend) Position() (Position, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Position{Generation: b.gen, Offset: b.validEnd}, true
 }
 
 // Close releases the shared reader lock. The view keeps answering

@@ -54,7 +54,12 @@ func NewStoreWith(b Backend) *Store {
 // sp-system clients (a campaign runner, a report generator) share one
 // common storage across processes.
 func Open(dir string) (*Store, error) {
-	b, err := OpenFSBackend(dir)
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith is Open with explicit backend Options (durability mode).
+func OpenWith(dir string, opts Options) (*Store, error) {
+	b, err := OpenFSBackendWith(dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +102,80 @@ func (s *Store) Refresh() error {
 // Close flushes and releases the underlying backend. Closing the
 // in-memory store is a no-op.
 func (s *Store) Close() error { return s.backend.Close() }
+
+// Compactor is implemented by backends that can fold their append-only
+// history into a snapshot — the on-disk writer backend.
+type Compactor interface {
+	// Compact writes a fresh snapshot and truncates the journal.
+	Compact() (CompactStats, error)
+}
+
+// Compact folds the backend's journal into a snapshot so reopening the
+// store costs O(appends since compaction) instead of O(lifetime). On
+// backends with no journal to fold (the in-memory store) it is a no-op;
+// on a read-only view it fails — compaction is the writer's privilege.
+func (s *Store) Compact() (CompactStats, error) {
+	if c, ok := s.backend.(Compactor); ok {
+		return c.Compact()
+	}
+	if _, ro := s.backend.(*FSReadBackend); ro {
+		return CompactStats{}, fmt.Errorf("storage: compacting: %w", ErrReadOnly)
+	}
+	return CompactStats{}, nil
+}
+
+// StoreInfo extends Stats with snapshot/journal figures for operators.
+type StoreInfo struct {
+	Stats
+	// Generation is the snapshot generation the state is built on
+	// (0: the store was never compacted).
+	Generation int
+	// JournalBytes is the live journal tail length — what the next
+	// Compact would fold away, and what every Open must replay.
+	JournalBytes int64
+	// SnapshotBytes is the size of names.snapshot (0: none).
+	SnapshotBytes int64
+}
+
+// Informer is implemented by backends that can report StoreInfo.
+type Informer interface {
+	Info() (StoreInfo, error)
+}
+
+// Info returns extended store statistics. Backends without snapshot
+// machinery report their plain Stats with zero snapshot figures.
+func (s *Store) Info() (StoreInfo, error) {
+	if i, ok := s.backend.(Informer); ok {
+		return i.Info()
+	}
+	st, err := s.backend.Stats()
+	return StoreInfo{Stats: st}, err
+}
+
+// Position identifies a point in a backend's durable name history: the
+// snapshot generation plus the byte offset of applied journal content.
+// Derived state persisted into the store (the bookkeep index segment)
+// is keyed by the Position it covers, so a later consumer can tell
+// "nothing changed since" from "catch up on the tail".
+type Position struct {
+	Generation int   `json:"generation"`
+	Offset     int64 `json:"offset"`
+}
+
+// Positioner is implemented by backends whose history has a Position —
+// the on-disk writer backend and the read-only view.
+type Positioner interface {
+	Position() (Position, bool)
+}
+
+// Position returns the backend's current history position. ok is false
+// for backends without positional history (the in-memory store).
+func (s *Store) Position() (Position, bool) {
+	if p, ok := s.backend.(Positioner); ok {
+		return p.Position()
+	}
+	return Position{}, false
+}
 
 // PutBlob stores content and returns its SHA-256 hash. Storing the same
 // content twice is free. The hash is computed here, before the backend
