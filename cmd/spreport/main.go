@@ -100,6 +100,7 @@ func run(snapshotPath, storeDir, outDir, title string) (err error) {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			return err
 		}
+		//spvet:allow storewrite — the report site is a rendered export directory, not a store
 		if err := os.WriteFile(path, page, 0o644); err != nil {
 			return err
 		}

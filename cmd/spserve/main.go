@@ -55,6 +55,7 @@ import (
 	"repro/internal/buildsys"
 	"repro/internal/campaign"
 	"repro/internal/chain"
+	"repro/internal/cron"
 	"repro/internal/report"
 	"repro/internal/storage"
 )
@@ -99,14 +100,20 @@ type server struct {
 	title string
 
 	refreshEvery time.Duration
-	mu           sync.Mutex
-	lastRefresh  time.Time
-	lastErr      error
+	// now is the clock source behind the refresh throttle: cron.Wall()
+	// in production, a hand-advanced function in tests (the same seam
+	// shape as cron.Driver), so throttle behavior is testable without
+	// sleeping.
+	now func() time.Time
+
+	mu          sync.Mutex
+	lastRefresh time.Time // guarded by mu
+	lastErr     error     // guarded by mu
 	// planRec and planNotes cache the store's latest recorded campaign
 	// plan, reloaded inside the throttled refresh so matrix-page and
 	// /api/plan traffic never pays a store read per request.
-	planRec   *campaign.PlanRecord
-	planNotes map[string]string
+	planRec   *campaign.PlanRecord // guarded by mu
+	planNotes map[string]string    // guarded by mu
 }
 
 // newServer builds a server over any Store (the read-only disk view in
@@ -116,7 +123,8 @@ func newServer(store *storage.Store, title string, refreshEvery time.Duration) (
 	if err != nil {
 		return nil, err
 	}
-	s := &server{store: store, index: x, title: title, refreshEvery: refreshEvery, lastRefresh: time.Now()}
+	now := cron.Wall()
+	s := &server{store: store, index: x, title: title, refreshEvery: refreshEvery, now: now, lastRefresh: now()}
 	s.reloadPlanLocked()
 	return s, nil
 }
@@ -128,10 +136,10 @@ func newServer(store *storage.Store, title string, refreshEvery time.Duration) (
 func (s *server) refresh() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.refreshEvery > 0 && time.Since(s.lastRefresh) < s.refreshEvery {
+	if s.refreshEvery > 0 && s.now().Sub(s.lastRefresh) < s.refreshEvery {
 		return
 	}
-	s.lastRefresh = time.Now()
+	s.lastRefresh = s.now()
 	if err := s.store.Refresh(); err != nil {
 		s.lastErr = err
 		return

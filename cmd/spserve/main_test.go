@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -324,12 +325,32 @@ func TestRefreshThrottle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Substitute a hand-advanced clock for the cron.Wall seam so the
+	// throttle's both sides are observable without sleeping. The test
+	// advances the clock between requests while handler goroutines read
+	// it, so the offset is atomic.
+	base := srv.lastRefresh
+	var elapsed atomic.Int64
+	srv.now = func() time.Time { return base.Add(time.Duration(elapsed.Load())) }
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	record(t, wstore, rn, "H1", "second", valtest.OutcomePass)
 	if _, body, _ := get(t, ts, "/api/runs"); strings.Contains(body, "run-0002") {
 		t.Fatal("throttled server refreshed before its interval")
+	}
+
+	// One tick short of the interval: still throttled.
+	elapsed.Store(int64(time.Hour - time.Nanosecond))
+	if _, body, _ := get(t, ts, "/api/runs"); strings.Contains(body, "run-0002") {
+		t.Fatal("throttled server refreshed one tick before its interval")
+	}
+
+	// At the interval: the next request re-tails the journal and the
+	// writer's second run appears.
+	elapsed.Store(int64(time.Hour))
+	if _, body, _ := get(t, ts, "/api/runs"); !strings.Contains(body, "run-0002") {
+		t.Fatalf("server did not refresh once its interval elapsed: %q", body)
 	}
 }
 

@@ -167,6 +167,7 @@ func saveSnapshot(sys *core.SPSystem, path string) error {
 	if err != nil {
 		return err
 	}
+	//spvet:allow storewrite — the snapshot lands at a user-chosen export path, not in a store
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}

@@ -1,0 +1,170 @@
+// Command spvet runs the repro invariant-lint suite (internal/analysis):
+// idorder, wallclock, lockguard, storewrite and syncclose.
+//
+// Two modes share one type-checking path:
+//
+//	spvet ./...                                 # standalone, any package pattern
+//	go vet -vettool=$(which spvet) ./...        # as a go vet tool
+//
+// In vettool mode the go command drives spvet through its unitchecker
+// protocol: `spvet -V=full` must print a stable version line, `spvet
+// -flags` the tool's extra flags (none), and each analysis unit arrives
+// as a JSON config file argument naming the sources, the import map and
+// the compiled export data of every dependency. Diagnostics go to
+// stderr; a nonzero exit marks the unit failed.
+//
+// Suppressions: a line (or the line above it) carrying
+// //spvet:allow <name>[,<name>...] — reason
+// silences the named analyzers there. Test files are never checked.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/spvet"
+)
+
+// version is the string reported to `go vet`'s tool-ID handshake; the
+// go command rejects "devel" and fewer than three fields.
+const version = "spvet version v1.0.0"
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes the tool before using it: -V=full for a
+	// cache key, -flags for the flag surface. Both must answer on
+	// stdout and exit 0.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "-V":
+			fmt.Println(version)
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads the patterns via `go list -export` and analyzes
+// every non-dependency package.
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spvet:", err)
+		return 2
+	}
+	pkgs, err := load.Targets(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spvet:", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := load.Run(pkg, spvet.Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spvet: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		if printDiags(pkg.Fset, diags) {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig mirrors the fields of the JSON unit description the go
+// command writes for a vet tool (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one go-vet unit described by cfgPath.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "spvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The vetx file is the unit's fact artifact. This suite exports no
+	// facts, but the go command caches and re-feeds the file, so it
+	// must exist — for dependency-only units it is the whole job.
+	if cfg.VetxOutput != "" {
+		//spvet:allow storewrite — the vetx artifact goes where the go command says, inside its build cache
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "spvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.Check(cfg.ImportPath, fset, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile, goVersion(cfg.GoVersion))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "spvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := load.Run(pkg, spvet.Suite())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	if printDiags(fset, diags) {
+		return 1
+	}
+	return 0
+}
+
+// goVersion normalizes a module go directive ("1.22", "1.22.3") to the
+// "go1.22" form go/types expects; empty stays empty (no limit).
+func goVersion(v string) string {
+	if v == "" || strings.HasPrefix(v, "go") {
+		return v
+	}
+	return "go" + v
+}
+
+// printDiags writes the diagnostics in file:line:col form and reports
+// whether there were any.
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) bool {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+	return len(diags) > 0
+}

@@ -36,6 +36,13 @@
 // `spsys store stats` shows the snapshot/journal figures; `spsys store
 // synth` builds large synthetic stores for scaling work.
 //
+// The repo's cross-cutting contracts — numeric-aware run-ID ordering,
+// the simclock/simrand determinism seams, the staged store write
+// protocol, mutex-guarded shared state, fail-stop Close/Sync handling —
+// are enforced mechanically by cmd/spvet, an invariant-lint suite that
+// runs standalone (`spvet ./...`) or as `go vet -vettool`; see
+// internal/analysis and the "Enforced invariants" section of DESIGN.md.
+//
 // See DESIGN.md for the system inventory (including the storage backend
 // contract and on-disk layout), EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the harnesses that

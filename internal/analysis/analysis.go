@@ -1,0 +1,139 @@
+// Package analysis is the minimal in-repo counterpart of
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic vocabulary
+// spvet's invariant linters are written against.
+//
+// The repro deliberately has no third-party dependencies, so instead of
+// vendoring x/tools this package re-implements the small slice of its API
+// the suite needs — an analyzer is a named Run function over one
+// type-checked package, reporting position-tagged diagnostics. Drivers
+// (cmd/spvet for `go vet -vettool` and standalone runs, the analysistest
+// harness for fixtures) live in sibling packages; see internal/analysis/load.
+//
+// # Suppression directives
+//
+// Every analyzer in the suite honors line-scoped suppression comments:
+//
+//	//spvet:allow <name>[,<name>...] — reason
+//
+// A directive permits the named analyzers on its own source line and on
+// the line directly below it (so it can sit above a flagged statement).
+// The reason text is free-form but should say why the contract does not
+// apply — the point of the directive is to turn silent contract
+// violations into reviewed, documented exceptions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant-checking pass: a named contract
+// and the function that enforces it over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //spvet:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the analyzer's documentation: the contract it encodes and
+	// where that contract came from.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one application of one analyzer to one type-checked
+// package. The driver constructs it; the analyzer consumes it.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's object resolution for Files.
+	Info *types.Info
+
+	// report receives each diagnostic; installed by the driver.
+	report func(Diagnostic)
+}
+
+// SetReport installs the diagnostic sink. Drivers call this once per
+// pass; analyzers report only through Reportf.
+func (p *Pass) SetReport(fn func(Diagnostic)) { p.report = fn }
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite's
+// analyzers enforce production contracts: test code legitimately reads
+// wall clocks (benchmarks), writes into store directories (damage
+// injection) and discards Close errors (cleanup), so each analyzer
+// skips test files via this predicate.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that reported it.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Pos
+	// Message describes the violation and the sanctioned alternative.
+	Message string
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "spvet:allow"
+
+// allowKey identifies one (line, analyzer) suppression.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// DirectiveFilter scans the files' comments for //spvet:allow
+// directives and returns a predicate reporting whether the diagnostic
+// at pos from the named analyzer is suppressed. A directive covers its
+// own line and the following line.
+func DirectiveFilter(fset *token.FileSet, files []*ast.File) func(name string, pos token.Pos) bool {
+	allowed := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				// The analyzer list ends at the first whitespace; the
+				// remainder is the human justification.
+				names := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					names = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					allowed[allowKey{pos.Filename, pos.Line, name}] = true
+					allowed[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return func(name string, pos token.Pos) bool {
+		p := fset.Position(pos)
+		return allowed[allowKey{p.Filename, p.Line, name}]
+	}
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs one analyzer over a fixture tree and checks
+// its diagnostics against // want annotations — the in-repo counterpart
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under the calling test's testdata directory:
+//
+//	testdata/src/<pkgpath>/<files>.go
+//
+// and is addressed by its <pkgpath> (the directory path below src/),
+// which also becomes the package path the analyzer sees — so a fixture
+// at testdata/src/example.com/internal/cron/ exercises a package-path
+// allowlist exactly as the real package would. Each line that should be
+// flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// whose regexp must match the diagnostic's message; lines without the
+// comment must produce no diagnostic. Run fails the test on any missed,
+// unexpected or mismatched diagnostic.
+//
+// Fixture imports resolve against the real build: standard library
+// packages and this module's own packages (so a fixture may import
+// repro/internal/runner to demonstrate the sanctioned idiom). Export
+// data comes from `go list -export`, the same source the vettool uses.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the expectation regexp from a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run applies the analyzer to the fixture package at
+// testdata/src/<pkgpath> (relative to the current directory, i.e. the
+// test's package directory) and reports every disagreement with the
+// fixture's // want annotations as a test error.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture files under %s", dir)
+	}
+	sort.Strings(files)
+
+	exports, err := moduleExports()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.Check(pkgpath, fset, files, nil, exports, "")
+	if err != nil {
+		t.Fatalf("analysistest: type-checking fixture %s: %v", pkgpath, err)
+	}
+	diags, err := load.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := matchWant(wants, pos.Filename, pos.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// moduleExports runs `go list -export` once over the whole module plus
+// std so fixture imports — stdlib or in-module — all resolve. The
+// result is cached for the life of the test process.
+var cachedExports map[string]string
+
+func moduleExports() (map[string]string, error) {
+	if cachedExports != nil {
+		return cachedExports, nil
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root := moduleRoot(wd)
+	// "std" makes every stdlib package importable from fixtures, not
+	// just the ones the module happens to depend on (a wallclock
+	// fixture imports math/rand, which nothing in the module does).
+	_, exports, err := load.GoList(root, "std", "./...")
+	if err != nil {
+		return nil, err
+	}
+	cachedExports = exports
+	return exports, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// collectWants parses the // want annotations out of the fixture files.
+func collectWants(files []string) ([]*expectation, error) {
+	var wants []*expectation
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pattern := strings.ReplaceAll(m[1], `\"`, `"`)
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %w", file, i+1, err)
+			}
+			wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+		}
+	}
+	return wants, nil
+}
+
+// matchWant finds and consumes the first unhit expectation on the
+// diagnostic's line whose pattern matches the message.
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if w.hit || w.line != line || w.file != file {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package idorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/idorder"
+)
+
+func TestIDOrder(t *testing.T) {
+	analysistest.Run(t, idorder.Analyzer, "idtest")
+}

@@ -1,0 +1,131 @@
+// Package idorder flags lexicographic ordering of run/job identifiers.
+//
+// Contract (PR 3): framework IDs carry decimal counters ("run-0007",
+// "job-000042") and plain string ordering silently breaks at counter
+// rollover — "run-10000" sorts *before* "run-9999". Every place the
+// framework orders run or job IDs must go through runner.CompareIDs,
+// the numeric-aware strict total order. This analyzer catches the
+// regression class mechanically: string `<`-family comparisons,
+// sort.Strings/slices.Sort calls, and strings.Compare calls whose
+// operands are named like identifiers ("id", "ids", "runID",
+// "jobIDs", ...) are reported unless suppressed with //spvet:allow
+// idorder.
+package idorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the idorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "idorder",
+	Doc:  "flags lexicographic ordering of run/job IDs; use runner.CompareIDs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompare reports <, >, <=, >= between string operands where
+// either side is named like an identifier value.
+func checkCompare(pass *analysis.Pass, e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	if !isString(pass, e.X) || !isString(pass, e.Y) {
+		return
+	}
+	if idish(e.X) || idish(e.Y) {
+		pass.Reportf(e.OpPos, "lexicographic %s comparison of run/job IDs breaks at counter rollover (run-10000 < run-9999); use runner.CompareIDs", e.Op)
+	}
+}
+
+// checkCall reports sort.Strings/slices.Sort over ID slices and
+// strings.Compare over ID values.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	pkg, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case pkg == "sort" && name == "Strings",
+		pkg == "slices" && (name == "Sort" || name == "IsSorted"):
+		if len(call.Args) >= 1 && idish(call.Args[0]) {
+			pass.Reportf(call.Pos(), "%s.%s sorts run/job IDs lexicographically, which breaks at counter rollover; sort with runner.CompareIDs", pkg, name)
+		}
+	case pkg == "strings" && name == "Compare":
+		if len(call.Args) == 2 && (idish(call.Args[0]) || idish(call.Args[1])) {
+			pass.Reportf(call.Pos(), "strings.Compare orders run/job IDs lexicographically, which breaks at counter rollover; use runner.CompareIDs")
+		}
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// idish reports whether the expression is named like an identifier
+// value: the terminal name is "id"/"ids" (any case), ends in a
+// camel-case "ID"/"Id" word (runID, JobIDs), or in a snake-case
+// "_id"/"_ids" suffix. Index and slice expressions look through to
+// their operand, so ids[i] and runIDs[j:] qualify.
+func idish(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return idishName(e.Name)
+	case *ast.SelectorExpr:
+		return idishName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return idish(e.X)
+	case *ast.SliceExpr:
+		return idish(e.X)
+	case *ast.ParenExpr:
+		return idish(e.X)
+	}
+	return false
+}
+
+func idishName(name string) bool {
+	switch strings.ToLower(name) {
+	case "id", "ids":
+		return true
+	}
+	for _, suf := range []string{"ID", "IDs", "Id", "Ids", "_id", "_ids"} {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Package idtest seeds idorder violations alongside the sanctioned
+// idiom; the expectations live in the // want comments.
+package idtest
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/runner"
+)
+
+type rec struct {
+	ID   string
+	Name string
+}
+
+// lessByID is the seeded regression: run-10000 would sort before
+// run-9999 here.
+func lessByID(a, b rec) bool {
+	return a.ID < b.ID // want "runner.CompareIDs"
+}
+
+// sortIDs covers the call-based orderings.
+func sortIDs(ids []string, aID, bID string) int {
+	sort.Strings(ids)                                               // want "counter rollover"
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] }) // want "counter rollover"
+	return strings.Compare(aID, bID)                                // want "runner.CompareIDs"
+}
+
+// sortIDsRight is the sanctioned idiom: numeric-aware ordering through
+// runner.CompareIDs draws no diagnostic.
+func sortIDsRight(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return runner.CompareIDs(ids[i], ids[j]) < 0 })
+}
+
+// sortNames orders values that are not identifiers; lexicographic is
+// fine there.
+func sortNames(names []string, a, b rec) bool {
+	sort.Strings(names)
+	return a.Name < b.Name
+}
+
+// suppressed documents a reviewed exception.
+func suppressed(ids []string) {
+	//spvet:allow idorder — fixture: IDs here are externally-supplied opaque keys
+	sort.Strings(ids)
+}

@@ -1,0 +1,206 @@
+// Package load type-checks Go packages for the spvet analyzer suite
+// without golang.org/x/tools: source files are parsed with go/parser and
+// checked with go/types, and imports — standard library and in-module
+// alike — are resolved from compiled export data located by
+// `go list -export`. That is the same data `go vet` hands a vettool in
+// its .cfg file, so the standalone driver, the unitchecker-protocol
+// driver and the analysistest harness all type-check identically.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a fixture-local name).
+	Path string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's resolution data for Files.
+	Info *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -e -export -deps -json` on the patterns in dir
+// and returns the entries plus the export-data map (import path →
+// compiled export file) covering every listed package and dependency.
+func GoList(dir string, patterns ...string) ([]listEntry, map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		entries = append(entries, e)
+	}
+	return entries, exports, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportImporter returns a go/types importer that reads compiled export
+// data: importMap canonicalizes source-level import paths (identity when
+// nil), exports locates each canonical path's export file.
+func ExportImporter(fset *token.FileSet, importMap, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses and type-checks one package from its source files.
+// goVersion ("go1.21", may be empty) bounds the accepted language.
+func Check(path string, fset *token.FileSet, filenames []string, importMap, exports map[string]string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer:  ExportImporter(fset, importMap, exports),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Targets loads the packages matching the patterns (relative to dir),
+// type-checked and ready for analysis. Dependencies contribute export
+// data only; they are not re-checked or analyzed.
+func Targets(dir string, patterns ...string) ([]*Package, error) {
+	entries, exports, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		fset := token.NewFileSet()
+		var names []string
+		for _, f := range e.GoFiles {
+			names = append(names, e.Dir+string(os.PathSeparator)+f)
+		}
+		pkg, err := Check(e.ImportPath, fset, names, nil, exports, "")
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Run applies the analyzers to the package and returns the surviving
+// diagnostics — //spvet:allow-suppressed findings are filtered out —
+// sorted by position.
+func Run(pkg *Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}
+	for _, a := range analyzers {
+		p := *pass
+		p.Analyzer = a
+		collect := func(d analysis.Diagnostic) { diags = append(diags, d) }
+		// report is unexported; wire it through the setter.
+		p.SetReport(collect)
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	allowed := analysis.DirectiveFilter(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}

@@ -1,0 +1,247 @@
+// Package lockguard checks mutex annotations on struct fields.
+//
+// Contract (PR 1 onward): shared state in this repro sits behind a
+// mutex in the same struct — the storage backends' name maps, the
+// bookkeeping index's derived structures, the build deduplicator, the
+// status server's refresh throttle. The convention is mechanical here:
+// a field annotated
+//
+//	n int // guarded by mu
+//
+// may only be accessed inside a function that (syntactically) locks
+// that mutex — a call to <x>.mu.Lock / RLock (or a deferred Unlock)
+// anywhere in its body — or that is itself documented as
+//
+//	// ... The caller holds x.mu.  /  // callers hold mu
+//
+// Functions that build the struct locally (assigned from a composite
+// literal in the same function) are exempt for that variable: during
+// construction the value is unshared. The check is intra-procedural
+// and flow-insensitive by design — it enforces the documented locking
+// discipline, not a full happens-before proof; `go test -race` remains
+// the dynamic cross-check.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated 'guarded by <mu>' are only accessed holding the mutex or under a 'callers hold <mu>' annotation",
+	Run:  run,
+}
+
+// The annotation grammar. Comment text re-wraps freely, so word gaps
+// match any whitespace, not just a single space.
+var (
+	fieldRe = regexp.MustCompile(`guarded\s+by\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+	funcRe  = regexp.MustCompile(`[Cc]allers?\s+holds?\s+([A-Za-z_][A-Za-z0-9_.]*)`)
+)
+
+// lastSegment reduces an annotation like "b.mu" to the field name "mu".
+// A sentence-final period ("The caller holds b.mu.") is punctuation,
+// not a selector.
+func lastSegment(s string) string {
+	s = strings.TrimRight(s, ".")
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to the name of
+// the mutex guarding it. Both trailing comments and doc comments on the
+// field declaration are honored.
+func collectGuardedFields(pass *analysis.Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationIn(field.Comment)
+				if mu == "" {
+					mu = annotationIn(field.Doc)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func annotationIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := fieldRe.FindStringSubmatch(cg.Text()); m != nil {
+		return lastSegment(m[1])
+	}
+	return ""
+}
+
+// checkFunc verifies every guarded-field access in one function.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guarded map[types.Object]string) {
+	held := make(map[string]bool)
+	if fn.Doc != nil {
+		for _, m := range funcRe.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+			held[lastSegment(m[1])] = true
+		}
+	}
+	exempt := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// <x>.mu.Lock() / RLock / (deferred) Unlock / RUnlock mark
+			// the mutex as held somewhere in this function.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "Unlock", "RUnlock":
+					if name := mutexName(sel.X); name != "" {
+						held[name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// v := &T{...} (or = T{...}): v is under construction and
+			// unshared; accesses through it need no lock.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || !isCompositeLit(rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						exempt[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						exempt[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		mu, isGuarded := guarded[obj]
+		if !isGuarded || held[mu] {
+			return true
+		}
+		if base := baseIdent(sel.X); base != nil {
+			if bobj := pass.Info.Uses[base]; bobj != nil && exempt[bobj] {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s, which %s neither locks nor documents holding (annotate '// ... callers hold %s' or take the lock)", obj.Name(), mu, funcName(fn), mu)
+		return true
+	})
+}
+
+// mutexName names the mutex in a lock call receiver: mu.Lock() → "mu",
+// b.mu.Lock() → "mu", s.store.mu.Lock() → "mu".
+func mutexName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return mutexName(x.X)
+	}
+	return ""
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+// baseIdent returns the root identifier of a selector chain, or nil.
+func baseIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if name := recvTypeName(fn.Recv.List[0].Type); name != "" {
+			return name + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}

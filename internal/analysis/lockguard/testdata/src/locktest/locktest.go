@@ -1,0 +1,54 @@
+// Package locktest seeds lockguard violations around one annotated
+// struct.
+package locktest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by mu; doc-comment form below also works
+	// hits is annotated through a doc comment rather than a trailing one.
+	//
+	// guarded by mu
+	hits int
+}
+
+// bump takes the lock: no diagnostic.
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// peek is the seeded violation: it reads c.n with no lock and no
+// caller-holds annotation.
+func (c *counter) peek() int {
+	return c.n // want "guarded by mu"
+}
+
+// addLocked documents its contract; callers hold c.mu.
+func (c *counter) addLocked(d int) {
+	c.n += d
+	c.m += d
+	c.hits++
+}
+
+// newCounter builds the value locally: during construction it is
+// unshared, so initializing fields needs no lock.
+func newCounter() *counter {
+	c := &counter{n: 1}
+	c.m = 2
+	return c
+}
+
+// reset covers the RWMutex-free write path violation.
+func reset(c *counter) {
+	c.hits = 0 // want "guarded by mu"
+}
+
+// suppressed documents a reviewed exception.
+func suppressed(c *counter) int {
+	//spvet:allow lockguard — fixture: snapshot read tolerated as approximate
+	return c.n
+}

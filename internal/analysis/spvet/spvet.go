@@ -1,0 +1,37 @@
+// Package spvet assembles the repro invariant-lint suite.
+//
+// Each analyzer encodes one contract the ordinary compiler cannot see:
+//
+//   - idorder: run/job IDs order via runner.CompareIDs, never `<` (PR 3)
+//   - wallclock: wall time and randomness only behind the cron /
+//     simclock / simrand seams (PRs 1–4)
+//   - lockguard: fields annotated `guarded by <mu>` are accessed under
+//     the mutex or a documented caller-holds contract
+//   - storewrite: raw os writes happen only in internal/storage, the
+//     staged tmp+rename+fsync path (PR 2)
+//   - syncclose: Close/Sync errors on writable files are never
+//     discarded — durability is fail-stop (PR 2)
+//
+// The suite runs standalone (`spvet ./...`) and as a go vet vettool
+// (`go vet -vettool=$(which spvet) ./...`).
+package spvet
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/idorder"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/storewrite"
+	"repro/internal/analysis/syncclose"
+	"repro/internal/analysis/wallclock"
+)
+
+// Suite returns the full analyzer set in report order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		idorder.Analyzer,
+		wallclock.Analyzer,
+		lockguard.Analyzer,
+		storewrite.Analyzer,
+		syncclose.Analyzer,
+	}
+}

@@ -1,0 +1,19 @@
+package storewrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/storewrite"
+)
+
+func TestStorewrite(t *testing.T) {
+	analysistest.Run(t, storewrite.Analyzer, "writetest")
+}
+
+// TestStorageExempt: a package whose import path ends in
+// internal/storage is the staged write path itself; raw os writes draw
+// nothing there.
+func TestStorageExempt(t *testing.T) {
+	analysistest.Run(t, storewrite.Analyzer, "store/internal/storage")
+}

@@ -1,0 +1,87 @@
+// Package storewrite confines raw filesystem writes to the storage
+// layer.
+//
+// Contract (PR 2): everything the framework persists into a store
+// directory goes through internal/storage's staged write protocol —
+// content staged under tmp/, fsynced, renamed into place, and never
+// referenced by a journal line before it is durable. A direct
+// os.WriteFile / os.Create / os.OpenFile / os.Rename from any other
+// package is either a store write bypassing that protocol (a
+// corruption-on-crash bug) or an unrelated output path that must be
+// explicitly marked as such. The analyzer reports every call to those
+// functions outside internal/storage; legitimate non-store writers
+// (report site output, snapshot export) carry //spvet:allow storewrite
+// with the reason the target is not a store directory.
+package storewrite
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the storewrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "storewrite",
+	Doc:  "forbids os-level file writes outside internal/storage, keeping tmp+rename+fsync the only store write path",
+	Run:  run,
+}
+
+// writeFuncs are the os functions that create, replace or move files.
+var writeFuncs = map[string]bool{
+	"WriteFile": true, "Create": true, "CreateTemp": true,
+	"OpenFile": true, "Rename": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "internal/storage" || strings.HasSuffix(path, "/internal/storage") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+				return true
+			}
+			if name := obj.Name(); writeFuncs[name] {
+				if name == "OpenFile" && readOnlyOpen(call) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "os.%s outside internal/storage bypasses the staged tmp+rename+fsync store protocol; write through the store, or mark a non-store path with //spvet:allow storewrite", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// readOnlyOpen reports whether an os.OpenFile call's flag argument is
+// syntactically read-only (O_RDONLY or literal 0): such a call cannot
+// write and is not a protocol bypass.
+func readOnlyOpen(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	switch f := call.Args[1].(type) {
+	case *ast.BasicLit:
+		return f.Value == "0"
+	case *ast.SelectorExpr:
+		return f.Sel.Name == "O_RDONLY"
+	case *ast.Ident:
+		return f.Name == "O_RDONLY"
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+// Package storage stands in for the real storage layer: its package
+// path ends in internal/storage, where raw writes ARE the staged
+// protocol, so the fixture expects no diagnostics.
+package storage
+
+import "os"
+
+// Stage writes directly; inside the storage layer that is the job.
+func Stage(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}

@@ -1,0 +1,39 @@
+// Package writetest seeds storewrite violations next to the allowed
+// read-side calls.
+package writetest
+
+import "os"
+
+// persist is the seeded violation set: every os-level file write
+// outside internal/storage.
+func persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "tmp\+rename\+fsync"
+		return err
+	}
+	f, err := os.Create(path) // want "tmp\+rename\+fsync"
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path, path+".new") // want "tmp\+rename\+fsync"
+}
+
+// read covers the allowed surface: reads, and opens that cannot write.
+func read(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// export documents a reviewed non-store write.
+func export(path string, data []byte) error {
+	//spvet:allow storewrite — fixture: user-chosen export path, not a store
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,12 @@
+package syncclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/syncclose"
+)
+
+func TestSyncclose(t *testing.T) {
+	analysistest.Run(t, syncclose.Analyzer, "closetest")
+}

@@ -1,0 +1,217 @@
+// Package syncclose flags discarded Close and Sync errors on writable
+// files.
+//
+// Contract (PR 2): the store's durability semantics are fail-stop — a
+// journal sync or close failure must propagate to an exit code, never
+// vanish into a discarded return value, because a binding the caller
+// believes durable may not be. The same applies to any writable file
+// handle: Close is where buffered write errors and (on some systems)
+// deferred I/O errors surface.
+//
+// The analyzer reports Close/Sync calls whose error result is discarded
+// — expression statements, defer/go statements, and assignments to
+// blank — when the receiver is writable: an *os.File not provably
+// opened read-only in the same function (os.Open, or os.OpenFile with
+// O_RDONLY), or any type whose method set includes Write (tar, gzip
+// and friends). Read-side closes are exempt; deliberate discards on
+// error-cleanup paths carry //spvet:allow syncclose with the reason the
+// primary error already propagates.
+package syncclose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the syncclose pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncclose",
+	Doc:  "flags discarded Close/Sync errors on writable files (fail-stop durability)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			readOnly := readOnlyLocals(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = n.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = n.Call
+				case *ast.GoStmt:
+					call = n.Call
+				case *ast.AssignStmt:
+					if len(n.Rhs) == 1 && allBlank(n.Lhs) {
+						call, _ = n.Rhs[0].(*ast.CallExpr)
+					}
+				}
+				if call != nil {
+					checkDiscard(pass, call, readOnly)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkDiscard reports the call if it is a Close/Sync on a writable
+// receiver with its error result discarded.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, readOnly map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	if method != "Close" && method != "Sync" {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	recv := pass.Info.Types[sel.X].Type
+	if recv == nil || !writable(recv) {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if v := pass.Info.Uses[id]; v != nil && readOnly[v] {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "discarded error from %s on a writable file: durability is fail-stop — a failed %s means acknowledged writes may be lost; check it (or //spvet:allow syncclose where a primary error already propagates)", method, method)
+}
+
+// writable reports whether the (possibly pointer) type is *os.File or
+// carries a Write method.
+func writable(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			return true
+		}
+	}
+	m, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "Write")
+	_, ok := m.(*types.Func)
+	return ok
+}
+
+func isErrorType(t types.Type) bool {
+	return t.String() == "error"
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// readOnlyLocals finds local *os.File variables assigned from a
+// provably read-only open — os.Open, or os.OpenFile with an O_RDONLY
+// or literal-zero flag — anywhere in the body. Closing a read-only
+// descriptor cannot lose written data, so those closes are exempt.
+func readOnlyLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isReadOnlyOpen(pass, call) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isReadOnlyOpen(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	switch obj.Name() {
+	case "Open":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		flags := flagNames(call.Args[1])
+		if len(flags) == 0 {
+			return false
+		}
+		for _, f := range flags {
+			switch f {
+			case "O_RDONLY", "0":
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// flagNames flattens a |-joined flag expression into its identifier
+// names (or literal values); unknown shapes yield nil, treated as
+// not-read-only.
+func flagNames(e ast.Expr) []string {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		left := flagNames(e.X)
+		right := flagNames(e.Y)
+		if left == nil || right == nil {
+			return nil
+		}
+		return append(left, right...)
+	case *ast.SelectorExpr:
+		return []string{e.Sel.Name}
+	case *ast.Ident:
+		return []string{e.Name}
+	case *ast.BasicLit:
+		return []string{e.Value}
+	case *ast.ParenExpr:
+		return flagNames(e.X)
+	}
+	return nil
+}

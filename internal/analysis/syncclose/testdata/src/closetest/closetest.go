@@ -1,0 +1,59 @@
+// Package closetest seeds syncclose violations around writable and
+// read-only file handles.
+package closetest
+
+import "os"
+
+// journal is a non-os writer whose Close/Sync also return errors.
+type journal struct{}
+
+func (journal) Write(p []byte) (int, error) { return len(p), nil }
+func (journal) Close() error                { return nil }
+func (journal) Sync() error                 { return nil }
+
+// drop seeds the violations: every discard shape on a writable handle.
+func drop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "fail-stop"
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()     // want "fail-stop"
+	_ = f.Close() // want "fail-stop"
+	var j journal
+	j.Close() // want "fail-stop"
+	j.Sync()  // want "fail-stop"
+	return nil
+}
+
+// checked propagates every Close/Sync error: no diagnostics.
+func checked(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //spvet:allow syncclose — fixture: the write error propagates; close is cleanup
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// reads closes a read-only handle: closing cannot lose written data,
+// so the discard draws nothing.
+func reads(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}

@@ -1,0 +1,18 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "clocktest")
+}
+
+// TestSeamExempt: a package whose import path ends in internal/cron is
+// the sanctioned real-time layer; the same calls draw nothing there.
+func TestSeamExempt(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "seam/internal/cron")
+}

@@ -1,0 +1,42 @@
+// Package clocktest seeds wallclock violations alongside allowed time
+// arithmetic.
+package clocktest
+
+import (
+	"math/rand" // want "replay determinism"
+	"time"
+)
+
+// stamp reads the process clock directly — the seeded violation.
+func stamp() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+// age covers the other package-level clock reads.
+func age(t time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want "wall clock"
+	return time.Since(t)         // want "wall clock"
+}
+
+// compare is pure time.Time arithmetic: methods on values carry no
+// clock access and draw no diagnostic.
+func compare(a, b time.Time) bool {
+	return a.After(b) || a.Before(b) || a.Equal(b)
+}
+
+// threaded is the sanctioned shape: the clock arrives as a function
+// threaded from the cron seam at construction.
+func threaded(now func() time.Time) time.Time {
+	return now()
+}
+
+// draw keeps the rand import referenced.
+func draw() int {
+	return rand.Int()
+}
+
+// suppressed documents a reviewed exception.
+func suppressed() time.Time {
+	//spvet:allow wallclock — fixture: jitter for a retry backoff, never recorded
+	return time.Now()
+}

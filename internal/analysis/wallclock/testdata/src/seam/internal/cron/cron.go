@@ -1,0 +1,12 @@
+// Package cron stands in for the real-time seam: its package path ends
+// in internal/cron, so direct clock access is sanctioned here and the
+// fixture expects no diagnostics at all.
+package cron
+
+import "time"
+
+// Wall returns the process wall clock.
+func Wall() func() time.Time { return time.Now }
+
+// Stamp may read the clock directly inside the seam.
+func Stamp() time.Time { return time.Now() }

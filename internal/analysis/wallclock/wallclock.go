@@ -1,0 +1,97 @@
+// Package wallclock forbids direct wall-clock and ambient-randomness
+// access outside the sanctioned seams.
+//
+// Contract (PRs 1–4): the reproduction is deterministic — every job
+// timestamp comes from simclock, every random draw from simrand, and
+// the only real-time surface is the cron package's Driver (the
+// wall-clock seam spd and spserve thread a `func() time.Time` from).
+// A stray time.Now or math/rand call changes input digests and record
+// content between replays, which silently defeats the campaign
+// planner's skip decisions and the content-addressed dedup.
+//
+// The analyzer reports references to time.Now, time.Since, time.Until,
+// time.Sleep, time.Tick, time.After, time.AfterFunc, time.NewTimer and
+// time.NewTicker, and any import of math/rand or math/rand/v2, in every
+// package except the seams (internal/cron, internal/simclock,
+// internal/simrand). Justified exceptions carry //spvet:allow
+// wallclock with a reason.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/math/rand outside the cron, simclock and simrand seams",
+	Run:  run,
+}
+
+// seamSuffixes are the package-path suffixes allowed to touch the wall
+// clock: the real-time layer itself and the two determinism seams.
+var seamSuffixes = []string{
+	"internal/cron",
+	"internal/simclock",
+	"internal/simrand",
+}
+
+// forbidden is the set of time-package functions that read or schedule
+// against the process wall clock.
+var forbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	for _, suffix := range seamSuffixes {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: ambient randomness breaks replay determinism; draw from a seeded simrand.Source", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			// Package-level functions only: t.After(u) on a time.Time
+			// value is pure arithmetic, time.After(d) reads the clock.
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(), "direct time.%s reads the wall clock: job records and input digests must be deterministic; use simclock, or thread a clock through the cron seam (cron.Wall)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -97,14 +97,14 @@ type Index struct {
 	store *storage.Store
 
 	mu     sync.RWMutex
-	runs   map[string]*RunMeta
-	order  []string            // all run IDs in execution (CompareIDs) order
-	byExp  map[string][]string // per-experiment run IDs, same order
-	latest map[cellKey]string  // run ID of each cell's latest run
-	count  map[cellKey]int     // total runs recorded per cell
-	green  map[string]string   // input digest -> latest fully passing run ID
-	pos    storage.Position    // store history position covered by the index
-	posOK  bool
+	runs   map[string]*RunMeta // guarded by mu
+	order  []string            // guarded by mu; all run IDs in execution (CompareIDs) order
+	byExp  map[string][]string // guarded by mu; per-experiment run IDs, same order
+	latest map[cellKey]string  // guarded by mu; run ID of each cell's latest run
+	count  map[cellKey]int     // guarded by mu; total runs recorded per cell
+	green  map[string]string   // guarded by mu; input digest -> latest fully passing run ID
+	pos    storage.Position    // guarded by mu; store history position covered by the index
+	posOK  bool                // guarded by mu
 }
 
 // NewIndex returns an empty index over the store. Call Refresh to load

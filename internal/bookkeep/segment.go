@@ -362,6 +362,7 @@ func (x *Index) refreshFromSegment() error {
 // dedicated loop. Ordering is verified inline during the single
 // insertion pass; a violation (a corrupt cache) resets the index to
 // empty and returns false, and the caller falls back to a rebuild.
+// Callers hold x.mu.
 func (x *Index) addSortedLocked(metas []*RunMeta) bool {
 	if len(x.order) != 0 {
 		return false

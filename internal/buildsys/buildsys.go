@@ -180,8 +180,8 @@ type Builder struct {
 
 	// inflight coalesces concurrent identical builds (singleflight).
 	mu        sync.Mutex
-	inflight  map[string]*buildCall
-	dedupHits int64
+	inflight  map[string]*buildCall // guarded by mu
+	dedupHits int64                 // guarded by mu
 }
 
 // buildCall is one in-flight Build shared by duplicate concurrent calls.

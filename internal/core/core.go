@@ -77,7 +77,7 @@ type SPSystem struct {
 	Docs *docsys.Archive
 
 	mu   sync.RWMutex
-	exps map[string]*ExperimentState
+	exps map[string]*ExperimentState // guarded by mu
 }
 
 // New returns an SPSystem with the paper's platform and external

@@ -38,6 +38,14 @@ func NewDriver(next NextFunc) *Driver {
 	return &Driver{next: next, now: time.Now}
 }
 
+// Wall returns the process wall clock as a clock function. It is the
+// sanctioned way for a real-time binary (spd, spserve) to obtain a
+// `func() time.Time`: production code threads cron.Wall() through a
+// clock field at construction, tests substitute their own function, and
+// the wallclock analyzer keeps direct time.Now calls from creeping in
+// anywhere else.
+func Wall() func() time.Time { return time.Now }
+
 // Driver returns a real-time driver firing on the schedule.
 func (s *Schedule) Driver() *Driver { return NewDriver(s.Next) }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/hepsim"
+	"repro/internal/runner"
 	"repro/internal/storage"
 )
 
@@ -170,7 +171,7 @@ func (a *Archive) Search(experiment string, terms ...string) ([]*Document, error
 			out = append(out, doc)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(out, func(i, j int) bool { return runner.CompareIDs(out[i].ID, out[j].ID) < 0 })
 	return out, nil
 }
 

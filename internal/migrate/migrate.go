@@ -256,7 +256,7 @@ func (p *Planner) proposeInterventions(target platform.Config, exts *externals.S
 			})
 		}
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Patch.ID < ivs[j].Patch.ID })
+	sort.Slice(ivs, func(i, j int) bool { return runner.CompareIDs(ivs[i].Patch.ID, ivs[j].Patch.ID) < 0 })
 	return ivs
 }
 

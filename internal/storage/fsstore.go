@@ -87,23 +87,23 @@ type FSBackend struct {
 	syncMode SyncMode
 
 	mu        sync.RWMutex
-	names     map[string]string // replayed + live journal state
-	counters  map[string]int    // cached Increment values (avoids per-increment disk reads)
-	log       *os.File          // append-only names.log handle
-	logFailed bool              // a journal append failed; the tail may be torn
+	names     map[string]string // guarded by mu; replayed + live journal state
+	counters  map[string]int    // guarded by mu; cached Increment values (avoids per-increment disk reads)
+	log       *os.File          // guarded by mu; append-only names.log handle
+	logFailed bool              // guarded by mu; a journal append failed; the tail may be torn
 
-	// Snapshot / compaction state (under mu).
-	gen        int   // generation of the snapshot this state is built on (0: none)
-	journalEnd int64 // acknowledged bytes in the live journal tail
+	// Snapshot / compaction state.
+	gen        int   // guarded by mu; generation of the snapshot this state is built on (0: none)
+	journalEnd int64 // guarded by mu; acknowledged bytes in the live journal tail
 
-	// Group-commit state (under mu; see appendLocked).
-	gcBuf      []byte
-	gcCount    int    // entries in gcBuf
-	gcSeq      uint64 // id of the batch currently accumulating
-	gcDone     uint64 // highest batch id fully flushed
-	gcFailedAt uint64 // first batch id whose flush failed (0: none)
-	gcFlushing bool
-	gcErr      error
+	// Group-commit state (see appendLocked).
+	gcBuf      []byte // guarded by mu
+	gcCount    int    // guarded by mu; entries in gcBuf
+	gcSeq      uint64 // guarded by mu; id of the batch currently accumulating
+	gcDone     uint64 // guarded by mu; highest batch id fully flushed
+	gcFailedAt uint64 // guarded by mu; first batch id whose flush failed (0: none)
+	gcFlushing bool   // guarded by mu
+	gcErr      error  // guarded by mu
 	gcCond     *sync.Cond
 	inflight   atomic.Int32 // appenders between entry and enqueue
 
@@ -114,9 +114,9 @@ type FSBackend struct {
 	compactFault func(stage string) error
 
 	statsMu    sync.Mutex
-	statsReady bool // blob stats established (snapshot header or walk)
-	blobCount  int
-	blobBytes  int64
+	statsReady bool  // guarded by statsMu; blob stats established (snapshot header or walk)
+	blobCount  int   // guarded by statsMu
+	blobBytes  int64 // guarded by statsMu
 }
 
 // SyncMode selects how eagerly the backend pushes writes to stable
@@ -181,6 +181,7 @@ func OpenFSBackendWith(dir string, opts Options) (*FSBackend, error) {
 	b.gcCond = sync.NewCond(&b.mu)
 	fail := func(err error) (*FSBackend, error) {
 		if lock != nil {
+			//spvet:allow syncclose — open failed; the open error is the result and the lock file carries no data
 			lock.Close()
 		}
 		return nil, err
@@ -286,7 +287,9 @@ func scanJournal(r io.Reader, startOffset int64, apply func(name, hash string)) 
 // before the truncate — replays harmlessly: applying an entry the
 // snapshot subsumed is idempotent (last binding for a name wins, and
 // the snapshot *is* the last-wins state of those entries).
-func (b *FSBackend) replayJournal() error {
+//
+// The caller holds b.mu (during Open, as sole owner of the new value).
+func (b *FSBackend) replayJournal() (err error) {
 	f, err := os.OpenFile(b.journalPath(), os.O_RDWR, 0)
 	if os.IsNotExist(err) {
 		return nil
@@ -294,7 +297,13 @@ func (b *FSBackend) replayJournal() error {
 	if err != nil {
 		return fmt.Errorf("storage: opening name journal: %w", err)
 	}
-	defer f.Close()
+	// The handle is O_RDWR — the torn-tail path truncates through it —
+	// so a failed Close can mean the repair never reached the disk.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("storage: closing name journal: %w", cerr)
+		}
+	}()
 	validEnd, end, err := scanJournal(f, 0, func(name, hash string) { b.names[name] = hash })
 	if err != nil {
 		return err
@@ -380,7 +389,7 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() //spvet:allow syncclose — the write error propagates; close is cleanup
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: staging blob: %w", err)
 	}
@@ -389,7 +398,7 @@ func (b *FSBackend) PutBlob(hash string, data []byte) error {
 	// this hash — a permanently lost artifact that HasBlob still claims.
 	if b.syncMode != SyncNone {
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
+			tmp.Close() //spvet:allow syncclose — the sync error propagates; close is cleanup
 			os.Remove(tmpName)
 			return fmt.Errorf("storage: syncing blob: %w", err)
 		}
@@ -858,12 +867,12 @@ func (b *FSBackend) Compact() (CompactStats, error) {
 		return CompactStats{}, err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() //spvet:allow syncclose — the write error propagates; close is cleanup
 		return abort(fmt.Errorf("storage: staging snapshot: %w", err))
 	}
 	if b.syncMode != SyncNone {
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
+			tmp.Close() //spvet:allow syncclose — the sync error propagates; close is cleanup
 			return abort(fmt.Errorf("storage: syncing snapshot: %w", err))
 		}
 	}
@@ -934,7 +943,8 @@ func (b *FSBackend) Close() error {
 	closeErr := b.log.Close()
 	b.log = nil
 	if b.lock != nil {
-		b.lock.Close() // releases the flock
+		// Releases the flock; the lock file carries no data.
+		b.lock.Close() //spvet:allow syncclose — nothing was written through this fd
 		b.lock = nil
 	}
 	if syncErr != nil {

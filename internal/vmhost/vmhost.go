@@ -143,8 +143,8 @@ func (c *Client) Store() *storage.Store { return c.store }
 type Host struct {
 	mu      sync.RWMutex
 	store   *storage.Store
-	images  map[string]*Image
-	clients map[string]*Client
+	images  map[string]*Image  // guarded by mu
+	clients map[string]*Client // guarded by mu
 }
 
 // NewHost returns a host whose clients share the given common storage.
