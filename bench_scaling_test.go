@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io/fs"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -429,3 +431,103 @@ func BenchmarkGroupCommitAppend(b *testing.B) {
 // open-completeness probe that, unlike Stats, does not trigger the lazy
 // blob-statistics walk inside a timed loop.
 func lastSynthRunID(n int) string { return fmt.Sprintf("run-%04d", n) }
+
+// BenchmarkStoreSync prices one-way replication of a 5k-run store —
+// the multi-site transfer `spsys store sync` and `spserve -follow`
+// run. Three shapes:
+//
+//	cold/dir    full transfer, filesystem to filesystem
+//	cold/http   full transfer pulled through the /api/v1/ store API
+//	resync      steady-state pass over an identical pair (the no-op
+//	            every follower cadence tick pays)
+//
+// The metrics report blob payload moved per second of transfer;
+// resync's number is diff cost, not transfer.
+func BenchmarkStoreSync(b *testing.B) {
+	const n = 5000
+	dir := synthStore(b, n)
+
+	runSync := func(b *testing.B, src *storage.Store) {
+		b.Helper()
+		var moved int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dst, err := storage.OpenWith(filepath.Join(b.TempDir(), "replica"), storage.Options{Sync: storage.SyncNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st, err := storage.Sync(src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if st.BindingsBound <= n {
+				b.Fatalf("short sync: %d bindings", st.BindingsBound)
+			}
+			moved += st.BlobBytes
+			if err := dst.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(moved)/secs/1e6, "MB/s")
+			b.ReportMetric(float64(n)*float64(b.N)/secs, "runs/s")
+		}
+	}
+
+	b.Run("cold/dir", func(b *testing.B) {
+		src, err := storage.OpenReadOnly(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer src.Close()
+		runSync(b, src)
+	})
+
+	b.Run("cold/http", func(b *testing.B) {
+		view, err := storage.OpenReadOnly(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer view.Close()
+		ts := httptest.NewServer(http.StripPrefix("/api/v1", storage.NewAPIHandler(view, nil)))
+		defer ts.Close()
+		src, err := storage.OpenRemote(ts.URL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer src.Close()
+		runSync(b, src)
+	})
+
+	b.Run("resync", func(b *testing.B) {
+		src, err := storage.OpenReadOnly(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer src.Close()
+		dst, err := storage.OpenWith(filepath.Join(b.TempDir(), "replica"), storage.Options{Sync: storage.SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dst.Close()
+		if _, err := storage.Sync(src, dst); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := storage.Sync(src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.BlobsCopied != 0 || st.BindingsBound != 0 {
+				b.Fatalf("resync moved %+v", st)
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(n)*float64(b.N)/secs, "runs/s")
+		}
+	})
+}

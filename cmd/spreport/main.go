@@ -9,15 +9,19 @@
 // Usage:
 //
 //	spreport -store ./spstore -out ./site
+//	spreport -store http://primary:8344 -out ./site
 //	spreport -snapshot campaign.json -out ./site
 //
 // The -store form is the paper's actual workflow: the campaign runner
 // and the report generator are independent clients of one common
-// storage. spreport opens the store through storage.OpenReadOnly — the
-// shared-lock read view — so it works while a campaign process holds
-// the exclusive writer lock, and it renders pages straight to -out
-// without writing anything back to the store. (For a continuously
-// refreshing live view of the same directory, see spserve.)
+// storage. spreport opens a directory through storage.OpenReadOnly —
+// the shared-lock read view — so it works while a campaign process
+// holds the exclusive writer lock, and it renders pages straight to
+// -out without writing anything back to the store. An http(s) URL is
+// opened through storage.OpenRemote instead, reading a store another
+// spserve process publishes over its /api/v1/ store API — the site can
+// be regenerated on a machine that has no copy of the store at all.
+// (For a continuously refreshing live view, see spserve.)
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 
 func main() {
 	snapshot := flag.String("snapshot", "", "storage snapshot file (alternative to -store)")
-	storeDir := flag.String("store", "", "directory of the durable on-disk common storage (alternative to -snapshot)")
+	storeDir := flag.String("store", "", "directory or spserve URL of the common storage (alternative to -snapshot)")
 	out := flag.String("out", "site", "output directory for HTML pages")
 	title := flag.String("title", "sp-system validation status", "page title")
 	flag.Parse()
@@ -53,6 +57,12 @@ func openSource(snapshotPath, storeDir string) (*storage.Store, error) {
 		return nil, fmt.Errorf("one of -store or -snapshot is required")
 	case snapshotPath != "" && storeDir != "":
 		return nil, fmt.Errorf("-store and -snapshot are mutually exclusive")
+	case storage.IsRemoteStore(storeDir):
+		// A URL names a store served by spserve: read it through the
+		// /api/v1/ store API. OpenRemote fails on an unreachable or
+		// non-store URL, the same mistyped-path protection the stat
+		// below gives directories.
+		return storage.OpenRemote(storeDir)
 	case storeDir != "":
 		// A missing directory is a mistyped path, not a request to
 		// create an empty store and render an all-blank site from it.

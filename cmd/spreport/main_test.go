@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -105,6 +107,24 @@ func TestRunRegeneratesSiteFromStore(t *testing.T) {
 	}
 	if got := report.TextMatrix(reCells); got != wantMatrix {
 		t.Fatalf("matrix from reopened store differs:\n got:\n%s\nwant:\n%s", got, wantMatrix)
+	}
+}
+
+// TestRunRegeneratesSiteFromURL renders the site from a store another
+// process publishes over the /api/v1/ store API — the remote-site
+// workflow: no local copy of the store exists on the rendering host.
+func TestRunRegeneratesSiteFromURL(t *testing.T) {
+	store := storage.NewStore()
+	populate(t, store)
+	ts := httptest.NewServer(http.StripPrefix("/api/v1", storage.NewAPIHandler(store, nil)))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "site")
+	if err := run("", ts.URL, out, "remote status"); err != nil {
+		t.Fatalf("spreport against a served store: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "index.html")); err != nil {
+		t.Fatalf("index.html not written: %v", err)
 	}
 }
 

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cron"
+	"repro/internal/storage"
+)
+
+// follower replicates a primary store into a local directory and keeps
+// it converging on a cadence — the multi-site topology's read scale-out
+// unit. The replica directory is a full, independently-valid store: the
+// follower process is its single (exclusive-lock) writer, every other
+// consumer reads it like any store, and if the follower dies the
+// directory stands alone.
+type follower struct {
+	source string
+	every  time.Duration
+	src    *storage.Store
+	rb     *storage.RemoteBackend
+	dst    *storage.Store
+
+	mu sync.Mutex
+	// lastPos is the source position the replica is known to cover —
+	// the position Sync sampled before its last completed transfer.
+	lastPos   storage.Position // guarded by mu
+	lastPosOK bool             // guarded by mu
+	syncs     int              // guarded by mu
+	lastErr   error            // guarded by mu
+}
+
+// followStatus is the /healthz follow block. LagBytes is the span of
+// source journal the replica has not yet covered (generation-matched
+// byte offsets); -1 means the lag is momentarily incomparable — the
+// source compacted into a new generation, or it cannot be reached —
+// and the next sync re-converges.
+type followStatus struct {
+	Source      string `json:"source"`
+	Every       string `json:"every"`
+	Syncs       int    `json:"syncs"`
+	LagBytes    int64  `json:"lag_bytes"`
+	SourceErr   string `json:"source_error,omitempty"`
+	LastSyncErr string `json:"last_sync_error,omitempty"`
+}
+
+// newFollower opens the source URL and the replica directory. The
+// directory is opened writable — the follower is its one writer.
+func newFollower(sourceURL, replicaDir string, every time.Duration) (*follower, error) {
+	if storage.IsRemoteStore(replicaDir) {
+		return nil, fmt.Errorf("-follow replicates into a local directory; -store %s is a URL", replicaDir)
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("-every must be positive, got %v", every)
+	}
+	src, err := storage.OpenRemote(sourceURL)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := storage.Open(replicaDir)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return &follower{
+		source: sourceURL,
+		every:  every,
+		src:    src,
+		rb:     src.Backend().(*storage.RemoteBackend),
+		dst:    dst,
+	}, nil
+}
+
+// sync runs one replication pass and records its outcome for /healthz.
+func (f *follower) sync() error {
+	st, err := storage.Sync(f.src, f.dst)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		f.lastErr = err
+		return err
+	}
+	f.lastErr = nil
+	f.syncs++
+	f.lastPos, f.lastPosOK = st.SourcePos, st.SourcePosOK
+	return nil
+}
+
+// loop re-syncs on the cadence until stop closes. A failed pass is
+// recorded (and surfaces as degraded /healthz) but never ends the
+// loop: the primary being down is an operational state, not a replica
+// crash.
+func (f *follower) loop(stop <-chan struct{}) {
+	next, err := cron.Every(f.every)
+	if err != nil {
+		return // unreachable: newFollower validated the cadence
+	}
+	d := cron.NewDriver(next)
+	for {
+		if _, ok, err := d.Wait(stop); !ok || err != nil {
+			return
+		}
+		f.sync() //nolint:errcheck — recorded in f.lastErr for /healthz
+	}
+}
+
+// status assembles the /healthz follow block, probing the source's
+// live position to compute lag.
+func (f *follower) status() followStatus {
+	doc, probeErr := f.rb.RemotePosition()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := followStatus{Source: f.source, Every: f.every.String(), Syncs: f.syncs, LagBytes: -1}
+	if probeErr != nil {
+		fs.SourceErr = probeErr.Error()
+	} else if doc.PositionOK && f.lastPosOK && doc.Position.Generation == f.lastPos.Generation {
+		fs.LagBytes = doc.Position.Offset - f.lastPos.Offset
+	}
+	if f.lastErr != nil {
+		fs.LastSyncErr = f.lastErr.Error()
+	}
+	return fs
+}
+
+// Close releases both sides. The replica store is closed here because
+// the follower owns its writer handle.
+func (f *follower) Close() error {
+	f.src.Close()
+	return f.dst.Close()
+}

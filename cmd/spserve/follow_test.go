@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// TestV1Routes drives the versioned surface and the compatibility
+// aliases: every JSON route answers under /api/v1/, errors share the
+// envelope, and the pre-v1 paths still answer with deprecation
+// pointers at their successors.
+func TestV1Routes(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	rec := record(t, store, rn, "H1", "baseline", valtest.OutcomePass)
+	srv, err := newServer(store, "v1 test", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	t.Run("moved routes", func(t *testing.T) {
+		for _, path := range []string{"/api/v1/matrix", "/api/v1/runs", "/api/v1/position", "/api/v1/names", "/api/v1/blobs"} {
+			code, body, hdr := get(t, ts, path)
+			if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+				t.Errorf("GET %s = %d (%s)", path, code, hdr.Get("Content-Type"))
+			}
+			if hdr.Get("Deprecation") != "" {
+				t.Errorf("GET %s carries a Deprecation header on the v1 surface", path)
+			}
+			if !json.Valid([]byte(body)) {
+				t.Errorf("GET %s is not JSON: %q", path, body)
+			}
+		}
+	})
+
+	t.Run("error envelope", func(t *testing.T) {
+		for path, wantCode := range map[string]int{
+			"/api/v1/plan":     404, // no plan recorded
+			"/api/v1/nope":     404, // unknown API route
+			"/api/v1/blob/zzz": 400, // malformed hash
+			"/blob/not-a-hash": 400, // legacy alias, same contract
+			"/api/v1/blob/" + strings.Repeat("0", 64): 404,
+		} {
+			code, body, _ := get(t, ts, path)
+			if code != wantCode {
+				t.Errorf("GET %s = %d, want %d", path, code, wantCode)
+			}
+			var doc storage.APIErrorDoc
+			if err := json.Unmarshal([]byte(body), &doc); err != nil || doc.Error.Code == "" || doc.Error.Message == "" {
+				t.Errorf("GET %s error body is not the envelope: %q", path, body)
+			}
+		}
+	})
+
+	t.Run("legacy aliases answer with pointers", func(t *testing.T) {
+		for legacy, successor := range map[string]string{
+			"/api/matrix": "/api/v1/matrix",
+			"/api/runs":   "/api/v1/runs",
+		} {
+			legacyCode, legacyBody, hdr := get(t, ts, legacy)
+			v1Code, v1Body, _ := get(t, ts, successor)
+			if legacyCode != 200 || v1Code != 200 || legacyBody != v1Body {
+				t.Errorf("alias %s diverges from %s", legacy, successor)
+			}
+			if hdr.Get("Deprecation") != "true" || !strings.Contains(hdr.Get("Link"), successor) {
+				t.Errorf("alias %s lacks deprecation pointers: Deprecation=%q Link=%q",
+					legacy, hdr.Get("Deprecation"), hdr.Get("Link"))
+			}
+		}
+	})
+
+	t.Run("blob headers", func(t *testing.T) {
+		job, _ := rec.Find("keeper")
+		hash, err := store.Hash(chain.FilesNS, job.Result.OutputKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body, hdr := get(t, ts, "/api/v1/blob/"+hash)
+		if code != 200 {
+			t.Fatalf("GET v1 blob = %d", code)
+		}
+		if got := hdr.Get("Content-Length"); got != fmt.Sprint(len(body)) {
+			t.Errorf("Content-Length = %q, body is %d bytes", got, len(body))
+		}
+		if cc := hdr.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+			t.Errorf("Cache-Control = %q, want immutable", cc)
+		}
+		if hdr.Get("X-Content-SHA256") != hash || hdr.Get("ETag") != `"`+hash+`"` {
+			t.Errorf("verification headers wrong: sha=%q etag=%q", hdr.Get("X-Content-SHA256"), hdr.Get("ETag"))
+		}
+		// HEAD answers with the same headers and no body.
+		resp, err := ts.Client().Head(ts.URL + "/api/v1/blob/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 || resp.Header.Get("X-Content-SHA256") != hash {
+			t.Errorf("HEAD blob = %d sha=%q", resp.StatusCode, resp.Header.Get("X-Content-SHA256"))
+		}
+	})
+
+	t.Run("position", func(t *testing.T) {
+		code, body, _ := get(t, ts, "/api/v1/position")
+		var doc storage.PositionDoc
+		if code != 200 || json.Unmarshal([]byte(body), &doc) != nil {
+			t.Fatalf("GET /api/v1/position = %d %q", code, body)
+		}
+		if doc.Bindings == 0 {
+			t.Errorf("position reports zero bindings on a populated store: %q", body)
+		}
+	})
+}
+
+// TestFollowerReplication is the tentpole's end-to-end shape
+// in-process: a primary spserve over a live store, a follower syncing
+// from its API into a replica directory, byte-identical matrix JSON on
+// both sides, and /healthz lag that tracks the primary's appends.
+func TestFollowerReplication(t *testing.T) {
+	// Primary: a writable store a campaign keeps appending to, served
+	// by a full spserve handler.
+	primaryStore, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primaryStore.Close()
+	rn := runner.New(primaryStore, simclock.New())
+	record(t, primaryStore, rn, "H1", "first", valtest.OutcomePass)
+	record(t, primaryStore, rn, "ZEUS", "second", valtest.OutcomePass)
+	primarySrv, err := newServer(primaryStore, "fleet status", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := httptest.NewServer(primarySrv.handler())
+	defer primary.Close()
+
+	// Follower: replicate into a fresh directory and serve it.
+	f, err := newFollower(primary.URL, t.TempDir(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.sync(); err != nil {
+		t.Fatal(err)
+	}
+	replicaSrv, err := newServer(f.dst, "fleet status", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaSrv.follow = f
+	replica := httptest.NewServer(replicaSrv.handler())
+	defer replica.Close()
+
+	// The replica's matrix is byte-identical to the primary's.
+	_, pm, _ := get(t, primary, "/api/v1/matrix")
+	_, rm, _ := get(t, replica, "/api/v1/matrix")
+	if pm != rm {
+		t.Fatalf("matrix diverges:\nprimary: %s\nreplica: %s", pm, rm)
+	}
+
+	// Replica healthz: position present, lag zero, one sync.
+	code, body, _ := get(t, replica, "/healthz")
+	if code != 200 {
+		t.Fatalf("replica healthz = %d %q", code, body)
+	}
+	var health struct {
+		Status   string            `json:"status"`
+		Position *storage.Position `json:"position"`
+		Follow   *followStatus     `json:"follow"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Position == nil || health.Follow == nil {
+		t.Fatalf("replica healthz shape: %q", body)
+	}
+	if health.Follow.LagBytes != 0 || health.Follow.Syncs != 1 {
+		t.Fatalf("follow block after sync = %+v, want lag 0 after 1 sync", health.Follow)
+	}
+
+	// The primary advances: lag goes positive without a sync, returns
+	// to zero after one, and the new run is served by the replica.
+	rec := record(t, primaryStore, rn, "H1", "appended while replicated", valtest.OutcomePass)
+	_, body, _ = get(t, replica, "/healthz")
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Follow.LagBytes <= 0 {
+		t.Fatalf("lag after primary append = %d, want > 0", health.Follow.LagBytes)
+	}
+	if err := f.sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, body, _ = get(t, replica, "/healthz")
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Follow.LagBytes != 0 || health.Follow.Syncs != 2 {
+		t.Fatalf("follow block after re-sync = %+v", health.Follow)
+	}
+	if code, page, _ := get(t, replica, "/runs/"+rec.RunID); code != 200 || !strings.Contains(page, rec.Description) {
+		t.Fatalf("replica run page for %s = %d", rec.RunID, code)
+	}
+	_, pm, _ = get(t, primary, "/api/v1/matrix")
+	_, rm, _ = get(t, replica, "/api/v1/matrix")
+	if pm != rm {
+		t.Fatalf("matrix diverges after re-sync:\nprimary: %s\nreplica: %s", pm, rm)
+	}
+
+	// The primary going away degrades the replica's health but not its
+	// pages.
+	primary.Close()
+	f.rb.SetSleep(func(time.Duration) {}) // fail the down-probe fast
+	_, body, _ = get(t, replica, "/healthz")
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Follow.LagBytes != -1 || health.Follow.SourceErr == "" {
+		t.Fatalf("follow block with primary down = %+v", health.Follow)
+	}
+	if code, _, _ := get(t, replica, "/api/v1/runs"); code != 200 {
+		t.Fatalf("replica pages down with primary down: %d", code)
+	}
+}

@@ -17,22 +17,48 @@
 //
 //	spserve -store ./spstore [-addr :8344] [-title "..."] [-refresh 1s]
 //
-// Endpoints:
+// -store also accepts an http(s) URL of another spserve's store API, in
+// which case this instance relays a remote store's read surface.
 //
-//	/            HTML status matrix (Figure 3), with a freshness
-//	             column when the store carries a recorded campaign plan
-//	             (cells the producer last skipped as "up-to-date")
-//	/runs/{id}   HTML page for one validation run
-//	/diff/{id}   text diff of a run against its last successful baseline
-//	/blob/{hash} raw kept artifact by content hash
-//	/api/matrix  JSON status matrix (cells carry their input digest)
-//	/api/plan    JSON form of the producer's last recorded campaign plan
-//	/api/runs    JSON run list, paginated: ?limit= (default 500, capped
-//	             at 5000) and ?after=run-NNNN (cursor; the response's
-//	             next_after feeds the next page), ?experiment= restricts
-//	             to one experiment. No request materializes the full
-//	             run list of a large archive.
-//	/healthz     liveness + store freshness
+// Endpoints (the route table and compatibility policy live in
+// DESIGN.md):
+//
+//	/                    HTML status matrix (Figure 3), with a
+//	                     freshness column when the store carries a
+//	                     recorded campaign plan
+//	/runs/{id}           HTML page for one validation run
+//	/diff/{id}           text diff against the last successful baseline
+//	/api/v1/matrix       JSON status matrix (cells carry input digests)
+//	/api/v1/plan         JSON form of the last recorded campaign plan
+//	/api/v1/runs         JSON run list, paginated: ?limit= (default
+//	                     500, capped at 5000), ?after= cursor,
+//	                     ?experiment= filter
+//	/api/v1/blob/{hash}  raw content by hash, under immutable cache
+//	                     headers; malformed hashes are 400s before the
+//	                     backend is touched
+//	/api/v1/names        paged name-binding listing (?after=, ?limit=)
+//	/api/v1/blobs        paged blob listing with sizes
+//	/api/v1/position     journal position + snapshot generation
+//	/healthz             liveness, store freshness, the served store's
+//	                     position, and — on a follower — replication lag
+//
+// Every JSON error under /api/v1/ (and the legacy aliases) shares one
+// envelope: {"error":{"code":"...","message":"..."}}. The pre-v1
+// routes /blob/{hash}, /api/matrix, /api/plan and /api/runs remain as
+// deprecated aliases for one release; they answer normally but carry
+// Deprecation and Link headers naming their successors.
+//
+// Follower mode turns spserve into a read-only replica of another
+// spserve's store:
+//
+//	spserve -store ./replica -follow http://primary:8344 [-every 30s]
+//
+// The replica directory is synced from the primary's store API before
+// serving and re-synced on the -every cadence; /healthz gains a follow
+// block reporting the replication lag in source-journal bytes
+// (lag_bytes == 0 means the replica covers everything the primary had
+// at the last sync and nothing has landed since). The primary keeps
+// its single writer; followers scale out reads.
 //
 // -refresh bounds how often the journal is re-tailed: at most one
 // refresh per interval, taken lazily on request arrival, so an idle
@@ -61,32 +87,64 @@ import (
 )
 
 func main() {
-	storeDir := flag.String("store", "", "directory of the durable on-disk common storage (required)")
+	storeDir := flag.String("store", "", "directory or http(s) URL of the durable common storage (required)")
 	addr := flag.String("addr", ":8344", "listen address")
 	title := flag.String("title", "sp-system validation status", "page title")
 	refresh := flag.Duration("refresh", time.Second, "minimum interval between store re-tails (0: every request)")
+	follow := flag.String("follow", "", "primary store URL to replicate -store from (follower mode)")
+	every := flag.Duration("every", 30*time.Second, "re-sync cadence in follower mode")
 	flag.Parse()
 
-	if err := run(*storeDir, *addr, *title, *refresh); err != nil {
+	if err := run(*storeDir, *addr, *title, *refresh, *follow, *every); err != nil {
 		fmt.Fprintln(os.Stderr, "spserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir, addr, title string, refresh time.Duration) error {
+func run(storeDir, addr, title string, refresh time.Duration, followURL string, every time.Duration) error {
 	if storeDir == "" {
 		return fmt.Errorf("-store is required")
 	}
-	store, err := storage.OpenReadOnly(storeDir)
-	if err != nil {
-		return err
+	var (
+		store *storage.Store
+		f     *follower
+		err   error
+	)
+	if followURL != "" {
+		// Follower: the replica directory is this process's store, and
+		// this process is its only writer.
+		f, err = newFollower(followURL, storeDir, every)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := f.sync(); err != nil {
+			return fmt.Errorf("initial sync from %s: %w", followURL, err)
+		}
+		store = f.dst
+	} else {
+		// Directory: the shared-lock read-only view. URL: the remote
+		// view of another spserve's store API (a relay).
+		store, err = storage.OpenView(storeDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
 	}
-	defer store.Close()
 	srv, err := newServer(store, title, refresh)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("spserve: serving %s on %s (%d runs indexed)\n", storeDir, addr, srv.index.TotalRuns())
+	srv.follow = f
+	if f != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go f.loop(stop)
+		fmt.Printf("spserve: replica of %s in %s on %s, re-syncing every %v (%d runs indexed)\n",
+			followURL, storeDir, addr, every, srv.index.TotalRuns())
+	} else {
+		fmt.Printf("spserve: serving %s on %s (%d runs indexed)\n", storeDir, addr, srv.index.TotalRuns())
+	}
 	return http.ListenAndServe(addr, srv.handler())
 }
 
@@ -98,6 +156,9 @@ type server struct {
 	store *storage.Store
 	index *bookkeep.Index
 	title string
+	// follow is non-nil in follower mode; /healthz surfaces its
+	// replication status.
+	follow *follower
 
 	refreshEvery time.Duration
 	// now is the clock source behind the refresh throttle: cron.Wall()
@@ -180,19 +241,46 @@ func (s *server) reloadPlanLocked() {
 	s.planRec, s.planNotes = plan, notes
 }
 
-// handler wires the endpoint table. Path parameters are parsed by
-// hand, keeping the mux compatible with every supported Go version.
+// handler wires the endpoint table (DESIGN.md holds the same table
+// with the compatibility policy). Path parameters are parsed by hand,
+// keeping the mux compatible with every supported Go version. The
+// store-level routes (blob/names/blobs/position) come from the storage
+// package's APIHandler — the same handler the remote backend is the
+// client of — wired to this server's throttled refresh; the exact
+// patterns for matrix/plan/runs win over the /api/v1/ subtree mount.
 func (s *server) handler() http.Handler {
+	api := storage.NewAPIHandler(s.store, s.refresh)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.serveMatrix)
 	mux.HandleFunc("/runs/", s.serveRun)
 	mux.HandleFunc("/diff/", s.serveDiff)
-	mux.HandleFunc("/blob/", s.serveBlob)
-	mux.HandleFunc("/api/matrix", s.serveAPIMatrix)
-	mux.HandleFunc("/api/plan", s.serveAPIPlan)
-	mux.HandleFunc("/api/runs", s.serveAPIRuns)
 	mux.HandleFunc("/healthz", s.serveHealthz)
+
+	// The versioned JSON surface.
+	mux.Handle("/api/v1/", http.StripPrefix("/api/v1", api))
+	mux.HandleFunc("/api/v1/matrix", s.serveAPIMatrix)
+	mux.HandleFunc("/api/v1/plan", s.serveAPIPlan)
+	mux.HandleFunc("/api/v1/runs", s.serveAPIRuns)
+
+	// Pre-v1 aliases, kept for one release: same handlers, with
+	// deprecation pointers at their successors. The /blob/ paths match
+	// the APIHandler's expected shape without stripping.
+	mux.Handle("/blob/", deprecated("/api/v1/blob/", api))
+	mux.Handle("/api/matrix", deprecated("/api/v1/matrix", http.HandlerFunc(s.serveAPIMatrix)))
+	mux.Handle("/api/plan", deprecated("/api/v1/plan", http.HandlerFunc(s.serveAPIPlan)))
+	mux.Handle("/api/runs", deprecated("/api/v1/runs", http.HandlerFunc(s.serveAPIRuns)))
 	return mux
+}
+
+// deprecated wraps a legacy route so every response names its
+// /api/v1 successor; clients migrate on their own schedule within the
+// one-release window.
+func deprecated(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h.ServeHTTP(w, r)
+	})
 }
 
 func (s *server) serveMatrix(w http.ResponseWriter, r *http.Request) {
@@ -277,22 +365,6 @@ func (s *server) serveDiff(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, report.TextDiff(d))
 }
 
-func (s *server) serveBlob(w http.ResponseWriter, r *http.Request) {
-	hash, ok := pathParam(r.URL.Path, "/blob/")
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	s.refresh()
-	data, err := s.store.GetBlob(hash)
-	if err != nil {
-		http.NotFound(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(data)
-}
-
 // planNote maps the cached producer plan onto matrix cells:
 // "up-to-date (run-NNNN)" for cells the producer skipped,
 // "revalidated" for cells it executed. It returns nil (no freshness
@@ -316,7 +388,7 @@ func (s *server) serveAPIPlan(w http.ResponseWriter, r *http.Request) {
 	plan := s.planRec
 	s.mu.Unlock()
 	if plan == nil {
-		http.Error(w, "no campaign plan recorded", http.StatusNotFound)
+		storage.WriteAPIError(w, http.StatusNotFound, "not_found", "no campaign plan recorded")
 		return
 	}
 	writeJSON(w, plan)
@@ -400,24 +472,43 @@ func (s *server) serveAPIRuns(w http.ResponseWriter, r *http.Request) {
 	}{out, total, next})
 }
 
+// healthDoc is the /healthz body. Position carries the served store's
+// journal position + snapshot generation (absent on stores without
+// positional history); Follow appears on replicas.
+type healthDoc struct {
+	Status   string            `json:"status"`
+	Runs     int               `json:"runs"`
+	Position *storage.Position `json:"position,omitempty"`
+	Follow   *followStatus     `json:"follow,omitempty"`
+	LastErr  string            `json:"last_error,omitempty"`
+}
+
 func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	s.refresh()
 	s.mu.Lock()
 	lastErr := s.lastErr
 	s.mu.Unlock()
-	status, code := "ok", http.StatusOK
-	errText := ""
+	doc := healthDoc{Status: "ok", Runs: s.index.TotalRuns()}
+	code := http.StatusOK
 	if lastErr != nil {
 		// Still serving (from the last good state), but stale: say so.
-		status, code, errText = "degraded", http.StatusServiceUnavailable, lastErr.Error()
+		doc.Status, code, doc.LastErr = "degraded", http.StatusServiceUnavailable, lastErr.Error()
+	}
+	if pos, ok := s.store.Position(); ok {
+		doc.Position = &pos
+	}
+	if s.follow != nil {
+		fs := s.follow.status()
+		doc.Follow = &fs
+		if fs.LastSyncErr != "" && doc.Status == "ok" {
+			// The replica serves its last good state, but it is falling
+			// behind: degraded, same as a failed re-tail.
+			doc.Status, code = "degraded", http.StatusServiceUnavailable
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(struct {
-		Status  string `json:"status"`
-		Runs    int    `json:"runs"`
-		LastErr string `json:"last_error,omitempty"`
-	}{status, s.index.TotalRuns(), errText})
+	json.NewEncoder(w).Encode(doc)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

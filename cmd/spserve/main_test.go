@@ -159,8 +159,9 @@ func TestEndpoints(t *testing.T) {
 		if code, _, _ := get(t, ts, "/blob/"+strings.Repeat("0", 64)); code != 404 {
 			t.Errorf("missing blob = %d, want 404", code)
 		}
-		if code, _, _ := get(t, ts, "/blob/"); code != 404 {
-			t.Errorf("empty blob hash = %d, want 404", code)
+		// A malformed hash is rejected before the backend is touched.
+		if code, _, _ := get(t, ts, "/blob/"); code != 400 {
+			t.Errorf("empty blob hash = %d, want 400", code)
 		}
 	})
 
@@ -355,11 +356,15 @@ func TestRefreshThrottle(t *testing.T) {
 }
 
 func TestRunRequiresStore(t *testing.T) {
-	if err := run("", ":0", "t", time.Second); err == nil {
+	if err := run("", ":0", "t", time.Second, "", time.Second); err == nil {
 		t.Fatal("missing -store accepted")
 	}
-	if err := run("/nonexistent/spstroe", ":0", "t", time.Second); err == nil {
+	if err := run("/nonexistent/spstroe", ":0", "t", time.Second, "", time.Second); err == nil {
 		t.Fatal("mistyped store path accepted")
+	}
+	// Follower mode needs a local replica directory and a live source.
+	if err := run("http://example.invalid", ":0", "t", time.Second, "http://example.invalid", time.Second); err == nil {
+		t.Fatal("follower with a URL replica accepted")
 	}
 }
 

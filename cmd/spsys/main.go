@@ -16,12 +16,16 @@
 //	spsys runs      [-store DIR] [-limit N] [-after RUN] [-experiment E]
 //	                list recorded runs, paged (default 500 per page; the
 //	                trailer prints the -after cursor for the next page)
-//	spsys store     stats|compact|synth — storage administration:
+//	spsys store     stats|compact|synth|sync — storage administration:
 //	                stats prints snapshot/journal/blob figures (read-only,
 //	                works beside a live writer), compact folds the name
 //	                journal into a names.snapshot so reopening the store
 //	                is O(appends since compaction), synth appends
-//	                synthetic run records for scaling smoke tests
+//	                synthetic run records for scaling smoke tests, and
+//	                sync SRC DST replicates one store into another
+//	                (either a directory or an spserve URL as SRC; a
+//	                directory as DST) — idempotent, resumable, moving
+//	                only what DST lacks
 //
 // Every subcommand accepts -store DIR: the common sp-system storage is
 // then the durable on-disk store rooted at DIR instead of process
@@ -34,6 +38,9 @@
 // writer lock; the inspection subcommands (runs, matrix, history) open
 // the shared-lock read-only view instead, so they work while a
 // campaign is running and can never mutate the recorded bookkeeping.
+// The inspection commands also accept an http(s) URL as -store, in
+// which case they read a remote store through another spserve's
+// /api/v1/ store API instead of a local directory.
 package main
 
 import (
@@ -100,9 +107,13 @@ commands:
                store stats   -store DIR   snapshot/journal/blob figures
                store compact -store DIR   fold the journal into a snapshot
                store synth   -store DIR -runs N   append synthetic records
+               store sync    SRC DST      replicate SRC (directory or
+                                          spserve URL) into directory DST
 
 every command accepts -store DIR to record onto (and read back from)
-the durable on-disk common storage at DIR instead of process memory`)
+the durable on-disk common storage at DIR instead of process memory;
+inspection commands also take -store http://HOST:PORT to read a store
+served by spserve`)
 }
 
 // storeFlag registers the -store flag on a subcommand's flag set.
@@ -111,17 +122,19 @@ func storeFlag(fs *flag.FlagSet) *string {
 }
 
 // openInspect opens the common storage for a read-only inspection
-// command (runs, matrix, history). With -store it returns the
+// command (runs, matrix, history). With -store DIR it returns the
 // shared-lock read view — which attaches even while a live `spsys
 // campaign -store` process holds the exclusive writer lock, and cannot
-// mutate the recorded bookkeeping. Without -store it returns a fresh
-// in-memory store; recorded reports whether a recorded store was
-// opened (in which case the caller must not run demo workloads).
+// mutate the recorded bookkeeping; with -store http(s)://... it
+// returns the remote view over another spserve's store API. Without
+// -store it returns a fresh in-memory store; recorded reports whether
+// a recorded store was opened (in which case the caller must not run
+// demo workloads).
 func openInspect(storeDir string) (store *storage.Store, recorded bool, err error) {
 	if storeDir == "" {
 		return storage.NewStore(), false, nil
 	}
-	store, err = storage.OpenReadOnly(storeDir)
+	store, err = storage.OpenView(storeDir)
 	return store, true, err
 }
 
@@ -541,7 +554,7 @@ func runRuns(args []string) (err error) {
 // runStore dispatches the storage admin subcommands.
 func runStore(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: spsys store <stats|compact|synth> [flags]")
+		return fmt.Errorf("usage: spsys store <stats|compact|synth|sync> [flags]")
 	}
 	switch sub, rest := args[0], args[1:]; sub {
 	case "stats":
@@ -550,13 +563,58 @@ func runStore(args []string) error {
 		return runStoreCompact(rest)
 	case "synth":
 		return runStoreSynth(rest)
+	case "sync":
+		return runStoreSync(rest)
 	default:
-		return fmt.Errorf("unknown store subcommand %q (want stats, compact or synth)", sub)
+		return fmt.Errorf("unknown store subcommand %q (want stats, compact, synth or sync)", sub)
 	}
 }
 
-// runStoreStats prints the extended store figures through the read-only
-// view, so it works beside a live writer.
+// runStoreSync replicates SRC into DST. SRC may be a store directory
+// (read through the shared-lock view, so it works beside a live
+// writer) or an spserve URL (read through the /api/v1/ store API);
+// DST is a local directory this command takes the writer lock on. The
+// transfer moves only what DST lacks, so it is idempotent — re-running
+// it over an identical pair reports 0 blobs, 0 bindings — and a
+// transfer interrupted by a crash is resumed by simply running it
+// again.
+func runStoreSync(args []string) (err error) {
+	fs := flag.NewFlagSet("store sync", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: spsys store sync SRC DST (SRC: store directory or spserve URL; DST: directory)")
+	}
+	srcName, dstName := fs.Arg(0), fs.Arg(1)
+	if storage.IsRemoteStore(dstName) {
+		return fmt.Errorf("store sync: DST must be a local directory — a served store is read-only (run the sync on the replica's host, or use `spserve -follow`)")
+	}
+	src, err := storage.OpenView(srcName)
+	if err != nil {
+		return err
+	}
+	defer closeStore(src, &err)
+	dst, err := storage.Open(dstName)
+	if err != nil {
+		return err
+	}
+	defer closeStore(dst, &err)
+	st, err := storage.Sync(src, dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synced %s -> %s: %d blobs (%d bytes), %d bindings (source: %d names, %d blobs)\n",
+		srcName, dstName, st.BlobsCopied, st.BlobBytes, st.BindingsBound, st.NamesSeen, st.BlobsSeen)
+	if st.SourcePosOK {
+		fmt.Printf("  covers source position generation %d offset %d\n", st.SourcePos.Generation, st.SourcePos.Offset)
+	}
+	return nil
+}
+
+// runStoreStats prints the extended store figures through the
+// read-only view (or the remote view for a URL), so it works beside a
+// live writer.
 func runStoreStats(args []string) (err error) {
 	fs := flag.NewFlagSet("store stats", flag.ExitOnError)
 	storeDir := storeFlag(fs)
@@ -566,7 +624,7 @@ func runStoreStats(args []string) (err error) {
 	if *storeDir == "" {
 		return fmt.Errorf("store stats: -store is required")
 	}
-	store, err := storage.OpenReadOnly(*storeDir)
+	store, err := storage.OpenView(*storeDir)
 	if err != nil {
 		return err
 	}

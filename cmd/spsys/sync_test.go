@@ -1,0 +1,112 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bookkeep"
+	"repro/internal/storage"
+)
+
+// TestStoreSyncCommand replicates a synthesized store into a fresh
+// directory through the CLI, verifies the replica answers the same
+// bookkeeping queries, and that a second pass is the no-op the sync
+// contract promises.
+func TestStoreSyncCommand(t *testing.T) {
+	srcDir := filepath.Join(t.TempDir(), "primary")
+	dstDir := filepath.Join(t.TempDir(), "replica")
+	if err := runStore([]string{"synth", "-runs", "40", "-store", srcDir}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return runStore([]string{"sync", srcDir, dstDir})
+	})
+	if !strings.Contains(out, "synced") || strings.Contains(out, "0 blobs (0 bytes), 0 bindings") {
+		t.Fatalf("first sync output does not account for the transfer:\n%s", out)
+	}
+
+	again := captureStdout(t, func() error {
+		return runStore([]string{"sync", srcDir, dstDir})
+	})
+	if !strings.Contains(again, "0 blobs (0 bytes), 0 bindings") {
+		t.Fatalf("re-sync is not a no-op:\n%s", again)
+	}
+
+	replica, err := storage.OpenReadOnly(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	x, err := bookkeep.BuildIndex(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TotalRuns() != 40 {
+		t.Fatalf("replica indexes %d runs, want 40", x.TotalRuns())
+	}
+}
+
+// TestStoreSyncFromURL pulls from a served store — the cross-site
+// form — and verifies the inspection commands accept the same URL as
+// -store.
+func TestStoreSyncFromURL(t *testing.T) {
+	srcDir := filepath.Join(t.TempDir(), "primary")
+	dstDir := filepath.Join(t.TempDir(), "replica")
+	if err := runStore([]string{"synth", "-runs", "15", "-store", srcDir}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := storage.OpenReadOnly(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ts := httptest.NewServer(http.StripPrefix("/api/v1", storage.NewAPIHandler(src, nil)))
+	defer ts.Close()
+
+	if err := runStore([]string{"sync", ts.URL, dstDir}); err != nil {
+		t.Fatal(err)
+	}
+	replica, err := storage.OpenReadOnly(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	x, err := bookkeep.BuildIndex(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.TotalRuns() != 15 {
+		t.Fatalf("replica indexes %d runs after URL sync, want 15", x.TotalRuns())
+	}
+
+	// The inspection commands read the served store directly.
+	if err := runRuns([]string{"-store", ts.URL, "-limit", "5"}); err != nil {
+		t.Fatalf("runs over URL store: %v", err)
+	}
+	if err := runMatrix([]string{"-store", ts.URL}); err != nil {
+		t.Fatalf("matrix over URL store: %v", err)
+	}
+	if err := runStore([]string{"stats", "-store", ts.URL}); err != nil {
+		t.Fatalf("store stats over URL store: %v", err)
+	}
+}
+
+// TestStoreSyncUsage rejects malformed invocations.
+func TestStoreSyncUsage(t *testing.T) {
+	if err := runStore([]string{"sync"}); err == nil {
+		t.Fatal("sync with no args succeeded")
+	}
+	if err := runStore([]string{"sync", "a"}); err == nil {
+		t.Fatal("sync with one arg succeeded")
+	}
+	if err := runStore([]string{"sync", t.TempDir(), "http://example.invalid"}); err == nil {
+		t.Fatal("sync into a URL succeeded")
+	}
+	if err := runStore([]string{"sync", "http://127.0.0.1:1", filepath.Join(t.TempDir(), "d")}); err == nil {
+		t.Fatal("sync from an unreachable URL succeeded")
+	}
+}

@@ -30,11 +30,24 @@
 // compact` folds the name journal into a checksummed, generation-
 // counted snapshot (spd does it opportunistically), the bookkeeping
 // index persists itself as a segment keyed by the journal position it
-// covers, and every list-of-runs surface (`/api/runs`, `spsys runs`)
+// covers, and every list-of-runs surface (`/api/v1/runs`, `spsys runs`)
 // pages with cursors — so opening, indexing and serving an archive
 // cost O(what changed recently), not O(everything ever recorded).
 // `spsys store stats` shows the snapshot/journal figures; `spsys store
 // synth` builds large synthetic stores for scaling work.
+//
+// Stores replicate across sites with one writer and N followers.
+// spserve publishes the store itself under /api/v1/ (blobs, name
+// bindings, journal position) with one JSON error envelope;
+// storage.OpenRemote is the client — the same read Backend over HTTP,
+// hash-verifying every blob on read — so the inspection commands
+// (`spsys runs/matrix/history -store http://...`, `spreport -store
+// URL`) work against a URL with no local copy. `spsys store sync SRC
+// DST` replicates a directory or URL into a directory — additive,
+// idempotent (a re-sync moves nothing), resumable by re-running — and
+// `spserve -store R -follow URL -every 30s` keeps a serving replica
+// converging on a cadence, reporting replication lag in /healthz. See
+// the "Replication topology" section of DESIGN.md.
 //
 // The repo's cross-cutting contracts — numeric-aware run-ID ordering,
 // the simclock/simrand determinism seams, the staged store write

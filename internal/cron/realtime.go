@@ -46,6 +46,14 @@ func NewDriver(next NextFunc) *Driver {
 // anywhere else.
 func Wall() func() time.Time { return time.Now }
 
+// Sleeper returns the process wall-clock sleep function — the
+// sanctioned way for production code that must pause (retry backoff in
+// the remote store client) to obtain a `func(time.Duration)`: the
+// function is threaded through a field at construction, tests
+// substitute a recording stub, and the wallclock analyzer keeps direct
+// time.Sleep calls from creeping in anywhere else.
+func Sleeper() func(time.Duration) { return time.Sleep }
+
 // Driver returns a real-time driver firing on the schedule.
 func (s *Schedule) Driver() *Driver { return NewDriver(s.Next) }
 

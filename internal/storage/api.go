@@ -1,0 +1,372 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The versioned store API: the HTTP contract under /api/v1/ through
+// which one store's contents leave the machine they live on. Both sides
+// of the contract are implemented in this package — APIHandler serves
+// it, RemoteBackend (remote.go) consumes it — so server and client can
+// never drift on what a page or an error looks like.
+//
+// # Routes (store level — spserve mounts these under /api/v1/ and adds
+// the bookkeeping routes on top)
+//
+//	GET/HEAD /blob/{hash}  blob content by SHA-256 hex hash. Non-hex or
+//	                       wrong-length hashes are rejected with 400
+//	                       before the backend is touched. Responses set
+//	                       Content-Length, a strong ETag, an immutable
+//	                       Cache-Control (content-addressed blobs never
+//	                       change) and X-Content-SHA256.
+//	GET /names?after=&limit=   page of name bindings in sorted-name
+//	                       order, strictly after the `after` cursor;
+//	                       next_after carries the following page's
+//	                       cursor ("" on the last page). Each page
+//	                       reports the serving store's Position.
+//	GET /blobs?after=&limit=   page of {hash, size} blob listings in
+//	                       sorted-hash order, same cursor protocol.
+//	GET /position          the store's history Position (snapshot
+//	                       generation + applied journal offset) plus
+//	                       the binding count — what a replica diffs
+//	                       against to decide whether it is behind.
+//
+// # Error envelope
+//
+// Every error response is `{"error":{"code":"...","message":"..."}}`
+// with a machine-readable code (bad_request, not_found,
+// method_not_allowed, internal). WriteAPIError is exported so every
+// route a server builds on top of this handler (spserve's matrix, plan
+// and runs routes) answers errors in the same shape.
+
+// APIErrorDoc is the single JSON error envelope of the versioned store
+// API.
+type APIErrorDoc struct {
+	Error APIErrorInfo `json:"error"`
+}
+
+// APIErrorInfo is the envelope payload.
+type APIErrorInfo struct {
+	// Code is a stable machine-readable error class: bad_request,
+	// not_found, method_not_allowed or internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// BindingDoc is one name binding in a NamesPageDoc.
+type BindingDoc struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+}
+
+// NamesPageDoc is one page of the paged bindings listing.
+type NamesPageDoc struct {
+	Bindings []BindingDoc `json:"bindings"`
+	// NextAfter is the cursor for the following page, "" on the last.
+	NextAfter string `json:"next_after,omitempty"`
+	// Position is the serving store's history position at page time; a
+	// client walking pages under a live writer uses it to detect that
+	// the store advanced mid-walk.
+	Position Position `json:"position"`
+	// PositionOK reports whether the serving backend has positional
+	// history at all (an in-memory store does not).
+	PositionOK bool `json:"position_ok"`
+}
+
+// BlobDoc is one blob in a BlobsPageDoc.
+type BlobDoc struct {
+	Hash string `json:"hash"`
+	Size int64  `json:"size"`
+}
+
+// BlobsPageDoc is one page of the paged blob listing.
+type BlobsPageDoc struct {
+	Blobs     []BlobDoc `json:"blobs"`
+	NextAfter string    `json:"next_after,omitempty"`
+}
+
+// PositionDoc is the /position response.
+type PositionDoc struct {
+	Position   Position `json:"position"`
+	PositionOK bool     `json:"position_ok"`
+	// Bindings is the number of bound names — a cheap health figure for
+	// replicas and dashboards.
+	Bindings int `json:"bindings"`
+}
+
+// Paging bounds for /names and /blobs: the default page, and the hard
+// cap a client-supplied limit is clamped to. A sync client pages with
+// the cap; no single request materializes an unbounded listing.
+const (
+	DefaultPageLimit = 1000
+	MaxPageLimit     = 10000
+)
+
+// ValidBlobHash reports whether h has the shape of a blob address:
+// exactly 64 lowercase hex digits. Handlers reject anything else with
+// 400 before touching the backend.
+func ValidBlobHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteAPIError writes the single JSON error envelope with the given
+// HTTP status.
+func WriteAPIError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(APIErrorDoc{Error: APIErrorInfo{Code: code, Message: message}})
+}
+
+// WriteAPIJSON writes a JSON document with the API content type.
+func WriteAPIJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// ParsePageQuery extracts the after/limit cursor pair from a paged
+// request, clamping limit into (0, MaxPageLimit].
+func ParsePageQuery(r *http.Request) (after string, limit int) {
+	q := r.URL.Query()
+	limit = DefaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	if limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	return q.Get("after"), limit
+}
+
+// APIHandler serves the store-level routes of the versioned store API
+// over any Store — the writer backend, the read-only view, even a
+// remote store (a relay). spserve mounts it under /api/v1/ (and keeps
+// the pre-v1 /blob/ route as an alias of the same handler).
+type APIHandler struct {
+	store *Store
+	// refresh, when non-nil, runs before each request — spserve passes
+	// its throttled catch-up so API responses track a live writer
+	// without paying a re-tail per request.
+	refresh func()
+}
+
+// NewAPIHandler returns the store-level API handler. refresh may be nil.
+func NewAPIHandler(store *Store, refresh func()) *APIHandler {
+	return &APIHandler{store: store, refresh: refresh}
+}
+
+// ServeHTTP routes the store-level API paths. The mount point has been
+// stripped by the caller: paths arrive as /blob/{hash}, /names, /blobs
+// and /position.
+func (h *APIHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.refresh != nil {
+		h.refresh()
+	}
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/blob/"):
+		h.serveBlob(w, r)
+	case r.URL.Path == "/names":
+		h.serveNames(w, r)
+	case r.URL.Path == "/blobs":
+		h.serveBlobs(w, r)
+	case r.URL.Path == "/position":
+		h.servePosition(w, r)
+	default:
+		WriteAPIError(w, http.StatusNotFound, "not_found", "no such API route: "+r.URL.Path)
+	}
+}
+
+// requireGet rejects everything but GET (and HEAD, which net/http
+// routes through the same handler) with the envelope.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		WriteAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			r.Method+" is not supported; the store API is read-only")
+		return false
+	}
+	return true
+}
+
+// serveBlob answers GET/HEAD /blob/{hash}: the raw content under
+// immutable caching headers. The hash is validated before the backend
+// is touched, so a malformed request never costs a disk probe.
+func (h *APIHandler) serveBlob(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	hash := strings.TrimPrefix(r.URL.Path, "/blob/")
+	if !ValidBlobHash(hash) {
+		WriteAPIError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("%q is not a blob hash (want 64 lowercase hex digits)", hash))
+		return
+	}
+	if r.Method == http.MethodHead {
+		// HEAD is the replica's existence probe: answer from a stat, not
+		// a full read.
+		if !h.store.HasBlob(hash) {
+			WriteAPIError(w, http.StatusNotFound, "not_found", "no blob "+hash)
+			return
+		}
+		setBlobHeaders(w, hash)
+		if size, err := h.blobSize(hash); err == nil {
+			w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, err := h.store.GetBlob(hash)
+	if err != nil {
+		WriteAPIError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	setBlobHeaders(w, hash)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// setBlobHeaders stamps the content-addressed response headers: blobs
+// never change, so caches may keep them forever, and the hash rides
+// along for end-to-end verification.
+func setBlobHeaders(w http.ResponseWriter, hash string) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.Header().Set("X-Content-SHA256", hash)
+}
+
+// blobSize stats the blob without reading it, for HEAD responses over
+// filesystem-backed stores. Non-filesystem backends read the blob.
+func (h *APIHandler) blobSize(hash string) (int64, error) {
+	type dirred interface{ Dir() string }
+	if d, ok := h.store.Backend().(dirred); ok {
+		fi, err := os.Stat(filepath.Join(d.Dir(), "blobs", hash[:2], hash))
+		if err != nil {
+			return 0, err
+		}
+		return fi.Size(), nil
+	}
+	data, err := h.store.GetBlob(hash)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// pageStrings returns the slice of sorted strings strictly after the
+// cursor, capped at limit, plus the next-page cursor.
+func pageStrings(sorted []string, after string, limit int) (page []string, next string) {
+	start := 0
+	if after != "" {
+		// sorted is ascending; find the first element > after.
+		lo, hi := 0, len(sorted)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if sorted[mid] <= after {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		start = lo
+	}
+	end := len(sorted)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	page = sorted[start:end]
+	if end < len(sorted) && len(page) > 0 {
+		next = page[len(page)-1]
+	}
+	return page, next
+}
+
+// serveNames answers the paged bindings listing. The name order is the
+// backend's sorted ListNames order — deterministic, so a client can
+// resume a walk with the cursor after any interruption.
+func (h *APIHandler) serveNames(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	after, limit := ParsePageQuery(r)
+	// Position before enumeration: the page can only under-claim, never
+	// claim bindings it does not carry (mirrors Index.Refresh).
+	pos, posOK := h.store.Position()
+	names, err := h.store.Backend().ListNames()
+	if err != nil {
+		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	page, next := pageStrings(names, after, limit)
+	doc := NamesPageDoc{
+		Bindings:   make([]BindingDoc, 0, len(page)),
+		NextAfter:  next,
+		Position:   pos,
+		PositionOK: posOK,
+	}
+	for _, name := range page {
+		hash, ok := h.store.Backend().ResolveName(name)
+		if !ok {
+			continue // unbound in the instant between list and resolve: impossible today (names are never deleted), skipped defensively
+		}
+		doc.Bindings = append(doc.Bindings, BindingDoc{Name: name, Hash: hash})
+	}
+	WriteAPIJSON(w, doc)
+}
+
+// serveBlobs answers the paged blob listing with per-blob sizes — what
+// a sync client diffs its local blob set against.
+func (h *APIHandler) serveBlobs(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	after, limit := ParsePageQuery(r)
+	hashes, err := h.store.Backend().ListBlobs()
+	if err != nil {
+		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	page, next := pageStrings(hashes, after, limit)
+	doc := BlobsPageDoc{Blobs: make([]BlobDoc, 0, len(page)), NextAfter: next}
+	for _, hash := range page {
+		size, err := h.blobSize(hash)
+		if err != nil {
+			continue // vanished between list and stat: blobs are never deleted, defensive only
+		}
+		doc.Blobs = append(doc.Blobs, BlobDoc{Hash: hash, Size: size})
+	}
+	WriteAPIJSON(w, doc)
+}
+
+// servePosition answers the store's history position — the one-line
+// probe a follower compares against its last synced position to compute
+// replication lag.
+func (h *APIHandler) servePosition(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	pos, posOK := h.store.Position()
+	names, err := h.store.Backend().ListNames()
+	if err != nil {
+		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	WriteAPIJSON(w, PositionDoc{Position: pos, PositionOK: posOK, Bindings: len(names)})
+}

@@ -220,6 +220,10 @@ func OpenFSBackendWith(dir string, opts Options) (*FSBackend, error) {
 
 func (b *FSBackend) journalPath() string { return filepath.Join(b.dir, "names.log") }
 
+// Dir returns the store directory — the seam the API handler uses to
+// stat blobs without reading them.
+func (b *FSBackend) Dir() string { return b.dir }
+
 func (b *FSBackend) blobPath(hash string) string {
 	return filepath.Join(b.dir, "blobs", hash[:2], hash)
 }

@@ -97,6 +97,10 @@ func OpenReadOnly(dir string) (*Store, error) {
 
 func (b *FSReadBackend) journalPath() string { return filepath.Join(b.dir, "names.log") }
 
+// Dir returns the store directory — the seam the API handler uses to
+// stat blobs without reading them.
+func (b *FSReadBackend) Dir() string { return b.dir }
+
 // Refresh catches the view up with the writer. The cheap steady-state
 // path is: one snapshot-header read (generation unchanged), one journal
 // stat (size unchanged) — no bytes re-read. A grown journal is tailed

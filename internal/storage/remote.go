@@ -1,0 +1,411 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cron"
+)
+
+// RemoteBackend is a read-only view of a store served by another
+// process over the versioned store API (api.go) — the multi-site form
+// of the common storage. Where FSReadBackend attaches to a directory
+// through a shared lock, RemoteBackend attaches to a URL: everything
+// built on the Store query surface (bookkeep.Index, spreport, spsys
+// runs/matrix/history, even spserve itself as a relay) works unmodified
+// against `-store http://replica:8344`.
+//
+// Semantics mirror FSReadBackend deliberately:
+//
+//   - Name state is a local mirror refreshed on demand: Refresh probes
+//     /position (one tiny GET) and re-walks the paged /names listing
+//     only when the remote position moved. Between refreshes,
+//     ResolveName/ListNames answer from memory at zero network cost.
+//   - Every blob read is re-verified against its hash after transfer —
+//     the read-time verification the on-disk backends perform, applied
+//     to bytes that crossed a network instead of a disk.
+//   - All mutations fail with ErrReadOnly.
+//
+// Like the read view's journal tailing, a names walk under a live
+// writer can only under-claim: the position is sampled before the walk
+// and names are never deleted, so the mirror always holds at least the
+// sampled position's bindings; anything newer is picked up by the next
+// Refresh.
+//
+// Transient transport failures and 5xx responses are retried with
+// exponential backoff (the sleep function is a cron.Sleeper seam, so
+// tests substitute a recording stub). 4xx responses are definitive and
+// never retried.
+type RemoteBackend struct {
+	base    string // scheme://host[:port][/prefix], no trailing slash
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+
+	mu    sync.RWMutex
+	names map[string]string // guarded by mu; mirror of the remote bindings
+	pos   Position          // guarded by mu; remote position the mirror covers
+	posOK bool              // guarded by mu
+}
+
+// RemoteOptions configures OpenRemoteWith.
+type RemoteOptions struct {
+	// Client is the HTTP client; nil means a client with a 30s total
+	// request timeout.
+	Client *http.Client
+	// Retries is the number of attempts per request on transport errors
+	// and 5xx responses; 0 means the default (3).
+	Retries int
+	// Backoff is the first retry's delay, doubled per attempt; 0 means
+	// the default (200ms).
+	Backoff time.Duration
+}
+
+// IsRemoteStore reports whether the -store argument names a remote
+// store URL rather than a directory.
+func IsRemoteStore(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://")
+}
+
+// OpenRemote returns a Store over a read-only remote view of the store
+// served at baseURL — an spserve process (or anything mounting
+// APIHandler under /api/v1/). The initial name mirror is fetched before
+// returning, so a mistyped URL fails here, not on first query.
+func OpenRemote(baseURL string) (*Store, error) {
+	return OpenRemoteWith(baseURL, RemoteOptions{})
+}
+
+// OpenRemoteWith is OpenRemote with explicit options.
+func OpenRemoteWith(baseURL string, opts RemoteOptions) (*Store, error) {
+	b, err := OpenRemoteBackend(baseURL, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{backend: b}, nil
+}
+
+// OpenRemoteBackend opens the backend form of OpenRemote.
+func OpenRemoteBackend(baseURL string, opts RemoteOptions) (*RemoteBackend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("storage: opening remote store: %q is not an http(s) store URL", baseURL)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	b := &RemoteBackend{
+		base:    strings.TrimRight(baseURL, "/"),
+		client:  client,
+		retries: retries,
+		backoff: backoff,
+		sleep:   cron.Sleeper(),
+		names:   make(map[string]string),
+	}
+	if err := b.Refresh(); err != nil {
+		return nil, fmt.Errorf("storage: opening remote store %s: %w", b.base, err)
+	}
+	return b, nil
+}
+
+// OpenView opens the read surface of a store named by a -store
+// argument: the shared-lock read-only view for a directory, the remote
+// view for an http(s) URL. This is the dispatch every inspection CLI
+// (spsys runs/matrix/history, spreport, a relaying spserve) applies, so
+// "a URL instead of a directory" works uniformly across them.
+func OpenView(dirOrURL string) (*Store, error) {
+	if IsRemoteStore(dirOrURL) {
+		return OpenRemote(dirOrURL)
+	}
+	return OpenReadOnly(dirOrURL)
+}
+
+// apiURL joins the base with a store-API path and query.
+func (b *RemoteBackend) apiURL(path string, query url.Values) string {
+	s := b.base + "/api/v1" + path
+	if len(query) > 0 {
+		s += "?" + query.Encode()
+	}
+	return s
+}
+
+// remoteAPIError decodes the error envelope from a non-2xx response
+// body, falling back to the raw status.
+func remoteAPIError(resp *http.Response, body []byte) error {
+	var doc APIErrorDoc
+	if err := json.Unmarshal(body, &doc); err == nil && doc.Error.Message != "" {
+		return fmt.Errorf("remote store: %s (%s)", doc.Error.Message, doc.Error.Code)
+	}
+	return fmt.Errorf("remote store: HTTP %s", resp.Status)
+}
+
+// get performs one GET (or HEAD) with retry/backoff, returning the
+// status code and, for GET, the full body. Transport errors and 5xx
+// responses are retried up to b.retries attempts with doubling backoff;
+// any 2xx/4xx answer is definitive.
+func (b *RemoteBackend) get(method, rawURL string) (status int, body []byte, err error) {
+	delay := b.backoff
+	for attempt := 0; ; attempt++ {
+		req, rerr := http.NewRequest(method, rawURL, nil)
+		if rerr != nil {
+			return 0, nil, fmt.Errorf("storage: remote request %s: %w", rawURL, rerr)
+		}
+		resp, rerr := b.client.Do(req)
+		if rerr == nil {
+			body, rerr = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode < 500 {
+				if resp.StatusCode >= 400 {
+					return resp.StatusCode, body, remoteAPIError(resp, body)
+				}
+				return resp.StatusCode, body, nil
+			}
+			if rerr == nil {
+				rerr = remoteAPIError(resp, body)
+			}
+		}
+		err = rerr
+		if attempt+1 >= b.retries {
+			return 0, nil, fmt.Errorf("storage: remote store %s unreachable after %d attempts: %w", b.base, b.retries, err)
+		}
+		b.sleep(delay)
+		delay *= 2
+	}
+}
+
+// getJSON GETs and decodes one API document.
+func (b *RemoteBackend) getJSON(rawURL string, v interface{}) error {
+	_, body, err := b.get(http.MethodGet, rawURL)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("storage: remote store %s: malformed API response: %w", b.base, err)
+	}
+	return nil
+}
+
+// RemotePosition fetches the remote store's current history position —
+// one tiny GET, no mirror update. It is what a follower probes to
+// compute replication lag.
+func (b *RemoteBackend) RemotePosition() (PositionDoc, error) {
+	var doc PositionDoc
+	if err := b.getJSON(b.apiURL("/position", nil), &doc); err != nil {
+		return PositionDoc{}, err
+	}
+	return doc, nil
+}
+
+// Refresh catches the name mirror up with the remote store. The cheap
+// steady-state path is one /position GET; only when the remote position
+// moved (or the remote has no positional history to compare) is the
+// paged /names listing re-walked. Mirrors (*FSReadBackend).Refresh.
+func (b *RemoteBackend) Refresh() error {
+	doc, err := b.RemotePosition()
+	if err != nil {
+		return err
+	}
+	b.mu.RLock()
+	unchanged := doc.PositionOK && b.posOK && doc.Position == b.pos && len(b.names) > 0
+	b.mu.RUnlock()
+	if unchanged {
+		return nil
+	}
+	// The position was sampled before the walk, so the mirror can only
+	// under-claim coverage — a binding recorded mid-walk is either
+	// listed now or picked up by the next Refresh.
+	names := make(map[string]string)
+	after := ""
+	for {
+		q := url.Values{"limit": {fmt.Sprint(MaxPageLimit)}}
+		if after != "" {
+			q.Set("after", after)
+		}
+		var page NamesPageDoc
+		if err := b.getJSON(b.apiURL("/names", q), &page); err != nil {
+			return err
+		}
+		for _, bind := range page.Bindings {
+			if !validName(bind.Name) || !ValidBlobHash(bind.Hash) {
+				return fmt.Errorf("storage: remote store %s served malformed binding %q -> %q", b.base, bind.Name, bind.Hash)
+			}
+			names[bind.Name] = bind.Hash
+		}
+		if page.NextAfter == "" {
+			break
+		}
+		after = page.NextAfter
+	}
+	b.mu.Lock()
+	b.names, b.pos, b.posOK = names, doc.Position, doc.PositionOK
+	b.mu.Unlock()
+	return nil
+}
+
+// GetBlob fetches the content and re-verifies it against its hash, so
+// corruption — on the remote disk or in transit — surfaces as an error
+// at the point of access, exactly like a local read.
+func (b *RemoteBackend) GetBlob(hash string) ([]byte, error) {
+	if !ValidBlobHash(hash) {
+		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
+	}
+	status, body, err := b.get(http.MethodGet, b.apiURL("/blob/"+hash, nil))
+	if status == http.StatusNotFound {
+		return nil, fmt.Errorf("storage: no blob %s", shortHash(hash))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading remote blob %s: %w", shortHash(hash), err)
+	}
+	if HashBytes(body) != hash {
+		return nil, fmt.Errorf("storage: remote blob %s fails hash verification (corrupt at source or in transit)", shortHash(hash))
+	}
+	return body, nil
+}
+
+// HasBlob probes blob existence with one HEAD request.
+func (b *RemoteBackend) HasBlob(hash string) bool {
+	if !ValidBlobHash(hash) {
+		return false
+	}
+	status, _, err := b.get(http.MethodHead, b.apiURL("/blob/"+hash, nil))
+	return err == nil && status == http.StatusOK
+}
+
+// ListBlobs walks the remote paged blob listing and returns all hashes,
+// sorted. Like the on-disk tree walk it stands in for, this is a
+// sync/diagnostic path, not a hot path.
+func (b *RemoteBackend) ListBlobs() ([]string, error) {
+	blobs, err := b.ListBlobSizes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(blobs))
+	for i, bd := range blobs {
+		out[i] = bd.Hash
+	}
+	return out, nil
+}
+
+// ListBlobSizes is ListBlobs with per-blob sizes — what the sync engine
+// diffs, and what Stats sums.
+func (b *RemoteBackend) ListBlobSizes() ([]BlobDoc, error) {
+	var out []BlobDoc
+	after := ""
+	for {
+		q := url.Values{"limit": {fmt.Sprint(MaxPageLimit)}}
+		if after != "" {
+			q.Set("after", after)
+		}
+		var page BlobsPageDoc
+		if err := b.getJSON(b.apiURL("/blobs", q), &page); err != nil {
+			return nil, err
+		}
+		out = append(out, page.Blobs...)
+		if page.NextAfter == "" {
+			break
+		}
+		after = page.NextAfter
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out, nil
+}
+
+// ResolveName answers from the mirror as of the last Refresh.
+func (b *RemoteBackend) ResolveName(name string) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	hash, ok := b.names[name]
+	return hash, ok
+}
+
+// ListNames returns all mirrored names, sorted.
+func (b *RemoteBackend) ListNames() ([]string, error) {
+	b.mu.RLock()
+	out := make([]string, 0, len(b.names))
+	for nk := range b.names {
+		out = append(out, nk)
+	}
+	b.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// PutBlob fails: the remote view is read-only.
+func (b *RemoteBackend) PutBlob(hash string, data []byte) error {
+	return fmt.Errorf("storage: PutBlob on %s: %w", b.base, ErrReadOnly)
+}
+
+// BindName fails: the remote view is read-only.
+func (b *RemoteBackend) BindName(name, hash string) error {
+	return fmt.Errorf("storage: BindName %s on %s: %w", name, b.base, ErrReadOnly)
+}
+
+// Increment fails: the remote view is read-only.
+func (b *RemoteBackend) Increment(name string) (int, error) {
+	return 0, fmt.Errorf("storage: Increment %s on %s: %w", name, b.base, ErrReadOnly)
+}
+
+// Stats reports the mirrored binding count plus blob figures gathered
+// through the paged blob listing — a diagnostic walk, like the read
+// view's.
+func (b *RemoteBackend) Stats() (Stats, error) {
+	b.mu.RLock()
+	bindings := len(b.names)
+	b.mu.RUnlock()
+	st := Stats{Bindings: bindings}
+	blobs, err := b.ListBlobSizes()
+	if err != nil {
+		return st, err
+	}
+	st.Blobs = len(blobs)
+	for _, bd := range blobs {
+		st.Bytes += bd.Size
+	}
+	return st, nil
+}
+
+// Info extends Stats with the remote position figures, so `spsys store
+// stats -store http://...` shows the same shape as a directory.
+func (b *RemoteBackend) Info() (StoreInfo, error) {
+	st, err := b.Stats()
+	if err != nil {
+		return StoreInfo{Stats: st}, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return StoreInfo{Stats: st, Generation: b.pos.Generation, JournalBytes: b.pos.Offset}, nil
+}
+
+// Position reports the remote position the mirror covers. Because it is
+// the *source's* position, derived state keyed by it (the bookkeep
+// index segment a primary saved) validates against the remote view too.
+func (b *RemoteBackend) Position() (Position, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.pos, b.posOK
+}
+
+// SetSleep replaces the retry backoff's sleep function — the seam
+// tests use to make failure probes instant. Production code keeps the
+// cron.Sleeper default. Call before the backend is shared across
+// goroutines.
+func (b *RemoteBackend) SetSleep(fn func(time.Duration)) { b.sleep = fn }
+
+// Close is a no-op: the remote view holds no locks and no files.
+func (b *RemoteBackend) Close() error { return nil }

@@ -118,7 +118,8 @@ func (s *Store) Compact() (CompactStats, error) {
 	if c, ok := s.backend.(Compactor); ok {
 		return c.Compact()
 	}
-	if _, ro := s.backend.(*FSReadBackend); ro {
+	switch s.backend.(type) {
+	case *FSReadBackend, *RemoteBackend:
 		return CompactStats{}, fmt.Errorf("storage: compacting: %w", ErrReadOnly)
 	}
 	return CompactStats{}, nil
