@@ -343,6 +343,35 @@ func BenchmarkStoreBackends(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// SCRUB — archive-integrity throughput: the periodic bit-rot scrub
+// (`spd -scrub`) re-reads and re-hashes every blob of a populated
+// archive through the driver seam, recording the verdict as an
+// ordinary run. SetBytes prices it as throughput over the archive
+// size, which is the figure that matters for sizing a scrub cadence
+// against a growing store.
+
+func BenchmarkScrub(b *testing.B) {
+	store := storage.NewStore()
+	if _, _, err := runner.SynthesizeRuns(store, 200, runner.SynthOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	sys := core.NewWith(store, platform.NewRegistry())
+	st := store.Stats()
+	b.SetBytes(st.Bytes)
+	b.ReportMetric(float64(st.Blobs), "blobs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := sys.Scrub(0, fmt.Sprintf("bench scrub cycle %d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rec.Passed() {
+			b.Fatal("scrub reported corruption in a clean archive")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
 // B1 — bookkeeping at production scale: the paper's ">300 runs" record
 // grown to ~1000 runs, queried through the full-rescan Book (every
 // query re-lists and re-loads all N records) versus the incremental

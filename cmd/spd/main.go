@@ -11,12 +11,22 @@
 //
 //	spd -store DIR [-cron "7 2 * * *"] [-every 0] [-workers N]
 //	    [-quick] [-cycles 0] [-title "..."]
+//	spd -store DIR -scrub [-scrub-page 1000] [...]
 //
 // An immediate plan/execute cycle runs at startup (catching up on
 // whatever changed while the daemon was down); afterwards one cycle
 // runs per cron firing. -every replaces the cron schedule with a fixed
 // interval for sub-minute cadences (smoke tests, demos). -cycles bounds
 // the number of cycles (0 = run until a signal).
+//
+// With -scrub the daemon becomes the archive's bit-rot scrubber: each
+// cycle re-reads and re-hashes every blob in the store in pages of
+// -scrub-page (one standalone test job per page, see internal/scrub)
+// and records the verdicts as an ordinary run under the SCRUB
+// experiment — indexed, published and served like any validation, so a
+// flipped byte anywhere in the archive surfaces as a red matrix cell
+// naming the damaged blob. Scrub cycles go through the same publish and
+// opportunistic-compaction tail as validation cycles.
 //
 // Every cycle rebuilds the experiment inputs fresh from their
 // definitions — the paper's "regular build of the experimental
@@ -62,6 +72,7 @@ import (
 	"repro/internal/externals"
 	"repro/internal/platform"
 	"repro/internal/storage"
+	"repro/internal/valtest"
 )
 
 func main() {
@@ -73,6 +84,8 @@ func main() {
 	flag.BoolVar(&opts.quick, "quick", false, "scale workloads down for a fast demonstration")
 	flag.IntVar(&opts.cycles, "cycles", 0, "stop after this many cycles (0: run until SIGTERM/SIGINT)")
 	flag.StringVar(&opts.title, "title", "sp-system validation status", "published status page title")
+	flag.BoolVar(&opts.scrub, "scrub", false, "run archive integrity scrub cycles instead of validation campaigns")
+	flag.IntVar(&opts.scrubPage, "scrub-page", 0, "blobs per scrub test job (0: the scrub default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,13 +97,15 @@ func main() {
 }
 
 type options struct {
-	storeDir string
-	cronSpec string
-	every    time.Duration
-	workers  int
-	quick    bool
-	cycles   int
-	title    string
+	storeDir  string
+	cronSpec  string
+	every     time.Duration
+	workers   int
+	quick     bool
+	cycles    int
+	title     string
+	scrub     bool
+	scrubPage int
 }
 
 // newSystem builds an SPSystem over the store with all three HERA
@@ -184,6 +199,9 @@ func waitNext(ctx context.Context, driver *cron.Driver) (time.Time, bool, error)
 // are part of normal operation (a red cell is a meaningful result the
 // next cycle retries); only systemic errors abort the daemon.
 func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int) error {
+	if opts.scrub {
+		return runScrubCycle(store, opts, cycle)
+	}
 	sys, err := newSystem(opts.quick, store)
 	if err != nil {
 		return err
@@ -222,6 +240,34 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 	// free when nothing changed, and it repairs a site a previous
 	// process failed to publish (or publishes a new -title) that an
 	// early return would otherwise never revisit.
+	if _, err := sys.PublishReports(opts.title); err != nil {
+		return err
+	}
+	return compactIfWorthwhile(store)
+}
+
+// runScrubCycle performs one archive-wide integrity pass: build the
+// scrub suite from the store's current blob listing, run it through the
+// platform driver, and publish. No experiments are registered — the
+// scrub's only input is the archive itself — so a scrub daemon starts
+// in milliseconds even at quick=false. Damage is a recorded red run,
+// not a daemon error: the archive keeps being scrubbed (and served) so
+// operators can see the full extent of the rot.
+func runScrubCycle(store *storage.Store, opts options, cycle int) error {
+	sys := core.NewWith(store, platform.NewRegistry())
+	rec, err := sys.Scrub(opts.scrubPage, fmt.Sprintf("archive scrub cycle %d", cycle))
+	if err != nil {
+		return err
+	}
+	counts := rec.Counts()
+	bad := counts[valtest.OutcomeFail] + counts[valtest.OutcomeError]
+	if bad > 0 {
+		fmt.Printf("spd: scrub cycle %d: %s: %d of %d pages CORRUPT — see the run's job table\n",
+			cycle, rec.RunID, bad, len(rec.Jobs))
+	} else {
+		fmt.Printf("spd: scrub cycle %d: %s: all %d pages verified clean\n",
+			cycle, rec.RunID, len(rec.Jobs))
+	}
 	if _, err := sys.PublishReports(opts.title); err != nil {
 		return err
 	}

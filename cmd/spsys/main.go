@@ -16,16 +16,18 @@
 //	spsys runs      [-store DIR] [-limit N] [-after RUN] [-experiment E]
 //	                list recorded runs, paged (default 500 per page; the
 //	                trailer prints the -after cursor for the next page)
-//	spsys store     stats|compact|synth|sync — storage administration:
-//	                stats prints snapshot/journal/blob figures (read-only,
-//	                works beside a live writer), compact folds the name
-//	                journal into a names.snapshot so reopening the store
-//	                is O(appends since compaction), synth appends
-//	                synthetic run records for scaling smoke tests, and
-//	                sync SRC DST replicates one store into another
-//	                (either a directory or an spserve URL as SRC; a
-//	                directory as DST) — idempotent, resumable, moving
-//	                only what DST lacks
+//	spsys store     stats|compact|synth|sync|corrupt — storage
+//	                administration: stats prints snapshot/journal/blob
+//	                figures (read-only, works beside a live writer),
+//	                compact folds the name journal into a names.snapshot
+//	                so reopening the store is O(appends since
+//	                compaction), synth appends synthetic run records for
+//	                scaling smoke tests, sync SRC DST replicates one
+//	                store into another (either a directory or an spserve
+//	                URL as SRC; a directory as DST) — idempotent,
+//	                resumable, moving only what DST lacks — and corrupt
+//	                flips one byte of one blob: controlled bit rot for
+//	                exercising scrub detection (`spd -scrub`)
 //
 // Every subcommand accepts -store DIR: the common sp-system storage is
 // then the durable on-disk store rooted at DIR instead of process
@@ -48,6 +50,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 
 	"repro/internal/bookkeep"
 	"repro/internal/campaign"
@@ -109,6 +113,8 @@ commands:
                store synth   -store DIR -runs N   append synthetic records
                store sync    SRC DST      replicate SRC (directory or
                                           spserve URL) into directory DST
+               store corrupt -store DIR   flip one blob byte (bit rot,
+                                          for scrub exercises)
 
 every command accepts -store DIR to record onto (and read back from)
 the durable on-disk common storage at DIR instead of process memory;
@@ -478,7 +484,14 @@ func runHistory(args []string) (err error) {
 	if name == "" {
 		name = "chain01/validate"
 	}
-	entries, err := sys.Book.History(*exp, name)
+	// History through the bookkeeping index: one segment decode plus the
+	// record tail, instead of re-decoding every run record per query
+	// (identical answers to Book, property-tested in bookkeep).
+	x, err := bookkeep.BuildIndex(sys.Store)
+	if err != nil {
+		return err
+	}
+	entries, err := x.History(*exp, name)
 	if err != nil {
 		return err
 	}
@@ -486,7 +499,7 @@ func runHistory(args []string) (err error) {
 	if first, ok := bookkeep.FirstFailure(entries); ok {
 		fmt.Printf("\nfirst failure: %s on %s\n", first.RunID, first.Config)
 	}
-	flaky, err := sys.Book.FlakyTests(*exp)
+	flaky, err := x.FlakyTests(*exp)
 	if err != nil {
 		return err
 	}
@@ -554,7 +567,7 @@ func runRuns(args []string) (err error) {
 // runStore dispatches the storage admin subcommands.
 func runStore(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: spsys store <stats|compact|synth|sync> [flags]")
+		return fmt.Errorf("usage: spsys store <stats|compact|synth|sync|corrupt> [flags]")
 	}
 	switch sub, rest := args[0], args[1:]; sub {
 	case "stats":
@@ -565,9 +578,83 @@ func runStore(args []string) error {
 		return runStoreSynth(rest)
 	case "sync":
 		return runStoreSync(rest)
+	case "corrupt":
+		return runStoreCorrupt(rest)
 	default:
-		return fmt.Errorf("unknown store subcommand %q (want stats, compact, synth or sync)", sub)
+		return fmt.Errorf("unknown store subcommand %q (want stats, compact, synth, sync or corrupt)", sub)
 	}
+}
+
+// runStoreCorrupt flips one byte of one blob's on-disk file —
+// controlled bit rot, for exercising the framework's corruption
+// detection end to end (the scrub suite; CI's scrub-smoke job damages
+// a synthesized store this way and asserts `spd -scrub` catches it).
+// With no -blob it damages the lexicographically first blob, so a
+// scripted corrupt-then-scrub pair is deterministic.
+func runStoreCorrupt(args []string) (err error) {
+	fs := flag.NewFlagSet("store corrupt", flag.ExitOnError)
+	blob := fs.String("blob", "", "hash of the blob to damage (default: lexicographically first)")
+	name := fs.String("name", "", "binding (namespace/key) whose blob to damage instead of -blob")
+	ns := fs.String("ns", "", "damage the blob behind the first binding in this namespace instead of -blob")
+	offset := fs.Int64("offset", 0, "byte offset of the flipped byte")
+	storeDir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store corrupt: -store is required")
+	}
+	if storage.IsRemoteStore(*storeDir) {
+		return fmt.Errorf("store corrupt: damages on-disk blob files; -store must be a local directory")
+	}
+	b, err := storage.OpenFSBackend(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := b.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	hash, label := *blob, *blob
+	switch {
+	case *name != "":
+		h, ok := b.ResolveName(*name)
+		if !ok {
+			return fmt.Errorf("store corrupt: no binding %q in %s", *name, *storeDir)
+		}
+		hash, label = h, fmt.Sprintf("%s (%s)", h, *name)
+	case *ns != "":
+		names, lerr := b.ListNames()
+		if lerr != nil {
+			return lerr
+		}
+		sort.Strings(names)
+		for _, nk := range names {
+			if strings.HasPrefix(nk, *ns+"/") {
+				h, _ := b.ResolveName(nk)
+				hash, label = h, fmt.Sprintf("%s (%s)", h, nk)
+				break
+			}
+		}
+		if hash == "" {
+			return fmt.Errorf("store corrupt: namespace %q has no bindings in %s", *ns, *storeDir)
+		}
+	case hash == "":
+		hashes, lerr := b.ListBlobs()
+		if lerr != nil {
+			return lerr
+		}
+		if len(hashes) == 0 {
+			return fmt.Errorf("store corrupt: %s holds no blobs", *storeDir)
+		}
+		hash, label = hashes[0], hashes[0]
+	}
+	if err := b.DamageBlob(hash, *offset); err != nil {
+		return err
+	}
+	fmt.Printf("damaged blob %s at offset %d in %s (one byte flipped)\n", label, *offset, *storeDir)
+	return nil
 }
 
 // runStoreSync replicates SRC into DST. SRC may be a store directory

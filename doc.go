@@ -26,6 +26,16 @@
 // executing the matrix on a real cron cadence with clean SIGTERM
 // shutdown.
 //
+// Suites are pure data run through a valtest.Driver — in-process, on
+// vmhost image-derived clients, or fault-wrapped — with run records and
+// input digests qualified by driver name (the in-process platform
+// driver digests exactly as pre-seam runs did; see the "Driver
+// contract" section of DESIGN.md). `spd -store DIR -scrub` rides the
+// same seam as the archive's bit-rot scrubber: each cycle re-reads and
+// re-hashes every blob (internal/scrub) and records the verdicts as
+// ordinary runs under the SCRUB experiment, so corruption shows up in
+// the same matrix, history and JSON APIs as any failing validation.
+//
 // The store is built for decades of accumulated history: `spsys store
 // compact` folds the name journal into a checksummed, generation-
 // counted snapshot (spd does it opportunistically), the bookkeeping

@@ -17,3 +17,10 @@ func TestStorewrite(t *testing.T) {
 func TestStorageExempt(t *testing.T) {
 	analysistest.Run(t, storewrite.Analyzer, "store/internal/storage")
 }
+
+// TestDriverSeam: store-opening calls inside valtest.Driver methods are
+// confined to the provisioning seam; non-driver callers and
+// NewStoreWith-wrapping drivers stay clean.
+func TestDriverSeam(t *testing.T) {
+	analysistest.Run(t, storewrite.Analyzer, "drivertest")
+}

@@ -12,10 +12,22 @@
 // functions outside internal/storage; legitimate non-store writers
 // (report site output, snapshot export) carry //spvet:allow storewrite
 // with the reason the target is not a store directory.
+//
+// Contract (PR 8, the driver seam): a valtest.Driver touches storage
+// only through the seam — the store handed in by the ProvisionRequest
+// and handed back in the Context. A driver method that opens its own
+// store handle (storage.Open, OpenView, OpenRemote, NewStore, ...)
+// silently splits the archive: artifacts land in a store the runner
+// never records against. The analyzer reports every store-opening call
+// inside a method of a type implementing valtest.Driver.
+// storage.NewStoreWith is deliberately permitted — wrapping the
+// *provided* backend is exactly how fault-injection drivers decorate
+// the seam without leaving it.
 package storewrite
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 
 	"repro/internal/analysis"
@@ -34,9 +46,26 @@ var writeFuncs = map[string]bool{
 	"OpenFile": true, "Rename": true,
 }
 
+// storeOpenFuncs are the internal/storage functions that mint a new
+// store (or backend) handle. Forbidden inside driver methods; NewStoreWith
+// is absent on purpose (see the package comment).
+var storeOpenFuncs = map[string]bool{
+	"NewStore": true, "Open": true, "OpenWith": true, "OpenOrMemory": true,
+	"OpenReadOnly": true, "OpenView": true,
+	"OpenRemote": true, "OpenRemoteWith": true, "OpenRemoteBackend": true,
+	"OpenFSBackend": true, "OpenFSBackendWith": true, "OpenReadOnlyFSBackend": true,
+}
+
+// isPkg reports whether path names the package (as the module-rooted
+// real path or a fixture path ending in /rel).
+func isPkg(path, rel string) bool {
+	return path == rel || strings.HasSuffix(path, "/"+rel)
+}
+
 func run(pass *analysis.Pass) error {
+	checkDrivers(pass)
 	path := pass.Pkg.Path()
-	if path == "internal/storage" || strings.HasSuffix(path, "/internal/storage") {
+	if isPkg(path, "internal/storage") {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -66,6 +95,85 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkDrivers reports store-opening calls inside methods of types
+// implementing valtest.Driver (see the package comment, PR 8).
+func checkDrivers(pass *analysis.Pass) {
+	iface := driverInterface(pass.Pkg)
+	if iface == nil {
+		return // package neither is nor imports valtest: no drivers here
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !implementsDriver(recv.Type(), iface) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.Info.Uses[sel.Sel]
+				if !ok || obj.Pkg() == nil || !isPkg(obj.Pkg().Path(), "internal/storage") {
+					return true
+				}
+				if name := obj.Name(); storeOpenFuncs[name] {
+					pass.Reportf(call.Pos(), "storage.%s inside a valtest.Driver method: drivers touch storage only through the provisioning seam (use the request's store, the context's store, or NewStoreWith over the provided backend); mark a reviewed exception with //spvet:allow storewrite", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// driverInterface finds the valtest.Driver interface type as seen by
+// this package — from the package itself when it is valtest, else from
+// its imports. Nil when the package cannot name a Driver at all.
+func driverInterface(pkg *types.Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		obj := p.Scope().Lookup("Driver")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if isPkg(pkg.Path(), "internal/valtest") {
+		return lookup(pkg)
+	}
+	for _, imp := range pkg.Imports() {
+		if isPkg(imp.Path(), "internal/valtest") {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// implementsDriver reports whether the method's receiver type (by value
+// or through a pointer) satisfies the Driver interface.
+func implementsDriver(recv types.Type, iface *types.Interface) bool {
+	base := recv
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	return types.Implements(base, iface) || types.Implements(types.NewPointer(base), iface)
 }
 
 // readOnlyOpen reports whether an os.OpenFile call's flag argument is

@@ -1,0 +1,73 @@
+// Package drivertest seeds driver-seam violations (a valtest.Driver
+// opening its own store handles) next to the sanctioned idioms (the
+// request's store, the context's store, NewStoreWith over the provided
+// backend).
+package drivertest
+
+import (
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// Leaky is a driver that opens store handles behind the seam: every
+// such call must draw a diagnostic, in interface methods and unexported
+// helpers alike.
+type Leaky struct{}
+
+func (d *Leaky) Name() string { return "leaky" }
+
+func (d *Leaky) Provision(req valtest.ProvisionRequest) (*valtest.Context, error) {
+	st, err := storage.Open("/var/lib/elsewhere") // want "drivers touch storage only through the provisioning seam"
+	if err != nil {
+		return nil, err
+	}
+	return &valtest.Context{Store: st}, nil
+}
+
+func (d *Leaky) RunTest(t valtest.Test, ctx *valtest.Context) valtest.Result {
+	scratch := storage.NewStore() // want "drivers touch storage only through the provisioning seam"
+	_ = scratch
+	return t.Run(ctx)
+}
+
+func (d *Leaky) Collect(ctx *valtest.Context, res valtest.Result) valtest.Result {
+	return res
+}
+
+// sideChannel is not part of the Driver interface, but it runs with the
+// driver's authority: still confined to the seam.
+func (d *Leaky) sideChannel() (*storage.Store, error) {
+	return storage.OpenView("http://replica:8344") // want "drivers touch storage only through the provisioning seam"
+}
+
+// Clean is the sanctioned shape: the provision request supplies the
+// store, and a decorating driver may wrap the provided backend.
+type Clean struct{}
+
+func (d *Clean) Name() string { return "clean" }
+
+func (d *Clean) Provision(req valtest.ProvisionRequest) (*valtest.Context, error) {
+	wrapped := storage.NewStoreWith(req.Store.Backend())
+	return &valtest.Context{Store: wrapped}, nil
+}
+
+func (d *Clean) RunTest(t valtest.Test, ctx *valtest.Context) valtest.Result {
+	return t.Run(ctx)
+}
+
+func (d *Clean) Collect(ctx *valtest.Context, res valtest.Result) valtest.Result {
+	return res
+}
+
+// reviewed documents an exception the directive machinery accepts.
+func (d *Clean) reviewed() *storage.Store {
+	//spvet:allow storewrite — fixture: reviewed exception for the allow path
+	return storage.NewStore()
+}
+
+// Bystander is not a driver; the seam rule does not apply to it.
+type Bystander struct{}
+
+func (b *Bystander) Open() (*storage.Store, error) {
+	return storage.Open("/var/lib/store")
+}

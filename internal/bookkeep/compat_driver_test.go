@@ -1,0 +1,90 @@
+package bookkeep
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/runner"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// TestPreDriverRecordDecodes pins backward compatibility against the
+// checked-in fixture testdata/run-pre-driver.json — a run record in the
+// exact wire format the framework wrote after input digests (PR 4) but
+// before the driver seam existed: it carries a digest and no driver
+// field. Two guarantees, one per direction:
+//
+//   - The record keeps satisfying the platform cell its digest names.
+//     Pre-seam records ARE platform records (there was only one way to
+//     run), so an archive upgraded across the seam re-plans zero cells.
+//
+//   - The record can never satisfy a driver-qualified digest. A cell
+//     bound to any non-default driver plans always-stale against a
+//     legacy archive and is never skipped over a legacy green.
+func TestPreDriverRecordDecodes(t *testing.T) {
+	data, err := os.ReadFile("testdata/run-pre-driver.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"driver"`) {
+		t.Fatal("fixture is not pre-driver: it carries a driver field")
+	}
+	if !strings.Contains(string(data), "input_digest") {
+		t.Fatal("fixture lost its input_digest: that era is covered by run-pre-digest.json")
+	}
+
+	store := storage.NewStore()
+	if _, err := store.Put(runner.RunsNS, "run-0001", data); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := runner.LoadRun(store, "run-0001")
+	if err != nil {
+		t.Fatalf("pre-driver record failed to decode: %v", err)
+	}
+	if rec.Driver != "" {
+		t.Fatalf("pre-driver record decoded with driver %q, want empty (= platform)", rec.Driver)
+	}
+	if rec.RunID != "run-0001" || rec.Experiment != "H1" || len(rec.Jobs) != 2 || !rec.Passed() {
+		t.Fatalf("pre-driver record decoded wrong: %+v", rec)
+	}
+
+	// Its recorded digest is exactly what the seam computes for the
+	// default driver today — and what it computed before the seam.
+	cfg, err := platform.ParseConfig("SL5/32bit gcc4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := valtest.NewSuite("H1")
+	legacy := runner.InputDigest(suite, 1, cfg, nil)
+	if rec.InputDigest != legacy {
+		t.Fatalf("fixture digest %s is not the pre-seam digest %s — regenerate the fixture only if the digest scheme legitimately changed", rec.InputDigest, legacy)
+	}
+	for _, name := range []string{"", valtest.DefaultDriverName} {
+		if got := runner.InputDigestDriver(suite, 1, cfg, nil, name); got != legacy {
+			t.Fatalf("driver %q digest %s, legacy record would go stale (want %s)", name, got, legacy)
+		}
+	}
+
+	// Direction one: the legacy green still answers for its platform cell.
+	x, err := BuildIndex(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := x.GreenRun(legacy); !ok || id != "run-0001" {
+		t.Fatalf("legacy green no longer satisfies its own digest: ok=%t id=%q — every pre-seam archive replans its whole matrix", ok, id)
+	}
+
+	// Direction two: no driver-qualified digest ever matches it.
+	for _, drv := range []string{"vmhost", "fault(platform)"} {
+		qualified := runner.InputDigestDriver(suite, 1, cfg, nil, drv)
+		if qualified == legacy {
+			t.Fatalf("driver %q digest collapsed onto the legacy digest", drv)
+		}
+		if id, ok := x.GreenRun(qualified); ok {
+			t.Fatalf("legacy record satisfied driver-qualified digest %s via %q", qualified, id)
+		}
+	}
+}

@@ -109,6 +109,70 @@ func (b *Book) FlakyTests(experiment string) ([]string, error) {
 	return out, nil
 }
 
+// History is Book.History answered from the index's job marks: no run
+// record is decoded, so a history query over a segment-backed index
+// costs one segment load for the whole process, not O(runs) record
+// loads per query. Results are identical to Book.History on the same
+// store (property-tested).
+func (x *Index) History(experiment, test string) ([]HistoryEntry, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []HistoryEntry
+	for _, id := range x.byExp[experiment] {
+		m := x.runs[id]
+		for i := range m.Marks {
+			if m.Marks[i].Test != test {
+				continue
+			}
+			out = append(out, HistoryEntry{
+				RunID:     m.RunID,
+				Config:    m.Config,
+				Externals: m.Externals,
+				Revision:  m.Revision,
+				Timestamp: m.Timestamp,
+				Outcome:   m.Marks[i].Outcome,
+				Detail:    m.Marks[i].Detail,
+				Statistic: m.Marks[i].Statistic,
+			})
+			break // first match, like RunRecord.Find
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bookkeep: no recorded executions of %q for %s", test, experiment)
+	}
+	return out, nil
+}
+
+// FlakyTests is Book.FlakyTests answered from the index's job marks,
+// with identical semantics: tests whose outcome changed between
+// consecutive runs on the same configuration, externals and revision.
+func (x *Index) FlakyTests(experiment string) ([]string, error) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	type key struct {
+		test, cfg, ext string
+		rev            int
+	}
+	last := make(map[key]valtest.Outcome)
+	flaky := make(map[string]bool)
+	for _, id := range x.byExp[experiment] {
+		m := x.runs[id]
+		for _, mk := range m.Marks {
+			k := key{mk.Test, m.Config, m.Externals, m.Revision}
+			if prev, seen := last[k]; seen && prev != mk.Outcome {
+				flaky[mk.Test] = true
+			}
+			last[k] = mk.Outcome
+		}
+	}
+	out := make([]string, 0, len(flaky))
+	for name := range flaky {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // RenderHistory formats a test's history as a compact table.
 func RenderHistory(test string, entries []HistoryEntry) string {
 	var b strings.Builder

@@ -1,6 +1,7 @@
 package bookkeep
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -70,6 +71,71 @@ func TestFirstFailureNever(t *testing.T) {
 	if _, ok := FirstFailure(entries); ok {
 		t.Fatal("FirstFailure found one in an all-pass history")
 	}
+}
+
+// TestIndexHistoryMatchesBook: the index answers History and
+// FlakyTests identically to the rescanning Book — including after a
+// segment round trip, so the marks survive persistence and no run
+// record is decoded to serve the queries.
+func TestIndexHistoryMatchesBook(t *testing.T) {
+	h := newHarness()
+	book := New(h.store)
+	h.run(t, h.context(sl5(), "5.34", 1), "r1", map[string]valtest.Outcome{
+		"chain/validate": valtest.OutcomePass,
+		"flappy":         valtest.OutcomePass,
+	})
+	h.run(t, h.context(sl5(), "5.34", 1), "r2", map[string]valtest.Outcome{
+		"chain/validate": valtest.OutcomePass,
+		"flappy":         valtest.OutcomeError,
+	})
+	h.run(t, h.context(sl6(), "5.34", 2), "r3", map[string]valtest.Outcome{
+		"chain/validate": valtest.OutcomeFail,
+	})
+
+	check := func(stage string, x *Index) {
+		t.Helper()
+		for _, test := range []string{"chain/validate", "flappy"} {
+			want, err := book.History("H1", test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := x.History("H1", test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: index history of %q diverges from Book:\n got %+v\nwant %+v", stage, test, got, want)
+			}
+		}
+		if _, err := x.History("H1", "ghost"); err == nil {
+			t.Fatalf("%s: unknown-test history did not error", stage)
+		}
+		wantFlaky, err := book.FlakyTests("H1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFlaky, err := x.FlakyTests("H1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotFlaky, wantFlaky) {
+			t.Fatalf("%s: index flaky set %v, book %v", stage, gotFlaky, wantFlaky)
+		}
+	}
+
+	x, err := BuildIndex(h.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fresh index", x)
+	if err := x.SaveSegment(h.store); err != nil {
+		t.Fatal(err)
+	}
+	x2, err := BuildIndex(h.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("segment-loaded index", x2)
 }
 
 func TestFlakyTests(t *testing.T) {

@@ -30,6 +30,22 @@ type RunMeta struct {
 	Pass, Fail, Skip, Error int
 	// Passed reports whether every job passed (RunRecord.Passed).
 	Passed bool
+	// Marks summarizes each job in execution order: what the per-test
+	// history queries (Index.History, Index.FlakyTests) need, without
+	// the job IDs, environment keys and costs of the full record. Test
+	// names and details are heavily repeated across runs, and both the
+	// in-memory form (shared string headers) and the segment wire form
+	// (the interning table) exploit that, so carrying marks keeps a
+	// million-run index in memory where full records would not fit.
+	Marks []JobMark
+}
+
+// JobMark is one job's outcome summary inside a RunMeta.
+type JobMark struct {
+	Test      string
+	Outcome   valtest.Outcome
+	Detail    string
+	Statistic float64
 }
 
 // Summarize reduces a full run record to its meta. Every consumer that
@@ -48,8 +64,15 @@ func Summarize(rec *runner.RunRecord) *RunMeta {
 		Timestamp:   rec.Timestamp,
 		Jobs:        len(rec.Jobs),
 		Passed:      true,
+		Marks:       make([]JobMark, 0, len(rec.Jobs)),
 	}
 	for _, j := range rec.Jobs {
+		m.Marks = append(m.Marks, JobMark{
+			Test:      j.Result.Test,
+			Outcome:   j.Result.Outcome,
+			Detail:    j.Result.Detail,
+			Statistic: j.Result.Statistic,
+		})
 		switch j.Result.Outcome {
 		case valtest.OutcomePass:
 			m.Pass++

@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/runner"
 	"repro/internal/storage"
+	"repro/internal/valtest"
 )
 
 // The persisted index segment: the Index's RunMeta set serialized back
@@ -20,7 +22,7 @@ import (
 //
 // # Wire format
 //
-// A compact custom binary encoding (magic "SPSEG", format 2): an
+// A compact custom binary encoding (magic "SPSEG", format 3): an
 // interning table for the heavily repeated strings (experiment, config,
 // externals labels — a million-run archive has a handful of each), the
 // claimed coverage Position, then one fixed-shape record per meta with
@@ -59,10 +61,14 @@ const SegmentNS = "bookkeep"
 const segmentKey = "segment"
 
 // segmentMagic + segmentFormat version the payload; a mismatch discards
-// the segment (rebuild beats misreading).
+// the segment (rebuild beats misreading). Format 3 added per-meta job
+// marks (test name, outcome, detail, statistic — the per-test history
+// queries' working set); a format-2 segment from an older writer simply
+// fails the version check and the index rebuilds from the records,
+// re-persisting as format 3 at the next publish.
 const (
 	segmentMagic  = "SPSEG"
-	segmentFormat = 2
+	segmentFormat = 3
 )
 
 // segmentBindLineLen is the byte length of the journal line that binds
@@ -101,11 +107,17 @@ func encodeSegment(s segment) []byte {
 		}
 		return uint64(i)
 	}
-	// Pre-intern so the table is complete before it is written.
+	// Pre-intern so the table is complete before it is written. Test
+	// names and details repeat across nearly every run of an experiment,
+	// so they go through the same table as the cell labels.
 	for _, m := range s.metas {
 		intern(m.Experiment)
 		intern(m.Config)
 		intern(m.Externals)
+		for _, mk := range m.Marks {
+			intern(mk.Test)
+			intern(mk.Detail)
+		}
 	}
 
 	buf := make([]byte, 0, 64+len(s.metas)*96)
@@ -145,6 +157,15 @@ func encodeSegment(s segment) []byte {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Marks)))
+		for _, mk := range m.Marks {
+			buf = binary.AppendUvarint(buf, intern(mk.Test))
+			buf = append(buf, byte(mk.Outcome))
+			buf = binary.AppendUvarint(buf, intern(mk.Detail))
+			// Float bits as a varint: the dominant statistic is exactly
+			// zero (one byte); anything else costs at most ten.
+			buf = binary.AppendUvarint(buf, math.Float64bits(mk.Statistic))
 		}
 	}
 	return buf
@@ -258,6 +279,31 @@ func decodeSegment(data []byte) (segment, error) {
 			return s, fail
 		}
 		m.Passed = passed == 1
+		nMarks, ok := uvar()
+		if !ok || nMarks > uint64(len(data)) { // every mark takes >1 byte
+			return s, fail
+		}
+		m.Marks = make([]JobMark, 0, nMarks)
+		for j := uint64(0); j < nMarks; j++ {
+			var mk JobMark
+			if mk.Test, ok = interned(); !ok {
+				return s, fail
+			}
+			outcome, ok := getByte()
+			if !ok {
+				return s, fail
+			}
+			mk.Outcome = valtest.Outcome(outcome)
+			if mk.Detail, ok = interned(); !ok {
+				return s, fail
+			}
+			bits, ok := uvar()
+			if !ok {
+				return s, fail
+			}
+			mk.Statistic = math.Float64frombits(bits)
+			m.Marks = append(m.Marks, mk)
+		}
 		s.metas = append(s.metas, m)
 	}
 	return s, nil

@@ -2,6 +2,8 @@ package bookkeep
 
 import (
 	"fmt"
+	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -341,9 +343,17 @@ func TestSegmentCodecRoundTrip(t *testing.T) {
 		{RunID: "run-0001", Description: `quotes " and unicode ö`, Experiment: "H1",
 			Config: "SL6/64bit gcc4.4", Externals: "root-5.34", Revision: 3,
 			InputDigest: "abc123", Timestamp: 1356998400, Jobs: 5, Pass: 3, Fail: 1,
-			Skip: 1, Error: 0, Passed: false},
+			Skip: 1, Error: 0, Passed: false,
+			Marks: []JobMark{
+				{Test: "compile/lib01", Outcome: valtest.OutcomePass},
+				{Test: "chain01/validate", Outcome: valtest.OutcomeFail,
+					Detail: "statistic drift", Statistic: -3.25},
+				{Test: "standalone/t01", Outcome: valtest.OutcomeError,
+					Detail: `quotes " again`, Statistic: math.Inf(1)},
+			}},
 		{RunID: "run-0002", Experiment: "H1", Config: "SL6/64bit gcc4.4",
-			Externals: "root-5.34", Timestamp: 1 << 40, Jobs: 1, Pass: 1, Passed: true},
+			Externals: "root-5.34", Timestamp: 1 << 40, Jobs: 1, Pass: 1, Passed: true,
+			Marks: []JobMark{{Test: "compile/lib01", Outcome: valtest.OutcomePass}}},
 		{RunID: "run-10000", Description: "", Experiment: "ZEUS", Config: "c",
 			Externals: "e", Passed: true},
 	}
@@ -356,8 +366,12 @@ func TestSegmentCodecRoundTrip(t *testing.T) {
 		t.Fatalf("segment header round trip: %+v", out)
 	}
 	for i := range metas {
-		if *out.metas[i] != *metas[i] {
-			t.Fatalf("meta %d round trip:\n got %+v\nwant %+v", i, out.metas[i], metas[i])
+		got, want := *out.metas[i], *metas[i]
+		if len(got.Marks) == 0 && len(want.Marks) == 0 {
+			got.Marks, want.Marks = nil, nil // nil vs empty is not a wire difference
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("meta %d round trip:\n got %+v\nwant %+v", i, got, want)
 		}
 	}
 

@@ -78,6 +78,13 @@ type Cell struct {
 	Mode       Mode
 	// Tag describes the cell's runs in the bookkeeping.
 	Tag string
+	// Driver names the execution driver the cell's suite runs on (see
+	// core.SPSystem.Driver). Empty means the default in-process platform
+	// driver — which is what every cell was before the driver seam
+	// existed, so recorded campaigns keep their digests. Non-default
+	// drivers are folded into the cell's input digest: a vmhost run and
+	// a platform run of the same suite are different cells.
+	Driver string
 }
 
 // Outcome is the recorded result of one cell.
@@ -197,7 +204,7 @@ func (e *Engine) fillDigests(plan *Plan) {
 	for i := range plan.Cells {
 		pc := &plan.Cells[i]
 		if pc.Digest == "" {
-			if d, err := e.sys.CellDigest(pc.Cell.Experiment, pc.Cell.Config, pc.Cell.Externals); err == nil {
+			if d, err := e.sys.CellDigestDriver(pc.Cell.Experiment, pc.Cell.Config, pc.Cell.Externals, pc.Cell.Driver); err == nil {
 				pc.Digest = d
 			}
 		}
@@ -335,6 +342,14 @@ func (e *Engine) runCell(pc PlannedCell) Outcome {
 	}
 	switch c.Mode {
 	case ModeMigrate:
+		if c.Driver != "" {
+			// Migrations patch the experiment's source until the suite is
+			// green — repository surgery the in-process driver performs on
+			// the system's own repo handle. Running that against a hosted
+			// client would mutate shared state behind the seam.
+			out.Err = fmt.Errorf("campaign: migration cells run on the platform driver, not %q", c.Driver)
+			return out
+		}
 		rep, err := e.sys.MigrateExperiment(c.Experiment, c.Config, c.Externals, tag)
 		if err != nil {
 			out.Err = err
@@ -355,7 +370,7 @@ func (e *Engine) runCell(pc PlannedCell) Outcome {
 			}
 		}
 	default:
-		rec, err := e.sys.Validate(c.Experiment, c.Config, c.Externals, tag)
+		rec, err := e.sys.ValidateDriver(c.Driver, c.Experiment, c.Config, c.Externals, tag)
 		if err != nil {
 			out.Err = err
 			return out

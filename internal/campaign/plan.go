@@ -178,7 +178,7 @@ func (e *Engine) Plan(cells []Cell) (*Plan, error) {
 	willMigrate := make(map[string]bool)
 	for _, c := range cells {
 		pc := PlannedCell{Cell: c, Decision: DecisionRun}
-		digest, err := e.sys.CellDigest(c.Experiment, c.Config, c.Externals)
+		digest, err := e.sys.CellDigestDriver(c.Experiment, c.Config, c.Externals, c.Driver)
 		if err != nil {
 			// Let the executor produce the proper per-cell error outcome.
 			pc.Reason = "stale: " + err.Error()

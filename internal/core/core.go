@@ -39,6 +39,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/scrub"
 	"repro/internal/simclock"
 	"repro/internal/simrand"
 	"repro/internal/storage"
@@ -76,8 +77,9 @@ type SPSystem struct {
 	// Docs is the level 1 documentation archive (Table 1).
 	Docs *docsys.Archive
 
-	mu   sync.RWMutex
-	exps map[string]*ExperimentState // guarded by mu
+	mu      sync.RWMutex
+	exps    map[string]*ExperimentState // guarded by mu
+	drivers map[string]valtest.Driver   // guarded by mu
 }
 
 // New returns an SPSystem with the paper's platform and external
@@ -103,7 +105,7 @@ func New() *SPSystem {
 // and therefore strictly increase across processes.
 func NewWith(store *storage.Store, reg *platform.Registry) *SPSystem {
 	clock := simclock.New()
-	return &SPSystem{
+	s := &SPSystem{
 		Registry:  reg,
 		Catalogue: externals.NewCatalogue(),
 		Store:     store,
@@ -114,7 +116,39 @@ func NewWith(store *storage.Store, reg *platform.Registry) *SPSystem {
 		Builder:   buildsys.NewBuilder(reg, store),
 		Docs:      docsys.NewArchive(store),
 		exps:      make(map[string]*ExperimentState),
+		drivers:   make(map[string]valtest.Driver),
 	}
+	// The two stock drivers every system carries: the in-process
+	// platform driver (the default — its runs digest exactly as runs did
+	// before the driver seam existed) and the vmhost driver running the
+	// same suites on Image-derived clients.
+	s.drivers[valtest.DefaultDriverName] = &valtest.PlatformDriver{Builder: s.Builder}
+	s.drivers[vmhost.DriverName] = &vmhost.ImageDriver{Host: s.Host, Builder: s.Builder, Now: clock.Now}
+	return s
+}
+
+// RegisterDriver adds (or replaces) an execution driver under its own
+// Name. Fault-injection wrappers register here so campaign cells can
+// select them by name.
+func (s *SPSystem) RegisterDriver(d valtest.Driver) {
+	s.mu.Lock()
+	s.drivers[d.Name()] = d
+	s.mu.Unlock()
+}
+
+// Driver resolves a driver name; the empty string is the default
+// in-process platform driver.
+func (s *SPSystem) Driver(name string) (valtest.Driver, error) {
+	if name == "" {
+		name = valtest.DefaultDriverName
+	}
+	s.mu.RLock()
+	d, ok := s.drivers[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no driver %q registered", name)
+	}
+	return d, nil
 }
 
 // NewWithRegistry returns an SPSystem over a custom platform registry
@@ -217,22 +251,6 @@ func (s *SPSystem) AddClient(name string, kind vmhost.ClientKind, imageID, cronS
 	return s.Host.Boot(name, kind, imageID, cronSpec)
 }
 
-// context assembles the execution context for a validation run.
-func (s *SPSystem) context(st *ExperimentState, cfg platform.Config, exts *externals.Set, build *buildsys.Result) *valtest.Context {
-	return &valtest.Context{
-		Store: s.Store,
-		Env: storage.Env{
-			storage.EnvConfig:    cfg.String(),
-			storage.EnvExternals: exts.String(),
-		},
-		Config:    cfg,
-		Registry:  s.Registry,
-		Externals: exts,
-		Repo:      st.Repo,
-		Build:     build,
-	}
-}
-
 // Validate performs one full validation run of the experiment on the
 // configuration: build every package, then run the experiment's suite,
 // recording everything under a fresh run ID. This is the paper's
@@ -248,15 +266,38 @@ func (s *SPSystem) context(st *ExperimentState, cfg platform.Config, exts *exter
 // migration never overlaps other runs of that experiment (the campaign
 // engine in internal/campaign does exactly this).
 func (s *SPSystem) Validate(experiment string, cfg platform.Config, exts *externals.Set, tag string) (*runner.RunRecord, error) {
+	return s.ValidateDriver("", experiment, cfg, exts, tag)
+}
+
+// ValidateDriver is Validate on a named execution driver: the driver
+// provisions the environment (for the platform driver, a software
+// build; for the vmhost driver, an image plus a booted client), the
+// runner schedules the suite through the driver's RunTest/Collect seam,
+// and the record lands in the common bookkeeping like any other run.
+// The empty name selects the default platform driver and behaves —
+// record for record, digest for digest — exactly as Validate always
+// has.
+func (s *SPSystem) ValidateDriver(driver, experiment string, cfg platform.Config, exts *externals.Set, tag string) (*runner.RunRecord, error) {
 	st, err := s.Experiment(experiment)
 	if err != nil {
 		return nil, err
 	}
-	build, err := s.Builder.Build(st.Repo, cfg, exts)
+	drv, err := s.Driver(driver)
 	if err != nil {
 		return nil, err
 	}
-	return s.Runner.Run(st.Suite, s.context(st, cfg, exts, build), tag)
+	ctx, err := drv.Provision(valtest.ProvisionRequest{
+		Suite:     st.Suite,
+		Config:    cfg,
+		Externals: exts,
+		Repo:      st.Repo,
+		Registry:  s.Registry,
+		Store:     s.Store,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: provisioning %s on driver %s: %w", experiment, drv.Name(), err)
+	}
+	return s.Runner.RunWith(drv, st.Suite, ctx, tag)
 }
 
 // CellDigest returns the content-addressed input digest a validation of
@@ -266,11 +307,23 @@ func (s *SPSystem) Validate(experiment string, cfg platform.Config, exts *extern
 // campaign planner diffs these desired digests against the recorded
 // bookkeeping to decide which cells actually need re-validation.
 func (s *SPSystem) CellDigest(experiment string, cfg platform.Config, exts *externals.Set) (string, error) {
+	return s.CellDigestDriver(experiment, cfg, exts, "")
+}
+
+// CellDigestDriver is CellDigest for a cell bound to a named driver.
+// The empty name and the default platform driver yield digests
+// byte-identical to CellDigest — recorded pre-seam cells never go
+// stale — while any other driver folds its name in, keeping hosted and
+// fault-injected runs from satisfying platform cells.
+func (s *SPSystem) CellDigestDriver(experiment string, cfg platform.Config, exts *externals.Set, driver string) (string, error) {
 	st, err := s.Experiment(experiment)
 	if err != nil {
 		return "", err
 	}
-	return runner.InputDigest(st.Suite, st.Repo.Revision, cfg, exts), nil
+	if driver == valtest.DefaultDriverName {
+		driver = ""
+	}
+	return runner.InputDigestDriver(st.Suite, st.Repo.Revision, cfg, exts, driver), nil
 }
 
 // RunFunc adapts Validate for the migration planner.
@@ -349,6 +402,42 @@ func (s *SPSystem) PublishReports(title string) (int, error) {
 		return stats.Pages, err
 	}
 	return stats.Pages, nil
+}
+
+// Scrub runs one archive-wide integrity pass on the default platform
+// driver: every blob in the common storage is re-read and re-hashed, in
+// pages of pageSize (scrub.DefaultPageSize if < 1), and the verdicts
+// are recorded as an ordinary run under the SCRUB experiment — indexed,
+// diffable and served like any validation. This is the DPHEP
+// bit-preservation duty made a first-class workload.
+func (s *SPSystem) Scrub(pageSize int, tag string) (*runner.RunRecord, error) {
+	return s.ScrubDriver("", pageSize, tag)
+}
+
+// ScrubDriver is Scrub on a named driver — the seam that lets a
+// fault-injection wrapper (or a hosted client) scrub the same archive.
+// The suite is built from the system store's blob listing either way;
+// the driver chooses which store view the page reads actually hit.
+func (s *SPSystem) ScrubDriver(driver string, pageSize int, tag string) (*runner.RunRecord, error) {
+	suite, err := scrub.BuildSuite(s.Store, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	drv, err := s.Driver(driver)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := drv.Provision(valtest.ProvisionRequest{
+		Suite:     suite,
+		Config:    platform.ReferenceConfig(),
+		Externals: &externals.Set{},
+		Registry:  s.Registry,
+		Store:     s.Store,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: provisioning scrub on driver %s: %w", drv.Name(), err)
+	}
+	return s.Runner.RunWith(drv, suite, ctx, tag)
 }
 
 // Freeze conserves an image at the current simulated time — the final

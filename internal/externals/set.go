@@ -46,8 +46,14 @@ func (s *Set) Get(name Name) (*Release, bool) {
 	return r, ok
 }
 
-// Releases returns the installed releases sorted by product name.
+// Releases returns the installed releases sorted by product name. A
+// nil set has none: repository-less suites (the archive scrub) carry no
+// externals, and every label/key path must render them as "(no
+// externals)" rather than panic.
 func (s *Set) Releases() []*Release {
+	if s == nil {
+		return nil
+	}
 	out := make([]*Release, 0, len(s.releases))
 	for _, r := range s.releases {
 		out = append(out, r)

@@ -41,3 +41,20 @@ func InputDigest(suite *valtest.Suite, revision int, cfg platform.Config, exts *
 	fmt.Fprintf(h, "revision:%d\nconfig:%s\nexternals:%s\n", revision, cfg.Key(), extKey)
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// InputDigestDriver is InputDigest extended with the executing driver's
+// identity. The default platform driver (named by an empty string or
+// valtest.DefaultDriverName) contributes nothing — the digest is
+// byte-identical to InputDigest, so introducing the driver seam staled
+// no recorded cell. Any other driver is folded in, because where a suite
+// runs is an input: a vmhost green run must not satisfy a planner
+// looking for a platform one, and a fault-injection run must never
+// satisfy anybody.
+func InputDigestDriver(suite *valtest.Suite, revision int, cfg platform.Config, exts *externals.Set, driver string) string {
+	if driver == "" || driver == valtest.DefaultDriverName {
+		return InputDigest(suite, revision, cfg, exts)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\ndriver:%s\n", InputDigest(suite, revision, cfg, exts), driver)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -60,6 +60,11 @@ type RunRecord struct {
 	// decode with an empty value and are treated as always-stale by the
 	// campaign planner.
 	InputDigest string `json:"input_digest,omitempty"`
+	// Driver names the valtest.Driver the suite executed on. Empty means
+	// the in-process platform driver — including every record written
+	// before the driver seam existed, which therefore stays
+	// byte-identical to what a platform-driver run records today.
+	Driver string `json:"driver,omitempty"`
 	// Timestamp is the Unix start time (simulated clock).
 	Timestamp int64 `json:"timestamp"`
 	// Jobs holds every job in deterministic (topological) order.
@@ -140,8 +145,20 @@ func (rn *Runner) nextSeq(name string) (int, error) {
 // Run executes the suite in the given context and records everything.
 // The context's Env is extended with the run and job identifiers; its
 // SP_WORKDIR is the run ID, so all chain files land in a per-run
-// namespace and are kept forever.
+// namespace and are kept forever. Tests execute on the in-process
+// platform driver; use RunWith to execute on any other driver.
 func (rn *Runner) Run(suite *valtest.Suite, base *valtest.Context, description string) (*RunRecord, error) {
+	return rn.RunWith(&valtest.PlatformDriver{}, suite, base, description)
+}
+
+// RunWith executes the suite through the given driver's RunTest/Collect
+// seam, in a context the caller already provisioned (normally via the
+// same driver's Provision). Scheduling — wave grouping, the standalone
+// worker pool, dependency skips — stays here regardless of driver, so
+// every driver sees the identical execution order the paper's Figure 2
+// prescribes. The driver's name is recorded and, for any driver other
+// than the default platform one, folded into the run's input digest.
+func (rn *Runner) RunWith(drv valtest.Driver, suite *valtest.Suite, base *valtest.Context, description string) (*RunRecord, error) {
 	ordered, err := suite.Order()
 	if err != nil {
 		return nil, err
@@ -163,7 +180,10 @@ func (rn *Runner) Run(suite *valtest.Suite, base *valtest.Context, description s
 	if base.Repo != nil {
 		rec.RepoRevision = base.Repo.Revision
 	}
-	rec.InputDigest = InputDigest(suite, rec.RepoRevision, base.Config, base.Externals)
+	if name := drv.Name(); name != valtest.DefaultDriverName {
+		rec.Driver = name
+	}
+	rec.InputDigest = InputDigestDriver(suite, rec.RepoRevision, base.Config, base.Externals, rec.Driver)
 
 	outcomes := make(map[string]valtest.Outcome, len(ordered))
 	results := make(map[string]valtest.Result, len(ordered))
@@ -198,9 +218,9 @@ func (rn *Runner) Run(suite *valtest.Suite, base *valtest.Context, description s
 				sequential = append(sequential, t)
 			}
 		}
-		rn.runParallel(standalone, base, runID, outcomes, results)
+		rn.runParallel(drv, standalone, base, runID, outcomes, results)
 		for _, t := range sequential {
-			results[t.Name()] = rn.runOne(t, base, runID, outcomes)
+			results[t.Name()] = rn.runOne(drv, t, base, runID, outcomes)
 			outcomes[t.Name()] = results[t.Name()].Outcome
 		}
 		// Wall cost: sequential tests serialize; standalone tests pack
@@ -276,17 +296,19 @@ func jobContext(base *valtest.Context, runID string) *valtest.Context {
 
 // runOne executes a single test, skipping it if any dependency did not
 // pass.
-func (rn *Runner) runOne(t valtest.Test, base *valtest.Context, runID string, outcomes map[string]valtest.Outcome) valtest.Result {
+func (rn *Runner) runOne(drv valtest.Driver, t valtest.Test, base *valtest.Context, runID string, outcomes map[string]valtest.Outcome) valtest.Result {
 	if skipped, res := skipForDeps(t, outcomes); skipped {
 		return res
 	}
-	return safeRun(t, jobContext(base, runID))
+	return safeRun(drv, t, jobContext(base, runID))
 }
 
-// safeRun contains a panicking test: a crashing test executable is a
-// normal event for the framework (that is much of what it exists to
-// detect) and must never take the validation run down with it.
-func safeRun(t valtest.Test, ctx *valtest.Context) (res valtest.Result) {
+// safeRun contains a panicking test or driver: a crashing test
+// executable is a normal event for the framework (that is much of what
+// it exists to detect) and must never take the validation run down with
+// it. The driver's Collect runs inside the same recovery, so a driver
+// that panics while handing artifacts back is contained identically.
+func safeRun(drv valtest.Driver, t valtest.Test, ctx *valtest.Context) (res valtest.Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = valtest.Result{
@@ -297,14 +319,14 @@ func safeRun(t valtest.Test, ctx *valtest.Context) (res valtest.Result) {
 			}
 		}
 	}()
-	return t.Run(ctx)
+	return drv.Collect(ctx, drv.RunTest(t, ctx))
 }
 
 // runParallel executes standalone tests concurrently on the worker pool.
 // Dependencies of tests in this wave completed in earlier waves, so skip
 // decisions are taken up front and the outcome map is only written after
 // every worker has finished — no goroutine touches shared state mid-wave.
-func (rn *Runner) runParallel(tests []valtest.Test, base *valtest.Context, runID string,
+func (rn *Runner) runParallel(drv valtest.Driver, tests []valtest.Test, base *valtest.Context, runID string,
 	outcomes map[string]valtest.Outcome, results map[string]valtest.Result) {
 
 	if len(tests) == 0 {
@@ -333,7 +355,7 @@ func (rn *Runner) runParallel(tests []valtest.Test, base *valtest.Context, runID
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			waveResults[i] = safeRun(t, jobContext(base, runID))
+			waveResults[i] = safeRun(drv, t, jobContext(base, runID))
 		}(i, t)
 	}
 	wg.Wait()

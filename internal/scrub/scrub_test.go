@@ -1,0 +1,166 @@
+package scrub
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// populated returns an on-disk store holding n small distinct blobs.
+func populated(t *testing.T, n int) (*storage.Store, []string) {
+	t.Helper()
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	hashes := make([]string, n)
+	for i := 0; i < n; i++ {
+		h, err := st.Put("data", fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("payload %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[i] = h
+	}
+	return st, hashes
+}
+
+// runSuite executes the scrub suite over the store through the platform
+// driver, like core.Scrub does.
+func runSuite(t *testing.T, st *storage.Store, pageSize int) *runner.RunRecord {
+	t.Helper()
+	suite, err := BuildSuite(st, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &valtest.PlatformDriver{}
+	ctx, err := drv.Provision(valtest.ProvisionRequest{Suite: suite, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := runner.New(st, simclock.New()).RunWith(drv, suite, ctx, "scrub test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestScrubCleanArchivePasses(t *testing.T) {
+	st, _ := populated(t, 25)
+	rec := runSuite(t, st, 10)
+	if !rec.Passed() {
+		t.Fatalf("clean archive scrub failed: %+v", rec.Counts())
+	}
+	// 25 data blobs + the meta counter blobs the run itself minted pages
+	// at 10/page; at least 3 pages must exist.
+	if len(rec.Jobs) < 3 {
+		t.Fatalf("scrub of 25+ blobs produced %d pages, want >= 3", len(rec.Jobs))
+	}
+	if rec.Experiment != Experiment {
+		t.Fatalf("scrub run recorded under %q, want %q", rec.Experiment, Experiment)
+	}
+}
+
+func TestScrubDetectsSingleFlippedByte(t *testing.T) {
+	st, hashes := populated(t, 25)
+	victim := hashes[7]
+	fsb, ok := st.Backend().(*storage.FSBackend)
+	if !ok {
+		t.Fatalf("backend is %T, want *storage.FSBackend", st.Backend())
+	}
+	if err := fsb.DamageBlob(victim, 3); err != nil {
+		t.Fatal(err)
+	}
+	rec := runSuite(t, st, 10)
+	if rec.Passed() {
+		t.Fatal("scrub passed over a damaged blob")
+	}
+	counts := rec.Counts()
+	if counts[valtest.OutcomeFail] != 1 {
+		t.Fatalf("want exactly 1 failing page, got %+v", counts)
+	}
+	var failing *runner.JobRecord
+	for i := range rec.Jobs {
+		if rec.Jobs[i].Result.Outcome == valtest.OutcomeFail {
+			failing = &rec.Jobs[i]
+		}
+	}
+	if !strings.Contains(failing.Result.Detail, victim[:12]) {
+		t.Fatalf("failing page detail %q does not name the damaged blob %s", failing.Result.Detail, victim[:12])
+	}
+	if failing.Result.Statistic != 1 {
+		t.Fatalf("corrupt-count statistic = %v, want 1", failing.Result.Statistic)
+	}
+}
+
+// TestScrubRecordedAsFirstClassRun: the verdict is in the store like
+// any validation run — loadable, listed, digested.
+func TestScrubRecordedAsFirstClassRun(t *testing.T) {
+	st, _ := populated(t, 5)
+	rec := runSuite(t, st, 0)
+	back, err := runner.LoadRun(st, rec.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != Experiment || back.InputDigest == "" {
+		t.Fatalf("stored scrub run: experiment %q digest %q", back.Experiment, back.InputDigest)
+	}
+	found := false
+	for _, id := range runner.ListRuns(st) {
+		if id == rec.RunID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("scrub run missing from the run listing")
+	}
+}
+
+// TestScrubFingerprintTracksArchive: growing the archive changes the
+// suite fingerprint, so a green scrub never vouches for blobs it did
+// not read.
+func TestScrubFingerprintTracksArchive(t *testing.T) {
+	st, _ := populated(t, 5)
+	a, err := BuildSuite(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("data", "new", []byte("grown")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSuite(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatalf("fingerprint %q unchanged after the archive grew", a.Fingerprint)
+	}
+}
+
+func TestScrubEmptyArchive(t *testing.T) {
+	st := storage.NewStore()
+	suite, err := BuildSuite(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Len() != 1 {
+		t.Fatalf("empty-archive suite has %d tests, want 1 sentinel", suite.Len())
+	}
+	drv := &valtest.PlatformDriver{}
+	ctx, err := drv.Provision(valtest.ProvisionRequest{Suite: suite, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := runner.New(st, simclock.New()).RunWith(drv, suite, ctx, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Passed() {
+		t.Fatal("empty-archive scrub did not pass")
+	}
+}

@@ -529,6 +529,33 @@ func fsListBlobs(dir string) ([]string, error) {
 // on-disk corruption surfaces as an error at the point of access.
 func (b *FSBackend) GetBlob(hash string) ([]byte, error) { return fsGetBlob(b.dir, hash) }
 
+// DamageBlob flips one byte of the blob's on-disk file at the given
+// offset — controlled bit rot, for exercising the framework's
+// corruption detection (the scrub suite, read-time verification, CI's
+// scrub-smoke job). It bypasses the staged write protocol on purpose:
+// real rot does not stage and rename either.
+func (b *FSBackend) DamageBlob(hash string, offset int64) error {
+	path := b.blobPath(hash)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("storage: damaging blob %s: %w", shortHash(hash), err)
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		f.Close() //spvet:allow syncclose — the read error propagates; close is cleanup
+		return fmt.Errorf("storage: damaging blob %s at offset %d: %w", shortHash(hash), offset, err)
+	}
+	buf[0] ^= 0x01
+	if _, err := f.WriteAt(buf, offset); err != nil {
+		f.Close() //spvet:allow syncclose — the write error propagates; close is cleanup
+		return fmt.Errorf("storage: damaging blob %s at offset %d: %w", shortHash(hash), offset, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: damaging blob %s: %w", shortHash(hash), err)
+	}
+	return nil
+}
+
 // HasBlob reports whether the blob file exists.
 func (b *FSBackend) HasBlob(hash string) bool { return fsHasBlob(b.dir, hash) }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -119,6 +120,12 @@ func OpenRemoteBackend(baseURL string, opts RemoteOptions) (*RemoteBackend, erro
 		names:   make(map[string]string),
 	}
 	if err := b.Refresh(); err != nil {
+		// The unreachable/API errors below already name the store and
+		// start with the package prefix; re-wrapping would print the URL
+		// twice on the one line a CLI user reads.
+		if strings.HasPrefix(err.Error(), "storage: ") {
+			return nil, err
+		}
 		return nil, fmt.Errorf("storage: opening remote store %s: %w", b.base, err)
 	}
 	return b, nil
@@ -133,7 +140,28 @@ func OpenView(dirOrURL string) (*Store, error) {
 	if IsRemoteStore(dirOrURL) {
 		return OpenRemote(dirOrURL)
 	}
+	// Anything else scheme-like is a mistyped URL, not a directory name:
+	// say so instead of letting the filesystem open "ftp://host" as a
+	// relative path and report a baffling ENOENT.
+	if i := strings.Index(dirOrURL, "://"); i >= 0 {
+		return nil, fmt.Errorf("storage: %q is not a store: scheme %q is not supported (use a directory path or an http(s) URL)",
+			dirOrURL, dirOrURL[:i])
+	}
 	return OpenReadOnly(dirOrURL)
+}
+
+// rootCause returns the innermost error of the chain — the short
+// "connection refused" / "no such host" a person acts on — shedding the
+// url.Error and net.OpError wrappers that repeat the URL and method
+// around it.
+func rootCause(err error) error {
+	for {
+		next := errors.Unwrap(err)
+		if next == nil {
+			return err
+		}
+		err = next
+	}
 }
 
 // apiURL joins the base with a store-API path and query.
@@ -182,7 +210,9 @@ func (b *RemoteBackend) get(method, rawURL string) (status int, body []byte, err
 		}
 		err = rerr
 		if attempt+1 >= b.retries {
-			return 0, nil, fmt.Errorf("storage: remote store %s unreachable after %d attempts: %w", b.base, b.retries, err)
+			// One line naming the store and the root cause; the transport
+			// wrappers in between repeat the URL without adding anything.
+			return 0, nil, fmt.Errorf("storage: remote store %s unreachable after %d attempts: %v", b.base, b.retries, rootCause(err))
 		}
 		b.sleep(delay)
 		delay *= 2

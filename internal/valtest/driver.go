@@ -1,0 +1,204 @@
+package valtest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buildsys"
+	"repro/internal/externals"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/swrepo"
+)
+
+// DefaultDriverName names the in-process platform driver. A run with no
+// recorded driver name — including every run recorded before the driver
+// seam existed — is a platform-driver run, and the default driver never
+// contributes to input digests so the seam's introduction cannot stale
+// recorded cells.
+const DefaultDriverName = "platform"
+
+// ProvisionRequest describes the environment a driver must provision for
+// one suite execution: the suite itself plus the configuration,
+// externals, repository and registry the tests will consult. Store is
+// the caller's common storage; in-process drivers hand it straight to
+// the tests, hosted drivers may substitute a client-scoped store.
+type ProvisionRequest struct {
+	// Suite is the suite about to run.
+	Suite *Suite
+	// Config is the platform configuration under test.
+	Config platform.Config
+	// Externals is the external-software selection.
+	Externals *externals.Set
+	// Repo is the experiment repository, nil for repository-less suites
+	// (the archive scrub suite runs against the store alone).
+	Repo *swrepo.Repository
+	// Registry resolves compilers and OS releases.
+	Registry *platform.Registry
+	// Store is the common sp-system storage of the caller.
+	Store *storage.Store
+}
+
+// Driver provisions execution environments and runs tests in them: the
+// seam that makes a Suite pure data. The paper defines validation tests
+// once and runs them "on the full spectrum of the software" across many
+// hosted machines; a Driver is one such place to run them.
+//
+// The contract, in execution order:
+//
+//   - Provision builds the Context the suite will run in. It must fill
+//     every Context field a test may consult (Store, Env, Config,
+//     Registry, Externals, Repo, Build) and is the only step allowed to
+//     acquire resources.
+//   - RunTest executes one test in the provisioned context and returns
+//     its Result. Drivers must not reorder or skip tests — scheduling
+//     stays with the runner.
+//   - Collect hands a test's artifacts back to the caller. In-process
+//     drivers pass the Result through; hosted drivers copy OutputKey
+//     artifacts from the client store into the caller's before
+//     returning. Collect runs after every RunTest, exactly once.
+//
+// Drivers must not stamp themselves into digests: input-digest stamping
+// is the runner's job (see runner.InputDigestDriver), keyed on Name.
+type Driver interface {
+	// Name identifies the driver in run records and digests. It must be
+	// stable across processes: the name is hashed into input digests for
+	// every driver except the default platform driver.
+	Name() string
+	// Provision prepares an execution environment for the suite.
+	Provision(req ProvisionRequest) (*Context, error)
+	// RunTest executes one test in the provisioned context.
+	RunTest(t Test, ctx *Context) Result
+	// Collect finalises one test's result, handing artifacts back to
+	// the caller's store.
+	Collect(ctx *Context, res Result) Result
+}
+
+// PlatformDriver is the in-process driver: the environment is the
+// calling process itself, so provisioning is (at most) a software build,
+// tests run by direct call, and artifacts are already in the caller's
+// store. It reproduces exactly what core.SPSystem.Validate did before
+// the seam existed.
+type PlatformDriver struct {
+	// Builder compiles the experiment repository during Provision; nil
+	// for suites that need no build (scrub).
+	Builder *buildsys.Builder
+}
+
+// Name returns DefaultDriverName.
+func (d *PlatformDriver) Name() string { return DefaultDriverName }
+
+// Provision assembles the in-process context: build the repository on
+// the requested configuration if there is one, then expose the caller's
+// own store and environment variables.
+func (d *PlatformDriver) Provision(req ProvisionRequest) (*Context, error) {
+	var build *buildsys.Result
+	if req.Repo != nil && d.Builder != nil {
+		var err error
+		build, err = d.Builder.Build(req.Repo, req.Config, req.Externals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Context{
+		Store: req.Store,
+		Env: storage.Env{
+			storage.EnvConfig:    req.Config.String(),
+			storage.EnvExternals: req.Externals.String(),
+		},
+		Config:    req.Config,
+		Registry:  req.Registry,
+		Externals: req.Externals,
+		Repo:      req.Repo,
+		Build:     build,
+	}, nil
+}
+
+// RunTest executes the test by direct call.
+func (d *PlatformDriver) RunTest(t Test, ctx *Context) Result { return t.Run(ctx) }
+
+// Collect is a pass-through: in-process artifacts are already in the
+// caller's store.
+func (d *PlatformDriver) Collect(ctx *Context, res Result) Result { return res }
+
+// FaultDriver wraps another driver with injectable faults, proving the
+// seam isolates failures: a provisioning fault surfaces as a run error,
+// a storage fault surfaces as failing tests, and neither corrupts the
+// caller's bookkeeping. It is used by tests and by fault-injection
+// scenario suites.
+type FaultDriver struct {
+	// Inner is the wrapped driver.
+	Inner Driver
+	// FlakyProvision makes every n-th Provision call fail (1 = every
+	// call), simulating an unreachable external software repository.
+	FlakyProvision int
+	// SlowBuild inflates every result's Cost, simulating a degraded
+	// build host.
+	SlowBuild time.Duration
+	// CorruptBlob, when non-empty, is a blob hash whose reads are
+	// returned with one byte flipped — injected bit rot.
+	CorruptBlob string
+
+	mu         sync.Mutex
+	provisions int
+}
+
+// Name returns "fault(<inner>)" — distinct from the inner driver's name
+// so fault-injection runs digest differently and never satisfy a
+// planner looking for genuine green runs.
+func (d *FaultDriver) Name() string { return "fault(" + d.Inner.Name() + ")" }
+
+// Provision counts calls, injects the flaky-externals fault, and wraps
+// the provisioned store with the corrupting backend when configured.
+func (d *FaultDriver) Provision(req ProvisionRequest) (*Context, error) {
+	d.mu.Lock()
+	d.provisions++
+	n := d.provisions
+	d.mu.Unlock()
+	if d.FlakyProvision > 0 && n%d.FlakyProvision == 0 {
+		return nil, fmt.Errorf("valtest: external software repository unreachable (injected fault, provision %d)", n)
+	}
+	ctx, err := d.Inner.Provision(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.CorruptBlob != "" && ctx.Store != nil {
+		ctx.Store = storage.NewStoreWith(&corruptBackend{
+			Backend: ctx.Store.Backend(),
+			hash:    d.CorruptBlob,
+		})
+	}
+	return ctx, nil
+}
+
+// RunTest delegates to the inner driver.
+func (d *FaultDriver) RunTest(t Test, ctx *Context) Result { return d.Inner.RunTest(t, ctx) }
+
+// Collect delegates, then applies the slow-build penalty.
+func (d *FaultDriver) Collect(ctx *Context, res Result) Result {
+	res = d.Inner.Collect(ctx, res)
+	res.Cost += d.SlowBuild
+	return res
+}
+
+// corruptBackend delegates every Backend call, flipping one byte of the
+// target blob on read — the storage-level fault a scrub must catch.
+type corruptBackend struct {
+	storage.Backend
+	hash string
+}
+
+func (b *corruptBackend) GetBlob(hash string) ([]byte, error) {
+	data, err := b.Backend.GetBlob(hash)
+	if err != nil {
+		return nil, err
+	}
+	if hash == b.hash && len(data) > 0 {
+		flipped := make([]byte, len(data))
+		copy(flipped, data)
+		flipped[0] ^= 0x01
+		return flipped, nil
+	}
+	return data, nil
+}

@@ -1,0 +1,125 @@
+package vmhost
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/buildsys"
+	"repro/internal/valtest"
+)
+
+// Client returns the attached client with the given name.
+func (h *Host) Client(name string) (*Client, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	c, ok := h.clients[name]
+	return c, ok
+}
+
+// DriverName is the ImageDriver's identity in run records and digests.
+const DriverName = "vmhost"
+
+// DefaultCronSpec is the cron entry given to driver-booted clients: the
+// paper's nightly validation cadence.
+const DefaultCronSpec = "0 3 * * *"
+
+// ImageDriver runs validation suites on hosted machines: Provision
+// builds (or reuses) the Image for the requested configuration and
+// externals, boots (or reuses) a Client from it, and hands back a
+// context rooted in that client's environment. This is the paper's
+// hosting model made executable — the same suites the in-process driver
+// runs "can equally run on any number of virtual or physical machines",
+// each defined by nothing more than an image and a cron entry.
+//
+// Because every client shares the common sp-system storage (the paper's
+// one hard requirement), artifacts written by a hosted run are already
+// in the caller's store and Collect is a pass-through — verdicts are
+// byte-identical to the in-process driver's on equal inputs.
+type ImageDriver struct {
+	// Host is the machine inventory provisioned against.
+	Host *Host
+	// Builder compiles the experiment repository inside the client
+	// environment during Provision; nil for build-less suites.
+	Builder *buildsys.Builder
+	// Now supplies the image build instant (release-date gating). It is
+	// required: image builds must not read the wall clock, or hosted
+	// verdicts stop being reproducible across processes.
+	Now func() time.Time
+	// Kind is the machine kind to boot; defaults to VM.
+	Kind ClientKind
+	// CronSpec is the booted clients' cron entry; defaults to
+	// DefaultCronSpec.
+	CronSpec string
+}
+
+// Name returns DriverName.
+func (d *ImageDriver) Name() string { return DriverName }
+
+// Provision builds and registers the image for the request, boots a
+// client from it (reusing the client a previous provision of the same
+// image booted), builds the repository if the suite needs one, and
+// returns the client-rooted context.
+func (d *ImageDriver) Provision(req valtest.ProvisionRequest) (*valtest.Context, error) {
+	if d.Host == nil {
+		return nil, fmt.Errorf("vmhost: ImageDriver has no host")
+	}
+	if d.Now == nil {
+		return nil, fmt.Errorf("vmhost: ImageDriver has no clock; thread the system clock through Now")
+	}
+	im, err := BuildImage(req.Registry, req.Config, req.Externals, d.Now())
+	if err != nil {
+		return nil, err
+	}
+	// Image IDs are deterministic in the recipe, so a re-provision of
+	// the same configuration rebuilds the same ID: reuse the registered
+	// image rather than collide with it.
+	if prev, perr := d.Host.Image(im.ID); perr == nil {
+		im = prev
+	} else if err := d.Host.AddImage(im); err != nil {
+		return nil, err
+	}
+	cronSpec := d.CronSpec
+	if cronSpec == "" {
+		cronSpec = DefaultCronSpec
+	}
+	name := "sp-client-" + im.ID
+	client, ok := d.Host.Client(name)
+	if !ok {
+		client, err = d.Host.Boot(name, d.Kind, im.ID, cronSpec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var build *buildsys.Result
+	if req.Repo != nil && d.Builder != nil {
+		build, err = d.Builder.Build(req.Repo, req.Config, req.Externals)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &valtest.Context{
+		Store:     client.Store(),
+		Env:       client.Env(),
+		Config:    req.Config,
+		Registry:  req.Registry,
+		Externals: req.Externals,
+		Repo:      req.Repo,
+		Build:     build,
+	}, nil
+}
+
+// RunTest executes the test in the client context by direct call: the
+// simulated client is in-process, so "running on the client" is running
+// against the client's store and environment.
+func (d *ImageDriver) RunTest(t valtest.Test, ctx *valtest.Context) valtest.Result {
+	return t.Run(ctx)
+}
+
+// Collect is a pass-through: clients write into the common storage, so
+// there is nothing to copy back.
+func (d *ImageDriver) Collect(ctx *valtest.Context, res valtest.Result) valtest.Result { return res }
+
+// compile-time driver conformance, and a seam check: the client store a
+// provisioned context exposes is a *storage.Store like any other, so
+// tests cannot tell drivers apart.
+var _ valtest.Driver = (*ImageDriver)(nil)
