@@ -1,0 +1,162 @@
+// Serving-tier load benchmarks: what one spserve process costs per
+// request over an archive-scale store, and what the render cache and
+// position-keyed conditional serving buy. BenchmarkServeHot prices the
+// three steady states the serving tier distinguishes — a full render
+// (cache disabled), a render-cache hit, and an If-None-Match 304 — and
+// reports the cached and 304 variants' speedup over the uncached render
+// path as a vs-uncached metric (the acceptance bar is ≥ 5× on the
+// 100k-run store). The load/* sub-benchmarks drive the same handler
+// through a real HTTP server with concurrent clients and report
+// requests per second.
+package repro
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+func BenchmarkServeHot(b *testing.B) {
+	const n = 100000
+	dir := synthStore(b, n)
+	view, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer view.Close()
+
+	// Two servers over the same view: cold renders every request (the
+	// pre-cache behavior), hot is the production configuration. A long
+	// refresh interval keeps both benches pricing the serving path, not
+	// the journal re-tail.
+	cold, err := serve.NewWith(view, serve.Options{Title: "bench", RefreshEvery: time.Hour, CacheEntries: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot, err := serve.NewWith(view, serve.Options{Title: "bench", RefreshEvery: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldH, hotH := cold.Handler(), hot.Handler()
+
+	do := func(h http.Handler, path, inm string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	routes := []struct{ name, path string }{
+		{"matrix-html", "/"},
+		{"matrix-json", "/api/v1/matrix"},
+		{"runs-json", "/api/v1/runs?limit=2000"},
+	}
+	for _, rt := range routes {
+		// The uncached per-op duration anchors the vs-uncached ratios the
+		// cached and 304 variants report.
+		var uncachedPerOp time.Duration
+		b.Run(rt.name+"/uncached", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if w := do(coldH, rt.path, ""); w.Code != 200 {
+					b.Fatalf("GET %s = %d", rt.path, w.Code)
+				}
+			}
+			uncachedPerOp = b.Elapsed() / time.Duration(b.N)
+		})
+
+		b.Run(rt.name+"/cached", func(b *testing.B) {
+			if w := do(hotH, rt.path, ""); w.Code != 200 { // warm the cache
+				b.Fatalf("warmup GET %s = %d", rt.path, w.Code)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w := do(hotH, rt.path, ""); w.Code != 200 {
+					b.Fatalf("GET %s = %d", rt.path, w.Code)
+				}
+			}
+			b.StopTimer()
+			if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 && uncachedPerOp > 0 {
+				b.ReportMetric(float64(uncachedPerOp)/float64(perOp), "vs-uncached")
+			}
+		})
+
+		b.Run(rt.name+"/304", func(b *testing.B) {
+			etag := do(hotH, rt.path, "").Header().Get("ETag")
+			if etag == "" {
+				b.Fatalf("GET %s carries no ETag", rt.path)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w := do(hotH, rt.path, etag); w.Code != http.StatusNotModified {
+					b.Fatalf("conditional GET %s = %d, want 304", rt.path, w.Code)
+				}
+			}
+			b.StopTimer()
+			if perOp := b.Elapsed() / time.Duration(b.N); perOp > 0 && uncachedPerOp > 0 {
+				b.ReportMetric(float64(uncachedPerOp)/float64(perOp), "vs-uncached")
+			}
+		})
+	}
+
+	// The load driver: concurrent clients over a real listener, the
+	// shape a fleet of polling dashboards puts on one spserve.
+	ts := httptest.NewServer(hotH)
+	defer ts.Close()
+	client := ts.Client()
+	fetch := func(path, inm string) (int, error) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			return 0, err
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — drained for keep-alive reuse
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	code, err := fetch("/", "")
+	if err != nil || code != 200 {
+		b.Fatalf("load warmup = %d, %v", code, err)
+	}
+	etag := do(hotH, "/", "").Header().Get("ETag")
+
+	loads := []struct {
+		name, inm string
+		want      int
+	}{
+		{"load/cached", "", 200},
+		{"load/304", etag, http.StatusNotModified},
+	}
+	for _, ld := range loads {
+		b.Run(ld.name, func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					code, err := fetch("/", ld.inm)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if code != ld.want {
+						b.Fatalf("GET / = %d, want %d", code, ld.want)
+					}
+				}
+			})
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "req/s")
+			}
+		})
+	}
+}

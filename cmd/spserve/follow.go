@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cron"
+	"repro/internal/serve"
 	"repro/internal/storage"
 )
 
@@ -28,21 +29,8 @@ type follower struct {
 	lastPos   storage.Position // guarded by mu
 	lastPosOK bool             // guarded by mu
 	syncs     int              // guarded by mu
+	skips     int              // guarded by mu
 	lastErr   error            // guarded by mu
-}
-
-// followStatus is the /healthz follow block. LagBytes is the span of
-// source journal the replica has not yet covered (generation-matched
-// byte offsets); -1 means the lag is momentarily incomparable — the
-// source compacted into a new generation, or it cannot be reached —
-// and the next sync re-converges.
-type followStatus struct {
-	Source      string `json:"source"`
-	Every       string `json:"every"`
-	Syncs       int    `json:"syncs"`
-	LagBytes    int64  `json:"lag_bytes"`
-	SourceErr   string `json:"source_error,omitempty"`
-	LastSyncErr string `json:"last_sync_error,omitempty"`
 }
 
 // newFollower opens the source URL and the replica directory. The
@@ -73,7 +61,23 @@ func newFollower(sourceURL, replicaDir string, every time.Duration) (*follower, 
 }
 
 // sync runs one replication pass and records its outcome for /healthz.
+// A converged follower short-circuits: when the last pass completed and
+// the primary's /position has not moved since, the tick costs one probe
+// instead of Sync's full name walk. Any doubt — probe failure, a
+// positionless source, a moved or regressed position — falls through to
+// the full pass, which remains the correctness path.
 func (f *follower) sync() error {
+	f.mu.Lock()
+	last, lastOK, converged := f.lastPos, f.lastPosOK, f.syncs > 0 && f.lastErr == nil
+	f.mu.Unlock()
+	if converged && lastOK {
+		if doc, err := f.rb.RemotePosition(); err == nil && doc.PositionOK && doc.Position == last {
+			f.mu.Lock()
+			f.skips++
+			f.mu.Unlock()
+			return nil
+		}
+	}
 	st, err := storage.Sync(f.src, f.dst)
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -105,13 +109,15 @@ func (f *follower) loop(stop <-chan struct{}) {
 	}
 }
 
-// status assembles the /healthz follow block, probing the source's
-// live position to compute lag.
-func (f *follower) status() followStatus {
+// FollowStatus assembles the /healthz follow block, probing the
+// source's live position to compute lag. It implements
+// serve.FollowReporter.
+func (f *follower) FollowStatus() serve.FollowStatus {
 	doc, probeErr := f.rb.RemotePosition()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fs := followStatus{Source: f.source, Every: f.every.String(), Syncs: f.syncs, LagBytes: -1}
+	fs := serve.FollowStatus{Source: f.source, Every: f.every.String(),
+		Syncs: f.syncs, SkippedSyncs: f.skips, LagBytes: -1}
 	if probeErr != nil {
 		fs.SourceErr = probeErr.Error()
 	} else if doc.PositionOK && f.lastPosOK && doc.Position.Generation == f.lastPos.Generation {

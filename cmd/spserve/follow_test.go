@@ -2,128 +2,21 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/simclock"
 	"repro/internal/storage"
 	"repro/internal/valtest"
 )
 
-// TestV1Routes drives the versioned surface and the compatibility
-// aliases: every JSON route answers under /api/v1/, errors share the
-// envelope, and the pre-v1 paths still answer with deprecation
-// pointers at their successors.
-func TestV1Routes(t *testing.T) {
-	store := storage.NewStore()
-	rn := runner.New(store, simclock.New())
-	rec := record(t, store, rn, "H1", "baseline", valtest.OutcomePass)
-	srv, err := newServer(store, "v1 test", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	t.Run("moved routes", func(t *testing.T) {
-		for _, path := range []string{"/api/v1/matrix", "/api/v1/runs", "/api/v1/position", "/api/v1/names", "/api/v1/blobs"} {
-			code, body, hdr := get(t, ts, path)
-			if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
-				t.Errorf("GET %s = %d (%s)", path, code, hdr.Get("Content-Type"))
-			}
-			if hdr.Get("Deprecation") != "" {
-				t.Errorf("GET %s carries a Deprecation header on the v1 surface", path)
-			}
-			if !json.Valid([]byte(body)) {
-				t.Errorf("GET %s is not JSON: %q", path, body)
-			}
-		}
-	})
-
-	t.Run("error envelope", func(t *testing.T) {
-		for path, wantCode := range map[string]int{
-			"/api/v1/plan":     404, // no plan recorded
-			"/api/v1/nope":     404, // unknown API route
-			"/api/v1/blob/zzz": 400, // malformed hash
-			"/blob/not-a-hash": 400, // legacy alias, same contract
-			"/api/v1/blob/" + strings.Repeat("0", 64): 404,
-		} {
-			code, body, _ := get(t, ts, path)
-			if code != wantCode {
-				t.Errorf("GET %s = %d, want %d", path, code, wantCode)
-			}
-			var doc storage.APIErrorDoc
-			if err := json.Unmarshal([]byte(body), &doc); err != nil || doc.Error.Code == "" || doc.Error.Message == "" {
-				t.Errorf("GET %s error body is not the envelope: %q", path, body)
-			}
-		}
-	})
-
-	t.Run("legacy aliases answer with pointers", func(t *testing.T) {
-		for legacy, successor := range map[string]string{
-			"/api/matrix": "/api/v1/matrix",
-			"/api/runs":   "/api/v1/runs",
-		} {
-			legacyCode, legacyBody, hdr := get(t, ts, legacy)
-			v1Code, v1Body, _ := get(t, ts, successor)
-			if legacyCode != 200 || v1Code != 200 || legacyBody != v1Body {
-				t.Errorf("alias %s diverges from %s", legacy, successor)
-			}
-			if hdr.Get("Deprecation") != "true" || !strings.Contains(hdr.Get("Link"), successor) {
-				t.Errorf("alias %s lacks deprecation pointers: Deprecation=%q Link=%q",
-					legacy, hdr.Get("Deprecation"), hdr.Get("Link"))
-			}
-		}
-	})
-
-	t.Run("blob headers", func(t *testing.T) {
-		job, _ := rec.Find("keeper")
-		hash, err := store.Hash(chain.FilesNS, job.Result.OutputKey)
-		if err != nil {
-			t.Fatal(err)
-		}
-		code, body, hdr := get(t, ts, "/api/v1/blob/"+hash)
-		if code != 200 {
-			t.Fatalf("GET v1 blob = %d", code)
-		}
-		if got := hdr.Get("Content-Length"); got != fmt.Sprint(len(body)) {
-			t.Errorf("Content-Length = %q, body is %d bytes", got, len(body))
-		}
-		if cc := hdr.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
-			t.Errorf("Cache-Control = %q, want immutable", cc)
-		}
-		if hdr.Get("X-Content-SHA256") != hash || hdr.Get("ETag") != `"`+hash+`"` {
-			t.Errorf("verification headers wrong: sha=%q etag=%q", hdr.Get("X-Content-SHA256"), hdr.Get("ETag"))
-		}
-		// HEAD answers with the same headers and no body.
-		resp, err := ts.Client().Head(ts.URL + "/api/v1/blob/" + hash)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != 200 || resp.Header.Get("X-Content-SHA256") != hash {
-			t.Errorf("HEAD blob = %d sha=%q", resp.StatusCode, resp.Header.Get("X-Content-SHA256"))
-		}
-	})
-
-	t.Run("position", func(t *testing.T) {
-		code, body, _ := get(t, ts, "/api/v1/position")
-		var doc storage.PositionDoc
-		if code != 200 || json.Unmarshal([]byte(body), &doc) != nil {
-			t.Fatalf("GET /api/v1/position = %d %q", code, body)
-		}
-		if doc.Bindings == 0 {
-			t.Errorf("position reports zero bindings on a populated store: %q", body)
-		}
-	})
-}
-
-// TestFollowerReplication is the tentpole's end-to-end shape
+// TestFollowerReplication is the multi-site topology's end-to-end shape
 // in-process: a primary spserve over a live store, a follower syncing
 // from its API into a replica directory, byte-identical matrix JSON on
 // both sides, and /healthz lag that tracks the primary's appends.
@@ -138,11 +31,11 @@ func TestFollowerReplication(t *testing.T) {
 	rn := runner.New(primaryStore, simclock.New())
 	record(t, primaryStore, rn, "H1", "first", valtest.OutcomePass)
 	record(t, primaryStore, rn, "ZEUS", "second", valtest.OutcomePass)
-	primarySrv, err := newServer(primaryStore, "fleet status", 0)
+	primarySrv, err := serve.New(primaryStore, "fleet status", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	primary := httptest.NewServer(primarySrv.handler())
+	primary := httptest.NewServer(primarySrv.Handler())
 	defer primary.Close()
 
 	// Follower: replicate into a fresh directory and serve it.
@@ -154,12 +47,12 @@ func TestFollowerReplication(t *testing.T) {
 	if err := f.sync(); err != nil {
 		t.Fatal(err)
 	}
-	replicaSrv, err := newServer(f.dst, "fleet status", 0)
+	replicaSrv, err := serve.New(f.dst, "fleet status", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replicaSrv.follow = f
-	replica := httptest.NewServer(replicaSrv.handler())
+	replicaSrv.SetFollow(f)
+	replica := httptest.NewServer(replicaSrv.Handler())
 	defer replica.Close()
 
 	// The replica's matrix is byte-identical to the primary's.
@@ -175,9 +68,9 @@ func TestFollowerReplication(t *testing.T) {
 		t.Fatalf("replica healthz = %d %q", code, body)
 	}
 	var health struct {
-		Status   string            `json:"status"`
-		Position *storage.Position `json:"position"`
-		Follow   *followStatus     `json:"follow"`
+		Status   string              `json:"status"`
+		Position *storage.Position   `json:"position"`
+		Follow   *serve.FollowStatus `json:"follow"`
 	}
 	if err := json.Unmarshal([]byte(body), &health); err != nil {
 		t.Fatal(err)
@@ -231,5 +124,93 @@ func TestFollowerReplication(t *testing.T) {
 	}
 	if code, _, _ := get(t, replica, "/api/v1/runs"); code != 200 {
 		t.Fatalf("replica pages down with primary down: %d", code)
+	}
+}
+
+// TestFollowerConvergedTickShortCircuit pins the cadence-tick fast
+// path: once a follower has converged, a tick on an unmoved primary
+// costs one /position probe — no name walk, no blob listing — and is
+// counted as a skipped sync. A moved primary falls back to the full
+// pass.
+func TestFollowerConvergedTickShortCircuit(t *testing.T) {
+	primaryStore, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primaryStore.Close()
+	rn := runner.New(primaryStore, simclock.New())
+	record(t, primaryStore, rn, "H1", "first", valtest.OutcomePass)
+	primarySrv, err := serve.New(primaryStore, "primary", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count what the follower actually asks the primary for.
+	var nameWalks, posProbes atomic.Int64
+	inner := primarySrv.Handler()
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/names"), strings.HasSuffix(r.URL.Path, "/blobs"):
+			nameWalks.Add(1)
+		case strings.HasSuffix(r.URL.Path, "/position"):
+			posProbes.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer primary.Close()
+
+	f, err := newFollower(primary.URL, t.TempDir(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.sync(); err != nil {
+		t.Fatal(err)
+	}
+	walksAfterFirst := nameWalks.Load()
+	if walksAfterFirst == 0 {
+		t.Fatal("first sync did not walk the primary's listings")
+	}
+
+	// Converged ticks: the probe answers "unmoved" and the walk is
+	// skipped.
+	for i := 0; i < 3; i++ {
+		if err := f.sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nameWalks.Load() != walksAfterFirst {
+		t.Fatalf("converged ticks walked listings: %d → %d", walksAfterFirst, nameWalks.Load())
+	}
+	probes := posProbes.Load()
+	if probes < 3 {
+		t.Fatalf("converged ticks probed /position %d times, want ≥ 3", probes)
+	}
+	fs := f.FollowStatus()
+	if fs.Syncs != 1 || fs.SkippedSyncs != 3 {
+		t.Fatalf("status after converged ticks = %+v, want 1 sync and 3 skips", fs)
+	}
+	if fs.LagBytes != 0 {
+		t.Fatalf("converged lag = %d, want 0", fs.LagBytes)
+	}
+
+	// The primary advances: the next tick sees the moved position and
+	// runs the full pass again.
+	rec := record(t, primaryStore, rn, "H1", "second", valtest.OutcomePass)
+	if err := f.sync(); err != nil {
+		t.Fatal(err)
+	}
+	if nameWalks.Load() <= walksAfterFirst {
+		t.Fatal("moved primary did not trigger a full pass")
+	}
+	fs = f.FollowStatus()
+	if fs.Syncs != 2 || fs.SkippedSyncs != 3 {
+		t.Fatalf("status after catch-up = %+v, want 2 syncs and 3 skips", fs)
+	}
+	if fs.LagBytes != 0 {
+		t.Fatalf("post-catch-up lag = %d, want 0", fs.LagBytes)
+	}
+	if _, err := f.dst.Get(runner.RunsNS, rec.RunID); err != nil {
+		t.Fatalf("replica missing the caught-up run %s: %v", rec.RunID, err)
 	}
 }

@@ -11,7 +11,9 @@
 // storage.OpenReadOnly: a shared-lock, no-repair read view that re-tails
 // the store's name journal to pick up the writer's appends, feeding an
 // incremental bookkeep.Index so a page view costs memory lookups, not
-// per-query record loads.
+// per-query record loads. The serving tier itself lives in
+// internal/serve; this command is the flag parsing, the store opening
+// and the follower loop around it.
 //
 // Usage:
 //
@@ -28,6 +30,8 @@
 //	                     recorded campaign plan
 //	/runs/{id}           HTML page for one validation run
 //	/diff/{id}           text diff against the last successful baseline
+//	/events              Server-Sent Events push: run-recorded,
+//	                     plan-recorded, generation-changed
 //	/api/v1/matrix       JSON status matrix (cells carry input digests)
 //	/api/v1/plan         JSON form of the last recorded campaign plan
 //	/api/v1/runs         JSON run list, paginated: ?limit= (default
@@ -40,13 +44,17 @@
 //	/api/v1/blobs        paged blob listing with sizes
 //	/api/v1/position     journal position + snapshot generation
 //	/healthz             liveness, store freshness, the served store's
-//	                     position, and — on a follower — replication lag
+//	                     position, cache counters, and — on a follower —
+//	                     replication lag
 //
-// Every JSON error under /api/v1/ (and the legacy aliases) shares one
-// envelope: {"error":{"code":"...","message":"..."}}. The pre-v1
-// routes /blob/{hash}, /api/matrix, /api/plan and /api/runs remain as
-// deprecated aliases for one release; they answer normally but carry
-// Deprecation and Link headers naming their successors.
+// Every dynamic route carries a strong position-keyed ETag and answers
+// If-None-Match revalidations with 304 before touching the index;
+// HTML and JSON bodies negotiate gzip. The caching contract is
+// documented in internal/serve. Every JSON error under /api/v1/ shares
+// one envelope: {"error":{"code":"...","message":"..."}}. The pre-v1
+// alias routes (/blob/{hash}, /api/matrix, /api/plan, /api/runs)
+// served their announced one-release deprecation window and have been
+// removed; they are plain 404s now.
 //
 // Follower mode turns spserve into a read-only replica of another
 // spserve's store:
@@ -57,8 +65,11 @@
 // serving and re-synced on the -every cadence; /healthz gains a follow
 // block reporting the replication lag in source-journal bytes
 // (lag_bytes == 0 means the replica covers everything the primary had
-// at the last sync and nothing has landed since). The primary keeps
-// its single writer; followers scale out reads.
+// at the last sync and nothing has landed since). A cadence tick first
+// probes the primary's /position and skips the full sync walk when
+// nothing moved, so a converged follower costs one round trip per
+// tick. The primary keeps its single writer; followers scale out
+// reads.
 //
 // -refresh bounds how often the journal is re-tailed: at most one
 // refresh per interval, taken lazily on request arrival, so an idle
@@ -67,22 +78,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
 	"time"
 
-	"repro/internal/bookkeep"
-	"repro/internal/buildsys"
-	"repro/internal/campaign"
-	"repro/internal/chain"
-	"repro/internal/cron"
-	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/storage"
 )
 
@@ -131,387 +133,19 @@ func run(storeDir, addr, title string, refresh time.Duration, followURL string, 
 		}
 		defer store.Close()
 	}
-	srv, err := newServer(store, title, refresh)
+	srv, err := serve.New(store, title, refresh)
 	if err != nil {
 		return err
 	}
-	srv.follow = f
 	if f != nil {
+		srv.SetFollow(f)
 		stop := make(chan struct{})
 		defer close(stop)
 		go f.loop(stop)
 		fmt.Printf("spserve: replica of %s in %s on %s, re-syncing every %v (%d runs indexed)\n",
-			followURL, storeDir, addr, every, srv.index.TotalRuns())
+			followURL, storeDir, addr, every, srv.TotalRuns())
 	} else {
-		fmt.Printf("spserve: serving %s on %s (%d runs indexed)\n", storeDir, addr, srv.index.TotalRuns())
+		fmt.Printf("spserve: serving %s on %s (%d runs indexed)\n", storeDir, addr, srv.TotalRuns())
 	}
-	return http.ListenAndServe(addr, srv.handler())
-}
-
-// server holds the read view, the incremental index over it, and the
-// refresh throttle. It is safe for concurrent request handling: the
-// store view and index are individually thread-safe, and the throttle
-// state sits behind its own mutex.
-type server struct {
-	store *storage.Store
-	index *bookkeep.Index
-	title string
-	// follow is non-nil in follower mode; /healthz surfaces its
-	// replication status.
-	follow *follower
-
-	refreshEvery time.Duration
-	// now is the clock source behind the refresh throttle: cron.Wall()
-	// in production, a hand-advanced function in tests (the same seam
-	// shape as cron.Driver), so throttle behavior is testable without
-	// sleeping.
-	now func() time.Time
-
-	mu          sync.Mutex
-	lastRefresh time.Time // guarded by mu
-	lastErr     error     // guarded by mu
-	// planRec and planNotes cache the store's latest recorded campaign
-	// plan, reloaded inside the throttled refresh so matrix-page and
-	// /api/plan traffic never pays a store read per request.
-	planRec   *campaign.PlanRecord // guarded by mu
-	planNotes map[string]string    // guarded by mu
-}
-
-// newServer builds a server over any Store (the read-only disk view in
-// production, an in-memory store in tests) with the index fully loaded.
-func newServer(store *storage.Store, title string, refreshEvery time.Duration) (*server, error) {
-	x, err := bookkeep.BuildIndex(store)
-	if err != nil {
-		return nil, err
-	}
-	now := cron.Wall()
-	s := &server{store: store, index: x, title: title, refreshEvery: refreshEvery, now: now, lastRefresh: now()}
-	s.reloadPlanLocked()
-	return s, nil
-}
-
-// refresh re-tails the store and catches the index up, at most once per
-// refreshEvery. A refresh failure is remembered for /healthz but does
-// not take pages down — the service keeps answering from its last good
-// state.
-func (s *server) refresh() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.refreshEvery > 0 && s.now().Sub(s.lastRefresh) < s.refreshEvery {
-		return
-	}
-	s.lastRefresh = s.now()
-	if err := s.store.Refresh(); err != nil {
-		s.lastErr = err
-		return
-	}
-	s.lastErr = s.index.Refresh()
-	s.reloadPlanLocked()
-}
-
-// reloadPlanLocked refreshes the cached producer plan and its per-cell
-// note map. The caller holds s.mu (or, in newServer, sole ownership).
-// A plan load *failure* (corrupt record) keeps the last good plan —
-// freshness annotations go stale rather than taking pages down — but a
-// store that simply has no plan clears the cache: the read view
-// survives the store being torn down and recreated (Store.Refresh
-// reloads it), and the old store's plan must not describe the new
-// store's cells.
-func (s *server) reloadPlanLocked() {
-	plan, err := campaign.LoadLatestPlan(s.store)
-	if err != nil {
-		return
-	}
-	if plan == nil {
-		s.planRec, s.planNotes = nil, nil
-		return
-	}
-	notes := make(map[string]string, len(plan.Cells))
-	for _, c := range plan.Cells {
-		if c.Decision == "skip" {
-			// An executed cell outranks a skipped one when a plan
-			// touches the same (experiment, config, externals) twice.
-			if _, dup := notes[c.Key()]; !dup {
-				notes[c.Key()] = "up-to-date (" + c.PriorRunID + ")"
-			}
-		} else {
-			notes[c.Key()] = "revalidated"
-		}
-	}
-	s.planRec, s.planNotes = plan, notes
-}
-
-// handler wires the endpoint table (DESIGN.md holds the same table
-// with the compatibility policy). Path parameters are parsed by hand,
-// keeping the mux compatible with every supported Go version. The
-// store-level routes (blob/names/blobs/position) come from the storage
-// package's APIHandler — the same handler the remote backend is the
-// client of — wired to this server's throttled refresh; the exact
-// patterns for matrix/plan/runs win over the /api/v1/ subtree mount.
-func (s *server) handler() http.Handler {
-	api := storage.NewAPIHandler(s.store, s.refresh)
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.serveMatrix)
-	mux.HandleFunc("/runs/", s.serveRun)
-	mux.HandleFunc("/diff/", s.serveDiff)
-	mux.HandleFunc("/healthz", s.serveHealthz)
-
-	// The versioned JSON surface.
-	mux.Handle("/api/v1/", http.StripPrefix("/api/v1", api))
-	mux.HandleFunc("/api/v1/matrix", s.serveAPIMatrix)
-	mux.HandleFunc("/api/v1/plan", s.serveAPIPlan)
-	mux.HandleFunc("/api/v1/runs", s.serveAPIRuns)
-
-	// Pre-v1 aliases, kept for one release: same handlers, with
-	// deprecation pointers at their successors. The /blob/ paths match
-	// the APIHandler's expected shape without stripping.
-	mux.Handle("/blob/", deprecated("/api/v1/blob/", api))
-	mux.Handle("/api/matrix", deprecated("/api/v1/matrix", http.HandlerFunc(s.serveAPIMatrix)))
-	mux.Handle("/api/plan", deprecated("/api/v1/plan", http.HandlerFunc(s.serveAPIPlan)))
-	mux.Handle("/api/runs", deprecated("/api/v1/runs", http.HandlerFunc(s.serveAPIRuns)))
-	return mux
-}
-
-// deprecated wraps a legacy route so every response names its
-// /api/v1 successor; clients migrate on their own schedule within the
-// one-release window.
-func deprecated(successor string, h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
-		h.ServeHTTP(w, r)
-	})
-}
-
-func (s *server) serveMatrix(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r) // the catch-all pattern must not answer for arbitrary paths
-		return
-	}
-	s.refresh()
-	page, err := report.HTMLMatrixNoted(s.title, s.index.Matrix(), s.index.TotalRuns(),
-		func(runID string) string { return "/runs/" + runID }, s.planNote())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, page)
-}
-
-// pathParam extracts the single path parameter after prefix, rejecting
-// empty values and further slashes.
-func pathParam(path, prefix string) (string, bool) {
-	p := strings.TrimPrefix(path, prefix)
-	if p == "" || strings.Contains(p, "/") {
-		return "", false
-	}
-	return p, true
-}
-
-func (s *server) serveRun(w http.ResponseWriter, r *http.Request) {
-	id, ok := pathParam(r.URL.Path, "/runs/")
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	s.refresh()
-	rec, err := s.index.Run(id)
-	if err != nil {
-		http.NotFound(w, r)
-		return
-	}
-	// Output links are content-addressed: resolve each kept artifact's
-	// storage key to its blob hash at render time, so the link stays
-	// valid forever even if the key were ever rebound. Chain tests keep
-	// outputs in the files namespace; build jobs keep their tarballs in
-	// the artifacts namespace.
-	page, err := report.HTMLRunLinked(rec, func(key string) string {
-		for _, ns := range []string{chain.FilesNS, buildsys.ArtifactNS} {
-			if hash, err := s.store.Hash(ns, key); err == nil {
-				return "/blob/" + hash
-			}
-		}
-		return "" // not yet visible through the read view: no link
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, page)
-}
-
-func (s *server) serveDiff(w http.ResponseWriter, r *http.Request) {
-	id, ok := pathParam(r.URL.Path, "/diff/")
-	if !ok {
-		http.NotFound(w, r)
-		return
-	}
-	s.refresh()
-	rec, err := s.index.Run(id)
-	if err != nil {
-		http.NotFound(w, r)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	d, err := s.index.DiffAgainstLastSuccess(rec)
-	if err != nil {
-		// The run exists but has no successful predecessor — a normal
-		// state for the first runs of an experiment, not a 404.
-		fmt.Fprintf(w, "no baseline for %s: %v\n", id, err)
-		return
-	}
-	fmt.Fprint(w, report.TextDiff(d))
-}
-
-// planNote maps the cached producer plan onto matrix cells:
-// "up-to-date (run-NNNN)" for cells the producer skipped,
-// "revalidated" for cells it executed. It returns nil (no freshness
-// column) when the store carries no plan — e.g. one recorded before the
-// planner existed.
-func (s *server) planNote() func(bookkeep.Cell) string {
-	s.mu.Lock()
-	notes := s.planNotes
-	s.mu.Unlock()
-	if notes == nil {
-		return nil
-	}
-	return func(c bookkeep.Cell) string {
-		return notes[campaign.CellKey(c.Experiment, c.Config, c.Externals)]
-	}
-}
-
-func (s *server) serveAPIPlan(w http.ResponseWriter, r *http.Request) {
-	s.refresh()
-	s.mu.Lock()
-	plan := s.planRec
-	s.mu.Unlock()
-	if plan == nil {
-		storage.WriteAPIError(w, http.StatusNotFound, "not_found", "no campaign plan recorded")
-		return
-	}
-	writeJSON(w, plan)
-}
-
-func (s *server) serveAPIMatrix(w http.ResponseWriter, r *http.Request) {
-	s.refresh()
-	writeJSON(w, struct {
-		Title     string          `json:"title"`
-		TotalRuns int             `json:"total_runs"`
-		Cells     []bookkeep.Cell `json:"cells"`
-	}{s.title, s.index.TotalRuns(), s.index.Matrix()})
-}
-
-// runSummary is one /api/runs entry.
-type runSummary struct {
-	RunID       string `json:"run_id"`
-	Description string `json:"description"`
-	Experiment  string `json:"experiment"`
-	Config      string `json:"config"`
-	Externals   string `json:"externals"`
-	Revision    int    `json:"revision"`
-	Timestamp   int64  `json:"timestamp"`
-	Jobs        int    `json:"jobs"`
-	Passed      bool   `json:"passed"`
-}
-
-// Pagination bounds for /api/runs: the default page, and the hard cap a
-// client-supplied limit is clamped to. No request can make the service
-// serialize the full run list of a long-lived archive.
-const (
-	defaultRunsLimit = 500
-	maxRunsLimit     = 5000
-)
-
-// parseRunsQuery extracts limit/after/experiment from the request, with
-// clamped defaults.
-func parseRunsQuery(r *http.Request) (limit int, after, experiment string) {
-	q := r.URL.Query()
-	limit = defaultRunsLimit
-	if v := q.Get("limit"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			limit = n
-		}
-	}
-	if limit > maxRunsLimit {
-		limit = maxRunsLimit
-	}
-	return limit, q.Get("after"), q.Get("experiment")
-}
-
-// serveAPIRuns answers the paged run listing: up to `limit` runs
-// (default 500, capped) strictly after the `after` cursor, in execution
-// order, with `next_after` carrying the cursor for the following page
-// ("" on the last page). `experiment` restricts the walk to one
-// experiment's runs via its per-experiment cursor.
-func (s *server) serveAPIRuns(w http.ResponseWriter, r *http.Request) {
-	s.refresh()
-	limit, after, experiment := parseRunsQuery(r)
-	var metas []*bookkeep.RunMeta
-	var next string
-	total := s.index.TotalRuns()
-	if experiment != "" {
-		metas, next = s.index.RunsForPage(experiment, "", after, limit)
-		total = s.index.TotalRunsFor(experiment)
-	} else {
-		metas, next = s.index.RunsPage(after, limit)
-	}
-	out := make([]runSummary, len(metas))
-	for i, m := range metas {
-		out[i] = runSummary{
-			RunID: m.RunID, Description: m.Description, Experiment: m.Experiment,
-			Config: m.Config, Externals: m.Externals, Revision: m.Revision,
-			Timestamp: m.Timestamp, Jobs: m.Jobs, Passed: m.Passed,
-		}
-	}
-	writeJSON(w, struct {
-		Runs      []runSummary `json:"runs"`
-		Total     int          `json:"total"` // runs in the listing's scope (the experiment's when filtered)
-		NextAfter string       `json:"next_after,omitempty"`
-	}{out, total, next})
-}
-
-// healthDoc is the /healthz body. Position carries the served store's
-// journal position + snapshot generation (absent on stores without
-// positional history); Follow appears on replicas.
-type healthDoc struct {
-	Status   string            `json:"status"`
-	Runs     int               `json:"runs"`
-	Position *storage.Position `json:"position,omitempty"`
-	Follow   *followStatus     `json:"follow,omitempty"`
-	LastErr  string            `json:"last_error,omitempty"`
-}
-
-func (s *server) serveHealthz(w http.ResponseWriter, r *http.Request) {
-	s.refresh()
-	s.mu.Lock()
-	lastErr := s.lastErr
-	s.mu.Unlock()
-	doc := healthDoc{Status: "ok", Runs: s.index.TotalRuns()}
-	code := http.StatusOK
-	if lastErr != nil {
-		// Still serving (from the last good state), but stale: say so.
-		doc.Status, code, doc.LastErr = "degraded", http.StatusServiceUnavailable, lastErr.Error()
-	}
-	if pos, ok := s.store.Position(); ok {
-		doc.Position = &pos
-	}
-	if s.follow != nil {
-		fs := s.follow.status()
-		doc.Follow = &fs
-		if fs.LastSyncErr != "" && doc.Status == "ok" {
-			// The replica serves its last good state, but it is falling
-			// behind: degraded, same as a failed re-tail.
-			doc.Status, code = "degraded", http.StatusServiceUnavailable
-		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(doc)
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	return http.ListenAndServe(addr, srv.Handler())
 }

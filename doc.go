@@ -15,7 +15,16 @@
 // campaign writer is live; `spserve -store DIR` builds on it to serve
 // the status matrix, run pages, diffs, artifacts and JSON APIs as a
 // long-running HTTP service that picks up new runs as they are
-// recorded.
+// recorded. The serving tier (internal/serve) stamps every dynamic
+// route with a strong ETag keyed on the store's journal position and
+// snapshot generation, answers If-None-Match polls with 304s that do
+// zero index work, keeps a bounded cache of rendered bodies that the
+// position key invalidates implicitly, negotiates gzip, and pushes
+// run-recorded/plan-recorded/generation-changed events over an
+// /events SSE stream — so a fleet of dashboards polling one spserve
+// costs it header parsing, not renders. (The pre-v1 /api/matrix,
+// /api/plan, /api/runs and /blob/ aliases finished their one-release
+// deprecation window and are gone.)
 //
 // Campaigns are incremental: every run records a content-addressed
 // input digest (suite definition + repository revision + configuration

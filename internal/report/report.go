@@ -270,6 +270,13 @@ const (
 	siteFormat = "1"
 )
 
+// SiteFormat returns the current site format marker. Besides gating
+// PublishSiteIndexed's re-renders, it is folded into the status
+// service's response validators (internal/serve), so bumping the
+// templates invalidates both the stored site and every client-held
+// ETag at once.
+func SiteFormat() string { return siteFormat }
+
 // RenderSite renders the whole static site — index.html plus one page
 // per run — from the index, loading each full record from storage on
 // demand (the index holds only metas). The map is keyed by page name.

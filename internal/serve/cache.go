@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultCacheEntries bounds the render cache when Options leaves it
+// zero. Entries are whole rendered bodies; with the per-body size cap
+// below the cache tops out around half a gigabyte in the worst case
+// and far less in practice (matrix pages and JSON pages are small).
+const defaultCacheEntries = 512
+
+// maxCachedBody is the largest body the cache will hold. Anything
+// bigger (a pathological runs page near the 5000-run cap) is rendered
+// per request rather than crowding out hundreds of normal entries.
+const maxCachedBody = 1 << 20
+
+// cacheEntry is one rendered body with the headers it was negotiated
+// under. etag is "" for volatile bodies (served, never stored).
+type cacheEntry struct {
+	key     string
+	body    []byte
+	ctype   string
+	etag    string
+	gzipped bool
+}
+
+// renderCache is a bounded LRU of rendered bodies. Invalidation is
+// implicit: keys embed the position validator, so entries belonging to
+// superseded positions are simply never looked up again and age out of
+// the LRU tail. purge exists only for history regression, where old
+// validators could otherwise collide with the recreated store's.
+type renderCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List               // guarded by mu; front is most recently used
+	items     map[string]*list.Element // guarded by mu
+	evictions int64                    // guarded by mu
+}
+
+// newRenderCache sizes a cache: 0 entries means the default, negative
+// disables caching (a nil cache; every method is nil-safe).
+func newRenderCache(entries int) *renderCache {
+	if entries < 0 {
+		return nil
+	}
+	if entries == 0 {
+		entries = defaultCacheEntries
+	}
+	return &renderCache{max: entries, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *renderCache) get(key string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *renderCache) put(key string, e *cacheEntry) {
+	if c == nil || len(e.body) > maxCachedBody {
+		return
+	}
+	e.key = key
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry — called only when the served history
+// regresses (store recreated), where stale keys could collide with the
+// new history's validators.
+func (c *renderCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
+func (c *renderCache) stats() (entries int, evictions int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.evictions
+}

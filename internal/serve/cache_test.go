@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// condGet issues one GET with explicit conditional / negotiation
+// headers, bypassing the transport's transparent gzip so the wire
+// headers are observable.
+func condGet(t *testing.T, ts *httptest.Server, path string, hdr map[string]string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// TestConditionalGetRoundTrip drives the issue's 200 → 304 → append →
+// 200 cycle on a disk store, and pins the acceptance criterion that a
+// 304 performs zero index queries and zero template renders.
+func TestConditionalGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	record(t, wstore, rn, "H1", "first", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := New(rstore, "cond", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/", "/api/v1/matrix", "/api/v1/runs", "/api/v1/names", "/api/v1/position"} {
+		t.Run(path, func(t *testing.T) {
+			code, body, hdr := condGet(t, ts, path, map[string]string{"Accept-Encoding": "identity"})
+			if code != 200 {
+				t.Fatalf("GET %s = %d", path, code)
+			}
+			etag := hdr.Get("ETag")
+			if etag == "" || !strings.HasPrefix(etag, `"`) {
+				t.Fatalf("GET %s ETag = %q, want a quoted strong validator", path, etag)
+			}
+			if v := hdr.Get("Vary"); !strings.Contains(v, "Accept-Encoding") {
+				t.Errorf("GET %s Vary = %q", path, v)
+			}
+			if cc := hdr.Get("Cache-Control"); cc != "no-cache" {
+				t.Errorf("GET %s Cache-Control = %q, want no-cache", path, cc)
+			}
+
+			// Revalidation is a 304 echoing the tag, with no body.
+			code, notBody, hdr304 := condGet(t, ts, path, map[string]string{"If-None-Match": etag})
+			if code != http.StatusNotModified || len(notBody) != 0 {
+				t.Fatalf("conditional GET %s = %d (%d body bytes), want bare 304", path, code, len(notBody))
+			}
+			if hdr304.Get("ETag") != etag {
+				t.Errorf("304 ETag = %q, want %q", hdr304.Get("ETag"), etag)
+			}
+			// A multi-member If-None-Match (as caches send) matches too.
+			if code, _, _ := condGet(t, ts, path, map[string]string{"If-None-Match": `"bogus", ` + etag}); code != http.StatusNotModified {
+				t.Errorf("multi-member If-None-Match on %s = %d, want 304", path, code)
+			}
+
+			// The writer appends; the stale tag stops matching and the new
+			// body carries a new tag.
+			record(t, wstore, rn, "H1", "append behind "+path, valtest.OutcomePass)
+			code, body2, hdr2 := condGet(t, ts, path, map[string]string{"If-None-Match": etag, "Accept-Encoding": "identity"})
+			if code != 200 {
+				t.Fatalf("GET %s after append = %d, want 200 (stale tag must not match)", path, code)
+			}
+			if tag2 := hdr2.Get("ETag"); tag2 == etag || tag2 == "" {
+				t.Errorf("ETag did not advance across the append: %q", tag2)
+			}
+			if bytes.Equal(body, body2) && path != "/api/v1/position" {
+				// Position changed by definition; every listing body must too.
+				if path == "/" || strings.HasPrefix(path, "/api") {
+					t.Errorf("GET %s body identical across the append", path)
+				}
+			}
+		})
+	}
+}
+
+// Test304ZeroWork pins the acceptance criterion directly: the 304 fast
+// path touches neither the bookkeeping index nor a template.
+func Test304ZeroWork(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	record(t, wstore, rn, "H1", "only", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := New(rstore, "zero", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, _, hdr := condGet(t, ts, "/", nil)
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag to revalidate against")
+	}
+	queries, renders, nm := srv.indexQueries.Load(), srv.renders.Load(), srv.notModified.Load()
+	for i := 0; i < 5; i++ {
+		if code, _, _ := condGet(t, ts, "/", map[string]string{"If-None-Match": etag}); code != http.StatusNotModified {
+			t.Fatalf("revalidation %d = %d, want 304", i, code)
+		}
+	}
+	if got := srv.indexQueries.Load(); got != queries {
+		t.Errorf("304s performed %d index queries, want 0", got-queries)
+	}
+	if got := srv.renders.Load(); got != renders {
+		t.Errorf("304s performed %d renders, want 0", got-renders)
+	}
+	if got := srv.notModified.Load(); got != nm+5 {
+		t.Errorf("not_modified counter advanced by %d, want 5", got-nm)
+	}
+}
+
+// TestImmutableRunPageValidator: per-run pages revalidate to 304 even
+// across writer appends — the record is immutable, so its validator
+// survives position changes.
+func TestImmutableRunPageValidator(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	rec := record(t, wstore, rn, "H1", "pinned", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := New(rstore, "imm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, _, hdr := condGet(t, ts, "/runs/"+rec.RunID, nil)
+	etag := hdr.Get("ETag")
+	if etag == "" || !strings.Contains(etag, "imm") {
+		t.Fatalf("run page ETag = %q, want an immutable-form validator", etag)
+	}
+	record(t, wstore, rn, "H1", "unrelated append", valtest.OutcomePass)
+	code, _, _ := condGet(t, ts, "/runs/"+rec.RunID, map[string]string{"If-None-Match": etag})
+	if code != http.StatusNotModified {
+		t.Fatalf("immutable run page revalidation after append = %d, want 304", code)
+	}
+}
+
+// TestRenderCacheAcrossCompaction: a live compaction bumps the snapshot
+// generation; the validator and cache key must both move so clients
+// revalidate to a fresh render, not a stale cached body.
+func TestRenderCacheAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	record(t, wstore, rn, "H1", "pre-compact", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := New(rstore, "compact", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm the cache: miss, then hit, under the generation-1 validator.
+	_, body1, hdr := condGet(t, ts, "/", map[string]string{"Accept-Encoding": "identity"})
+	etag1 := hdr.Get("ETag")
+	misses1, hits1 := srv.misses.Load(), srv.hits.Load()
+	condGet(t, ts, "/", map[string]string{"Accept-Encoding": "identity"})
+	if srv.hits.Load() != hits1+1 || srv.misses.Load() != misses1 {
+		t.Fatalf("second identical GET did not hit the cache (hits %d→%d, misses %d→%d)",
+			hits1, srv.hits.Load(), misses1, srv.misses.Load())
+	}
+
+	// The writer compacts under the live reader and appends another run.
+	cs, err := wstore.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Generation < 1 {
+		t.Fatalf("compaction generation = %d, want ≥ 1", cs.Generation)
+	}
+	rec2 := record(t, wstore, rn, "H1", "post-compact", valtest.OutcomePass)
+
+	// The old validator must not match, and the answer must be a fresh
+	// render reflecting the post-compaction history — not the cached
+	// generation-1 body.
+	code, body2, hdr2 := condGet(t, ts, "/", map[string]string{"If-None-Match": etag1, "Accept-Encoding": "identity"})
+	if code != 200 {
+		t.Fatalf("GET / with the pre-compaction tag = %d, want 200", code)
+	}
+	etag2 := hdr2.Get("ETag")
+	if etag2 == etag1 || etag2 == "" {
+		t.Fatalf("validator did not move across the compaction: %q", etag2)
+	}
+	if bytes.Equal(body1, body2) {
+		t.Fatal("post-compaction body identical to the cached pre-compaction render")
+	}
+	if !strings.Contains(string(body2), rec2.RunID) {
+		t.Fatalf("post-compaction render missing the new run %s", rec2.RunID)
+	}
+	misses2 := srv.misses.Load()
+	if misses2 <= misses1 {
+		t.Fatal("post-compaction response was served from the stale cache, not rendered")
+	}
+	// The new validator is stable: it revalidates to 304 like any other.
+	if code, _, _ := condGet(t, ts, "/", map[string]string{"If-None-Match": etag2}); code != http.StatusNotModified {
+		t.Fatalf("post-compaction revalidation = %d, want 304", code)
+	}
+}
+
+// TestGzipNegotiation: HTML and JSON bodies negotiate gzip with correct
+// Vary and a per-coding validator; both representation tags revalidate.
+func TestGzipNegotiation(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	record(t, store, rn, "H1", "a run so pages clear the gzip floor", valtest.OutcomePass)
+	record(t, store, rn, "ZEUS", "second experiment pads the matrix", valtest.OutcomeFail)
+	srv, err := New(store, "gzip", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/", "/api/v1/runs"} {
+		t.Run(path, func(t *testing.T) {
+			code, plain, hdrID := condGet(t, ts, path, map[string]string{"Accept-Encoding": "identity"})
+			if code != 200 || hdrID.Get("Content-Encoding") != "" {
+				t.Fatalf("identity GET %s = %d enc %q", path, code, hdrID.Get("Content-Encoding"))
+			}
+			if len(plain) < storage.GzipMinSize {
+				t.Fatalf("fixture body only %d bytes — below the gzip floor, test is vacuous", len(plain))
+			}
+
+			code, packed, hdrGz := condGet(t, ts, path, map[string]string{"Accept-Encoding": "gzip"})
+			if code != 200 || hdrGz.Get("Content-Encoding") != "gzip" {
+				t.Fatalf("gzip GET %s = %d enc %q", path, code, hdrGz.Get("Content-Encoding"))
+			}
+			if !strings.Contains(hdrGz.Get("Vary"), "Accept-Encoding") {
+				t.Errorf("gzip response Vary = %q", hdrGz.Get("Vary"))
+			}
+			gzTag, idTag := hdrGz.Get("ETag"), hdrID.Get("ETag")
+			if !strings.Contains(gzTag, "+gzip") || strings.Contains(idTag, "+gzip") {
+				t.Errorf("per-coding validators wrong: identity %q, gzip %q", idTag, gzTag)
+			}
+			zr, err := gzip.NewReader(bytes.NewReader(packed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			unpacked, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(unpacked, plain) {
+				t.Fatalf("gzip body decodes to %d bytes, identity body is %d", len(unpacked), len(plain))
+			}
+			if len(packed) >= len(plain) {
+				t.Errorf("gzip representation (%d bytes) not smaller than identity (%d)", len(packed), len(plain))
+			}
+
+			// Either representation's tag revalidates the resource.
+			for _, tag := range []string{idTag, gzTag} {
+				if code, _, _ := condGet(t, ts, path, map[string]string{"If-None-Match": tag}); code != http.StatusNotModified {
+					t.Errorf("If-None-Match %q on %s = %d, want 304", tag, path, code)
+				}
+			}
+		})
+	}
+}
+
+// TestSSERunRecorded: an /events subscriber sees run-recorded within one
+// heartbeat interval of a writer append, with the heartbeat clock driven
+// by the test instead of real time.
+func TestSSERunRecorded(t *testing.T) {
+	dir := t.TempDir()
+	wstore, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wstore.Close()
+	rn := runner.New(wstore, simclock.New())
+	record(t, wstore, rn, "H1", "pre-subscribe", valtest.OutcomePass)
+
+	rstore, err := storage.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rstore.Close()
+	srv, err := New(rstore, "sse", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := make(chan struct{})
+	srv.newHeartbeat = func() waitFunc {
+		return func(stop <-chan struct{}) bool {
+			select {
+			case <-beats:
+				return true
+			case <-stop:
+				return false
+			}
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("GET /events = %d (%s)", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitLine := func(want string) string {
+		t.Helper()
+		for {
+			select {
+			case ln, ok := <-lines:
+				if !ok {
+					t.Fatalf("stream closed waiting for %q", want)
+				}
+				if strings.Contains(ln, want) {
+					return ln
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("timed out waiting for %q", want)
+			}
+		}
+	}
+	waitLine(": stream open")
+
+	// The writer appends with zero page traffic; one heartbeat tick's
+	// refresh must detect it and push the event before the keep-alive.
+	record(t, wstore, rn, "H1", "appended live", valtest.OutcomePass)
+	beats <- struct{}{}
+	waitLine("event: " + EventRunRecorded)
+	data := waitLine("data: ")
+	if !strings.Contains(data, `"total_runs":2`) {
+		t.Fatalf("run-recorded payload = %q, want total_runs 2", data)
+	}
+	waitLine(": heartbeat")
+
+	// A quiet tick heartbeats without fabricating events.
+	beats <- struct{}{}
+	if ln := waitLine(": heartbeat"); strings.Contains(ln, "event:") {
+		t.Fatalf("quiet tick produced an event: %q", ln)
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cron"
+	"repro/internal/storage"
+)
+
+// The /events vocabulary. All three are detected by the refresh's
+// position/fingerprint diff (observeLocked); the package doc lists
+// their meaning.
+const (
+	EventRunRecorded       = "run-recorded"
+	EventPlanRecorded      = "plan-recorded"
+	EventGenerationChanged = "generation-changed"
+)
+
+// EventData is every event's JSON payload.
+type EventData struct {
+	TotalRuns int `json:"total_runs"`
+	// Position is the served store's position after the change; absent
+	// on stores without positional history.
+	Position *storage.Position `json:"position,omitempty"`
+}
+
+// Event is one /events emission.
+type Event struct {
+	Type string
+	Data EventData
+}
+
+// broadcaster fans events out to the live /events connections. Publish
+// never blocks: a subscriber whose buffer is full misses the event and
+// re-converges through its next conditional poll — SSE here is a nudge,
+// not a reliable log.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[chan Event]struct{} // guarded by mu
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan Event]struct{})}
+}
+
+func (b *broadcaster) subscribe() chan Event {
+	ch := make(chan Event, 16)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *broadcaster) unsubscribe(ch chan Event) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+func (b *broadcaster) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop, the next poll re-converges
+		}
+	}
+}
+
+// waitFunc blocks until the next /events heartbeat tick; false ends the
+// connection's tick loop (stop closed or the cadence cannot fire).
+type waitFunc func(stop <-chan struct{}) bool
+
+// driverHeartbeat builds per-connection tick sources on the given
+// cadence through the cron clock seam — the only real-time surface the
+// serving tier touches. Tests substitute a channel-fed stub on the
+// Server field instead of sleeping.
+func driverHeartbeat(every time.Duration) func() waitFunc {
+	return func() waitFunc {
+		next, err := cron.Every(every)
+		if err != nil {
+			return func(<-chan struct{}) bool { return false }
+		}
+		d := cron.NewDriver(next)
+		return func(stop <-chan struct{}) bool {
+			_, ok, werr := d.Wait(stop)
+			return ok && werr == nil
+		}
+	}
+}
+
+// writeSSE emits one event in the text/event-stream wire format.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev.Data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// serveEvents is the SSE push endpoint. Each heartbeat tick drives the
+// same throttled refresh the page routes share, so an idle service
+// with zero page traffic still detects a writer's appends within one
+// interval; events the refresh publishes are flushed before the
+// heartbeat comment so clients see cause before keep-alive.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	s.refresh()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream; charset=utf-8")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.WriteString(w, ": stream open\n\n"); err != nil {
+		return
+	}
+	fl.Flush()
+
+	ch := s.events.subscribe()
+	defer s.events.unsubscribe(ch)
+	stop := make(chan struct{})
+	defer close(stop)
+	ticks := make(chan struct{})
+	wait := s.newHeartbeat()
+	go func() {
+		for wait(stop) {
+			select {
+			case ticks <- struct{}{}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	done := r.Context().Done()
+	for {
+		select {
+		case <-done:
+			return
+		case ev := <-ch:
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+		case <-ticks:
+			s.refresh()
+			// Drain whatever that refresh detected before heartbeating.
+			for drained := false; !drained; {
+				select {
+				case ev := <-ch:
+					if writeSSE(w, ev) != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

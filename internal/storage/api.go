@@ -37,6 +37,13 @@ import (
 //	                       the binding count — what a replica diffs
 //	                       against to decide whether it is behind.
 //
+// The listing routes carry a strong position-keyed ETag
+// ("v1-g<gen>-o<off>", +gzip variant for the compressed
+// representation) on stores with positional history: a matching
+// If-None-Match answers 304 before any enumeration, and JSON bodies
+// negotiate gzip via Accept-Encoding (Vary: Accept-Encoding). Blob
+// responses revalidate against their content-hash ETag the same way.
+//
 // # Error envelope
 //
 // Every error response is `{"error":{"code":"...","message":"..."}}`
@@ -139,6 +146,73 @@ func WriteAPIJSON(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// positionCore derives the listing routes' validator core from the
+// store's position: the journal is append-only within a generation and
+// compaction bumps the generation, so "v1-g<gen>-o<off>" never names
+// two different histories. "" (no validator) when the backend has no
+// positional history.
+func positionCore(pos Position, posOK bool) string {
+	if !posOK {
+		return ""
+	}
+	return fmt.Sprintf("v1-g%d-o%d", pos.Generation, pos.Offset)
+}
+
+// answerNotModified handles the If-None-Match fast path for a
+// position-keyed route: when the client's tag matches either variant of
+// the core, the 304 is written before any enumeration happens. The
+// position was sampled before the listing would have been, so the
+// validator under-claims — it can miss content the body would carry,
+// never claim content it would not.
+func answerNotModified(w http.ResponseWriter, r *http.Request, core string) bool {
+	if core == "" {
+		return false
+	}
+	tag, ok := NoneMatch(r, `"`+core+`"`, `"`+core+`+gzip"`)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Vary", "Accept-Encoding")
+	w.Header().Set("ETag", tag)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// writeNegotiatedJSON writes a JSON document with gzip content-coding
+// negotiation and, when core is non-empty, the matching strong ETag
+// (the +gzip variant when the body went out compressed — distinct
+// representations need distinct tags).
+func writeNegotiatedJSON(w http.ResponseWriter, r *http.Request, v interface{}, core string) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Vary", "Accept-Encoding")
+	etag := ""
+	if core != "" {
+		etag = `"` + core + `"`
+	}
+	if AcceptsGzip(r) && len(body) >= GzipMinSize {
+		if gz, gerr := GzipBytes(body); gerr == nil && len(gz) < len(body) {
+			body = gz
+			w.Header().Set("Content-Encoding", "gzip")
+			if core != "" {
+				etag = `"` + core + `+gzip"`
+			}
+		}
+	}
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
 // ParsePageQuery extracts the after/limit cursor pair from a paged
 // request, clamping limit into (0, MaxPageLimit].
 func ParsePageQuery(r *http.Request) (after string, limit int) {
@@ -157,8 +231,7 @@ func ParsePageQuery(r *http.Request) (after string, limit int) {
 
 // APIHandler serves the store-level routes of the versioned store API
 // over any Store — the writer backend, the read-only view, even a
-// remote store (a relay). spserve mounts it under /api/v1/ (and keeps
-// the pre-v1 /blob/ route as an alias of the same handler).
+// remote store (a relay). spserve mounts it under /api/v1/.
 type APIHandler struct {
 	store *Store
 	// refresh, when non-nil, runs before each request — spserve passes
@@ -216,6 +289,14 @@ func (h *APIHandler) serveBlob(w http.ResponseWriter, r *http.Request) {
 	if !ValidBlobHash(hash) {
 		WriteAPIError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("%q is not a blob hash (want 64 lowercase hex digits)", hash))
+		return
+	}
+	// A matching If-None-Match answers before the backend is touched:
+	// content-addressed blobs never change, so holding the hash tag is
+	// proof enough.
+	if _, ok := NoneMatch(r, `"`+hash+`"`); ok {
+		setBlobHeaders(w, hash)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	if r.Method == http.MethodHead {
@@ -309,6 +390,10 @@ func (h *APIHandler) serveNames(w http.ResponseWriter, r *http.Request) {
 	// Position before enumeration: the page can only under-claim, never
 	// claim bindings it does not carry (mirrors Index.Refresh).
 	pos, posOK := h.store.Position()
+	core := positionCore(pos, posOK)
+	if answerNotModified(w, r, core) {
+		return
+	}
 	names, err := h.store.Backend().ListNames()
 	if err != nil {
 		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
@@ -328,7 +413,7 @@ func (h *APIHandler) serveNames(w http.ResponseWriter, r *http.Request) {
 		}
 		doc.Bindings = append(doc.Bindings, BindingDoc{Name: name, Hash: hash})
 	}
-	WriteAPIJSON(w, doc)
+	writeNegotiatedJSON(w, r, doc, core)
 }
 
 // serveBlobs answers the paged blob listing with per-blob sizes — what
@@ -338,6 +423,16 @@ func (h *APIHandler) serveBlobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	after, limit := ParsePageQuery(r)
+	// The position validator covers the blob listing too: every blob
+	// that matters arrives with a binding append (Sync binds what it
+	// copies), so an unchanged position means an unchanged listing. The
+	// one exception — an orphan PutBlob with no binding yet — is content
+	// nothing references; the next position advance re-serves it.
+	pos, posOK := h.store.Position()
+	core := positionCore(pos, posOK)
+	if answerNotModified(w, r, core) {
+		return
+	}
 	hashes, err := h.store.Backend().ListBlobs()
 	if err != nil {
 		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
@@ -352,7 +447,7 @@ func (h *APIHandler) serveBlobs(w http.ResponseWriter, r *http.Request) {
 		}
 		doc.Blobs = append(doc.Blobs, BlobDoc{Hash: hash, Size: size})
 	}
-	WriteAPIJSON(w, doc)
+	writeNegotiatedJSON(w, r, doc, core)
 }
 
 // servePosition answers the store's history position — the one-line
@@ -363,10 +458,14 @@ func (h *APIHandler) servePosition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pos, posOK := h.store.Position()
+	core := positionCore(pos, posOK)
+	if answerNotModified(w, r, core) {
+		return
+	}
 	names, err := h.store.Backend().ListNames()
 	if err != nil {
 		WriteAPIError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
-	WriteAPIJSON(w, PositionDoc{Position: pos, PositionOK: posOK, Bindings: len(names)})
+	writeNegotiatedJSON(w, r, PositionDoc{Position: pos, PositionOK: posOK, Bindings: len(names)}, core)
 }
