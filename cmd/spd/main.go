@@ -12,6 +12,8 @@
 //	spd -store DIR [-cron "7 2 * * *"] [-every 0] [-workers N]
 //	    [-quick] [-cycles 0] [-title "..."]
 //	spd -store DIR -scrub [-scrub-page 1000] [...]
+//	spd -store DIR -listen ADDR -token SECRET [...]
+//	spd -store http://primary:8080 -worker -token SECRET [-id NAME] [...]
 //
 // An immediate plan/execute cycle runs at startup (catching up on
 // whatever changed while the daemon was down); afterwards one cycle
@@ -27,6 +29,23 @@
 // flipped byte anywhere in the archive surfaces as a red matrix cell
 // naming the damaged blob. Scrub cycles go through the same publish and
 // opportunistic-compaction tail as validation cycles.
+//
+// A campaign can be spread over any number of machines. The primary
+// owns the store directory as usual but adds -listen, which serves the
+// store's HTTP API with writes enabled behind the shared -token — the
+// flock-holding process stays the archive's single appender. Each
+// additional machine runs `spd -worker -store http://primary:ADDR`
+// with the same token and no local store at all: it computes the same
+// deterministic plan from the primary's state and drains it through
+// the lease queue (internal/campaign.DrainPlan), claiming stale cells
+// one at a time so every cell executes on exactly one machine. With
+// -listen set the primary drains through the same queue, making it one
+// more worker. A worker that crashes mid-cell simply stops renewing
+// its lease; after the lease TTL (-lease-ttl) any peer steals the cell
+// and re-executes it. On SIGTERM a worker finishes executing cells,
+// completes their leases, and releases any claims it had not started.
+// Workers skip the publish/compaction tail — site publishing and store
+// maintenance stay the primary's job.
 //
 // Every cycle rebuilds the experiment inputs fresh from their
 // definitions — the paper's "regular build of the experimental
@@ -59,6 +78,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,6 +107,11 @@ func main() {
 	flag.StringVar(&opts.title, "title", "sp-system validation status", "published status page title")
 	flag.BoolVar(&opts.scrub, "scrub", false, "run archive integrity scrub cycles instead of validation campaigns")
 	flag.IntVar(&opts.scrubPage, "scrub-page", 0, "blobs per scrub test job (0: the scrub default)")
+	flag.BoolVar(&opts.worker, "worker", false, "run as a remote campaign worker: -store is the primary's base URL")
+	flag.StringVar(&opts.listen, "listen", "", "serve the store's HTTP API (writes enabled behind -token) on this address and drain cycles through the lease queue")
+	flag.StringVar(&opts.token, "token", os.Getenv("SPD_TOKEN"), "shared bearer token for the write API (default $SPD_TOKEN)")
+	flag.StringVar(&opts.workerID, "id", "", "this process's identity in lease records (default host.pid)")
+	flag.DurationVar(&opts.leaseTTL, "lease-ttl", 0, "cell lease time-to-live; a holder silent past it is presumed dead (0: the campaign default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,6 +132,28 @@ type options struct {
 	title     string
 	scrub     bool
 	scrubPage int
+	worker    bool
+	listen    string
+	token     string
+	workerID  string
+	leaseTTL  time.Duration
+}
+
+// distributed reports whether cycles drain through the lease queue
+// (shared with other workers) rather than assuming sole ownership of
+// the plan.
+func (o options) distributed() bool { return o.worker || o.listen != "" }
+
+// id resolves this process's lease identity.
+func (o options) id() string {
+	if o.workerID != "" {
+		return o.workerID
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "spd"
+	}
+	return fmt.Sprintf("%s.%d", host, os.Getpid())
 }
 
 // newSystem builds an SPSystem over the store with all three HERA
@@ -138,11 +186,27 @@ func run(ctx context.Context, opts options) (err error) {
 	if opts.storeDir == "" {
 		return fmt.Errorf("-store is required")
 	}
+	if opts.worker && opts.listen != "" {
+		return fmt.Errorf("-worker and -listen are mutually exclusive: workers have no store to serve")
+	}
+	if opts.distributed() && opts.token == "" {
+		return fmt.Errorf("-worker/-listen require -token (or $SPD_TOKEN): the write API has no unauthenticated mode")
+	}
+	if opts.scrub && opts.worker {
+		return fmt.Errorf("-scrub runs on the primary: scrubbing re-reads every blob, which must not cross the network")
+	}
 	driver, err := newCadence(opts)
 	if err != nil {
 		return err
 	}
-	store, err := storage.Open(opts.storeDir) // exclusive writer lock
+	var store *storage.Store
+	if opts.worker {
+		// No local store at all: every read and write goes through the
+		// primary's API, which keeps the flock holder the single appender.
+		store, err = storage.OpenRemoteWith(opts.storeDir, storage.RemoteOptions{Token: opts.token})
+	} else {
+		store, err = storage.Open(opts.storeDir) // exclusive writer lock
+	}
 	if err != nil {
 		return err
 	}
@@ -154,6 +218,14 @@ func run(ctx context.Context, opts options) (err error) {
 			err = cerr
 		}
 	}()
+	if opts.listen != "" {
+		srv, addr, serr := startAPIServer(store, opts.listen, opts.token)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Printf("spd: write API on http://%s/api/v1/ (worker id %s)\n", addr, opts.id())
+	}
 
 	fmt.Printf("spd: %s, cadence %s\n", opts.storeDir, cadenceLabel(opts))
 
@@ -202,6 +274,14 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 	if opts.scrub {
 		return runScrubCycle(store, opts, cycle)
 	}
+	if opts.worker {
+		// A worker's view of the primary advances only when it asks: pick
+		// up whatever the primary and its peers recorded since last cycle
+		// before planning against it.
+		if err := store.Refresh(); err != nil {
+			return err
+		}
+	}
 	sys, err := newSystem(opts.quick, store)
 	if err != nil {
 		return err
@@ -217,11 +297,25 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 	if err != nil {
 		return err
 	}
-	if err := plan.Store(sys.Store); err != nil {
-		return err
+	if !opts.worker {
+		// Workers don't re-record the plan: the content is identical, but
+		// each record carries its own timestamp and the primary's latest
+		// binding should not churn per worker.
+		if err := plan.Store(sys.Store); err != nil {
+			return err
+		}
 	}
 	if plan.RunCount() > 0 {
-		sum, err := engine.RunPlanContext(ctx, plan)
+		var sum *campaign.Summary
+		var stats *campaign.QueueStats
+		if opts.distributed() {
+			sum, stats, err = engine.DrainPlan(ctx, plan, campaign.QueueOptions{
+				Worker: opts.id(),
+				TTL:    opts.leaseTTL,
+			})
+		} else {
+			sum, err = engine.RunPlanContext(ctx, plan)
+		}
 		if err != nil {
 			return err
 		}
@@ -233,8 +327,21 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 		}
 		fmt.Printf("spd: cycle %d: planned %d/%d cells, ran %d runs, %d failed, %d interrupted, %d total runs recorded\n",
 			cycle, plan.RunCount(), len(plan.Cells), sum.CampaignRuns(), sum.Failed()-interrupted, interrupted, sum.TotalRuns)
+		if stats != nil {
+			// One parseable line per drain: the distributed-smoke CI job
+			// sums executed= across all workers' logs to prove no cell ran
+			// twice.
+			fmt.Printf("spd: cycle %d: queue stats: executed=%d stolen=%d peer_done=%d plan_skips=%d lost=%d waits=%d\n",
+				cycle, stats.Executed, stats.Stolen, stats.PeerDone, stats.PlanSkips, stats.Lost, stats.Waits)
+		}
 	} else {
 		fmt.Printf("spd: cycle %d: all %d cells up-to-date, nothing to run\n", cycle, len(plan.Cells))
+	}
+	if opts.worker {
+		// Publishing the site and maintaining the store (index segment,
+		// compaction) stay the primary's job; a worker's cycle ends when
+		// its cells are recorded.
+		return nil
 	}
 	// Publish even on an all-skip cycle: the hash-skip makes it nearly
 	// free when nothing changed, and it repairs a site a previous
@@ -244,6 +351,21 @@ func runCycle(ctx context.Context, store *storage.Store, opts options, cycle int
 		return err
 	}
 	return compactIfWorthwhile(store)
+}
+
+// startAPIServer serves the store's versioned API — reads for anyone,
+// writes for bearers of token — so `spd -worker` processes can join the
+// campaign. It returns the bound address ("addr" may carry port 0).
+func startAPIServer(store *storage.Store, addr, token string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", http.StripPrefix("/api/v1", storage.NewAPIHandler(store, nil).EnableWrites(token)))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 // runScrubCycle performs one archive-wide integrity pass: build the

@@ -117,6 +117,86 @@ func TestDaemonRequiresStore(t *testing.T) {
 	}
 }
 
+// TestWorkerDrainsOverHTTP is the distributed topology end to end at
+// the command level: a primary's store served through startAPIServer,
+// and `spd -worker` cycles against its URL with no local store. The
+// first worker cycle executes the full matrix through the write API;
+// a second worker over the drained store plans zero cells; all leases
+// end done.
+func TestWorkerDrainsOverHTTP(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spdstore")
+	primary, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	srv, addr, err := startAPIServer(primary, "127.0.0.1:0", "sekrit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	workerOpts := func(id string) options {
+		o := quickOpts("http://"+addr, 1)
+		o.worker = true
+		o.token = "sekrit"
+		o.workerID = id
+		return o
+	}
+	if err := run(context.Background(), workerOpts("w1")); err != nil {
+		t.Fatalf("worker cycle: %v", err)
+	}
+	x, err := bookkeep.BuildIndex(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := x.TotalRuns()
+	if first == 0 {
+		t.Fatal("worker cycle recorded no runs on the primary")
+	}
+
+	// Steady state through a different worker identity: nothing stale.
+	if err := run(context.Background(), workerOpts("w2")); err != nil {
+		t.Fatalf("second worker cycle: %v", err)
+	}
+	x2, err := bookkeep.BuildIndex(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.TotalRuns() != first {
+		t.Fatalf("steady-state worker cycle executed runs: %d -> %d", first, x2.TotalRuns())
+	}
+
+	recs := campaign.LoadLeases(primary)
+	if len(recs) == 0 {
+		t.Fatal("no lease records after a distributed drain")
+	}
+	sum := campaign.SummarizeLeases(recs, time.Now())
+	if sum.Held != 0 || sum.Expired != 0 || sum.Done != len(recs) {
+		t.Fatalf("lease summary %+v, want all %d done", sum, len(recs))
+	}
+	for w := range sum.Workers {
+		if w != "w1" {
+			t.Fatalf("cells executed by %q, want only w1", w)
+		}
+	}
+}
+
+// A worker (or listening primary) without a token must refuse to start:
+// there is no unauthenticated write mode to fall back to.
+func TestDistributedRequiresToken(t *testing.T) {
+	o := quickOpts("http://127.0.0.1:1", 1)
+	o.worker = true
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("worker started without a token")
+	}
+	o = quickOpts(filepath.Join(t.TempDir(), "s"), 1)
+	o.listen = "127.0.0.1:0"
+	if err := run(context.Background(), o); err == nil {
+		t.Fatal("listening primary started without a token")
+	}
+}
+
 func TestDaemonRejectsBadCron(t *testing.T) {
 	opts := quickOpts(filepath.Join(t.TempDir(), "s"), 1)
 	opts.every = 0

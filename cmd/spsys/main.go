@@ -56,6 +56,7 @@ import (
 	"repro/internal/bookkeep"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/cron"
 	"repro/internal/externals"
 	"repro/internal/platform"
 	"repro/internal/report"
@@ -115,6 +116,9 @@ commands:
                                           spserve URL) into directory DST
                store corrupt -store DIR   flip one blob byte (bit rot,
                                           for scrub exercises)
+               store leases  -store DIR   distributed campaign's cell
+                                          lease ledger (held/expired/
+                                          done, per-worker progress)
 
 every command accepts -store DIR to record onto (and read back from)
 the durable on-disk common storage at DIR instead of process memory;
@@ -580,9 +584,68 @@ func runStore(args []string) error {
 		return runStoreSync(rest)
 	case "corrupt":
 		return runStoreCorrupt(rest)
+	case "leases":
+		return runStoreLeases(rest)
 	default:
-		return fmt.Errorf("unknown store subcommand %q (want stats, compact, synth, sync or corrupt)", sub)
+		return fmt.Errorf("unknown store subcommand %q (want stats, compact, synth, sync, corrupt or leases)", sub)
 	}
+}
+
+// runStoreLeases prints the distributed campaign's cell lease ledger:
+// the summary counters /healthz exposes, then one line per record —
+// who holds (or held) each cell, its fencing epoch, and the verdict.
+// Works through the read-only view, so it inspects a live campaign.
+func runStoreLeases(args []string) (err error) {
+	fs := flag.NewFlagSet("store leases", flag.ExitOnError)
+	storeDir := storeFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("store leases: -store is required")
+	}
+	store, err := storage.OpenView(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer closeStore(store, &err)
+	recs := campaign.LoadLeases(store)
+	if len(recs) == 0 {
+		fmt.Println("no cell leases recorded")
+		return nil
+	}
+	now := cron.Wall()()
+	sum := campaign.SummarizeLeases(recs, now)
+	fmt.Printf("leases: %d total: held=%d expired=%d done=%d released=%d steals=%d\n",
+		sum.Total(), sum.Held, sum.Expired, sum.Done, sum.Released, sum.Steals)
+	for _, w := range sortedKeys(sum.Workers) {
+		fmt.Printf("  worker %-20s %d cells completed\n", w, sum.Workers[w])
+	}
+	for _, r := range recs {
+		state := r.State
+		if r.State == campaign.LeaseHeld && r.Expired(now) {
+			state = "expired"
+		}
+		line := fmt.Sprintf("%-9s epoch=%d worker=%-16s %s", state, r.Epoch, r.Worker, r.Cell)
+		if r.State == campaign.LeaseDone {
+			line += fmt.Sprintf("  run=%s passed=%v", r.RunID, r.Passed)
+		}
+		if r.Steals > 0 {
+			line += fmt.Sprintf("  steals=%d", r.Steals)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // runStoreCorrupt flips one byte of one blob's on-disk file —

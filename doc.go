@@ -35,6 +35,18 @@
 // executing the matrix on a real cron cadence with clean SIGTERM
 // shutdown.
 //
+// Campaigns also scale out: `spd -listen ADDR -token T` makes the
+// flock-holding primary serve the store's write API over HTTP, and any
+// number of `spd -worker -store http://primary -token T` processes
+// join the drain with no local state. Workers coordinate through cell
+// leases in the store itself (`plan/lease/<digest>` records claimed by
+// compare-and-swap, renewed while executing, stolen with a fencing-
+// epoch bump when a holder goes silent past its TTL), so every stale
+// cell executes exactly once across the fleet and a crashed worker's
+// cells are re-claimed safely. `spsys store leases` and the /healthz
+// leases block show the ledger; see the "Distributed execution"
+// section of DESIGN.md.
+//
 // Suites are pure data run through a valtest.Driver — in-process, on
 // vmhost image-derived clients, or fault-wrapped — with run records and
 // input digests qualified by driver name (the in-process platform

@@ -1,0 +1,350 @@
+// Cell leases: the coordination layer that turns a recorded plan into a
+// distributed work queue. A lease is a small JSON record in the plan
+// namespace, keyed by the cell's input digest, that says "this worker
+// is executing this cell until this deadline". Workers claim leases
+// with the store's compare-and-swap primitive, renew them while the
+// cell runs, and mark them done when the result is recorded — so any
+// number of spd processes (local or `-worker` over HTTP) can chew on
+// the same plan without executing a cell twice.
+//
+// Crash safety comes from expiry plus idempotence, not from the lease
+// being authoritative: a worker that dies mid-cell simply stops
+// renewing, the deadline passes, and another worker steals the claim
+// (bumping the fencing epoch) and re-executes. The input-digest
+// machinery makes that re-execution safe — the store is append-only
+// and a duplicated green run for the same digest is redundant, never
+// wrong. Clock reads go through an injected now() (cron.Wall in
+// production), so expiry is tested with a fake clock instead of sleep.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cron"
+	"repro/internal/storage"
+)
+
+// LeaseKeyPrefix prefixes every lease record's key in PlanNS. Digest
+// keys are bare hex, so the prefix keeps leases disjoint from the
+// migration completion records sharing the namespace.
+const LeaseKeyPrefix = "lease/"
+
+// Lease states.
+const (
+	// LeaseHeld marks a live claim: the worker named in the record is
+	// executing the cell and renewing the deadline.
+	LeaseHeld = "held"
+	// LeaseDone marks a completed cell: the result is recorded and the
+	// cell must never be claimed again within this plan's lifetime.
+	LeaseDone = "done"
+	// LeaseReleased marks a voluntary hand-back (clean shutdown between
+	// claim and execution): immediately claimable by anyone.
+	LeaseReleased = "released"
+)
+
+// LeaseRecord is the durable JSON form of one cell lease.
+type LeaseRecord struct {
+	// Digest is the cell's input digest — the queue identity the lease
+	// key is derived from.
+	Digest string `json:"digest"`
+	// Cell is the cell's human-readable CellKey label.
+	Cell string `json:"cell"`
+	// Worker identifies the current (or last) holder.
+	Worker string `json:"worker"`
+	// Epoch is the fencing counter: every successful claim — first
+	// claim, re-claim after release, steal after expiry — increments it,
+	// so a stale holder's completion attempt (CAS over the old record)
+	// loses against the thief's newer epoch.
+	Epoch int `json:"epoch"`
+	// Deadline is the unix second the claim expires at unless renewed.
+	Deadline int64 `json:"deadline"`
+	// State is LeaseHeld, LeaseDone or LeaseReleased.
+	State string `json:"state"`
+	// RunID is the final run recorded for the cell (LeaseDone only).
+	RunID string `json:"run_id,omitempty"`
+	// Passed reports the cell's verdict (LeaseDone only).
+	Passed bool `json:"passed,omitempty"`
+	// Steals counts expiry take-overs across the lease's lifetime.
+	Steals int `json:"steals"`
+	// Renews counts deadline extensions across the lease's lifetime.
+	Renews int `json:"renews"`
+}
+
+// Expired reports whether a held lease's deadline has passed.
+func (r *LeaseRecord) Expired(now time.Time) bool {
+	return r.State == LeaseHeld && now.Unix() >= r.Deadline
+}
+
+// LeaseKey returns the PlanNS key of the digest's lease record.
+func LeaseKey(digest string) string { return LeaseKeyPrefix + digest }
+
+// Lease is one successfully claimed cell: the record this worker wrote
+// plus the bound hash its next CAS must expect. Renew, Complete and
+// Release serialize on the lease's own mutex, so the executor's renewal
+// heartbeat and its completion never race each other's CAS.
+type Lease struct {
+	Record LeaseRecord
+	// Stole reports that this claim took over an expired lease rather
+	// than an unclaimed or released cell.
+	Stole bool
+	mu    sync.Mutex // guards Record and hash after the claim
+	hash  string
+}
+
+// ClaimStatus is the outcome of a claim attempt.
+type ClaimStatus int
+
+const (
+	// ClaimWon: the caller holds the lease and must execute the cell.
+	ClaimWon ClaimStatus = iota
+	// ClaimBusy: another worker holds an unexpired lease (or won a
+	// concurrent race); try again after the deadline or a refresh.
+	ClaimBusy
+	// ClaimDone: the cell was already executed; the returned record
+	// carries the run ID and verdict.
+	ClaimDone
+)
+
+// ErrLeaseLost is returned by Renew and Complete when the caller's
+// claim was stolen out from under it — its deadline expired and another
+// worker's epoch superseded it. The holder's in-flight work is not
+// harmed (runs are append-only and digest-deduplicated); it just no
+// longer owns the cell's verdict.
+var ErrLeaseLost = fmt.Errorf("campaign: lease lost to a newer epoch")
+
+// LeaseManager claims, renews and completes cell leases for one worker
+// over one store. It is safe for concurrent use by the worker's cell
+// goroutines (all state lives in the store).
+type LeaseManager struct {
+	store  *storage.Store
+	worker string
+	ttl    time.Duration
+	now    func() time.Time
+}
+
+// NewLeaseManager returns a manager claiming leases as worker with the
+// given TTL. now is the clock seam; nil means the wall clock
+// (cron.Wall) — tests pass a fake to drive expiry without sleeping.
+func NewLeaseManager(store *storage.Store, worker string, ttl time.Duration, now func() time.Time) *LeaseManager {
+	if now == nil {
+		now = cron.Wall()
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &LeaseManager{store: store, worker: worker, ttl: ttl, now: now}
+}
+
+// DefaultLeaseTTL is the lease deadline horizon when the caller does
+// not choose one: long enough that a healthy worker renewing at TTL/3
+// never expires, short enough that a crashed worker's cells are
+// reassigned within a cycle.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// TTL returns the manager's lease horizon.
+func (m *LeaseManager) TTL() time.Duration { return m.ttl }
+
+// Claim attempts to take the lease for a cell. The decision — is the
+// current record absent, released, expired, done, or live — and the
+// write are made atomic by CAS'ing over the exact record hash the
+// decision read; any concurrent claimant observing the same state loses
+// the swap and reports ClaimBusy.
+func (m *LeaseManager) Claim(digest, cellLabel string) (*Lease, ClaimStatus, LeaseRecord, error) {
+	key := LeaseKey(digest)
+	prior, priorHash := m.loadLease(key)
+	rec := LeaseRecord{
+		Digest:   digest,
+		Cell:     cellLabel,
+		Worker:   m.worker,
+		Epoch:    1,
+		Deadline: m.now().Add(m.ttl).Unix(),
+		State:    LeaseHeld,
+	}
+	stole := false
+	if prior != nil {
+		switch {
+		case prior.State == LeaseDone:
+			return nil, ClaimDone, *prior, nil
+		case prior.State == LeaseHeld && !prior.Expired(m.now()):
+			return nil, ClaimBusy, *prior, nil
+		}
+		rec.Epoch = prior.Epoch + 1
+		rec.Steals = prior.Steals
+		rec.Renews = prior.Renews
+		if prior.Expired(m.now()) {
+			rec.Steals++
+			stole = true
+		}
+	}
+	hash, swapped, err := m.swap(key, priorHash, rec)
+	if err != nil {
+		return nil, ClaimBusy, LeaseRecord{}, err
+	}
+	if !swapped {
+		// Lost the race; whoever won holds it now.
+		return nil, ClaimBusy, rec, nil
+	}
+	return &Lease{Record: rec, Stole: stole, hash: hash}, ClaimWon, rec, nil
+}
+
+// Renew extends the caller's deadline by one TTL. ErrLeaseLost means
+// the claim was stolen (or otherwise superseded); the caller should
+// stop treating the cell as its own. Renewing a lease that has already
+// been completed or released is a no-op, so a heartbeat that fires in
+// the instant between the cell finishing and its goroutine stopping
+// cannot resurrect a finished claim.
+func (m *LeaseManager) Renew(l *Lease) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.Record.State != LeaseHeld {
+		return nil
+	}
+	rec := l.Record
+	rec.Deadline = m.now().Add(m.ttl).Unix()
+	rec.Renews++
+	return m.replaceLocked(l, rec)
+}
+
+// Complete marks the caller's lease done, binding the cell's verdict to
+// the queue. ErrLeaseLost means a thief's epoch superseded ours; the
+// thief's verdict stands and ours is redundant (the run records behind
+// both are in the store either way).
+func (m *LeaseManager) Complete(l *Lease, runID string, passed bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := l.Record
+	rec.State = LeaseDone
+	rec.RunID = runID
+	rec.Passed = passed
+	return m.replaceLocked(l, rec)
+}
+
+// Release voluntarily hands the lease back (clean shutdown before the
+// cell started executing): the record goes LeaseReleased and any worker
+// may re-claim it immediately, no expiry wait.
+func (m *LeaseManager) Release(l *Lease) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := l.Record
+	rec.State = LeaseReleased
+	return m.replaceLocked(l, rec)
+}
+
+// replaceLocked CAS'es the caller's lease record for rec, failing with
+// ErrLeaseLost when the stored record is no longer the caller's. The
+// caller holds l.mu.
+func (m *LeaseManager) replaceLocked(l *Lease, rec LeaseRecord) error {
+	hash, swapped, err := m.swap(LeaseKey(l.Record.Digest), l.hash, rec)
+	if err != nil {
+		return err
+	}
+	if !swapped {
+		return ErrLeaseLost
+	}
+	l.Record = rec
+	l.hash = hash
+	return nil
+}
+
+// swap writes rec conditioned on the key still binding oldHash.
+func (m *LeaseManager) swap(key, oldHash string, rec LeaseRecord) (string, bool, error) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return "", false, err
+	}
+	return m.store.CompareAndSwap(PlanNS, key, oldHash, data)
+}
+
+// loadLease reads the current lease record and its bound hash. An
+// unreadable or undecodable record reads as absent — the CAS over its
+// actual hash keeps the claim atomic regardless, and treating
+// corruption as claimable keeps one bad blob from wedging the queue.
+func (m *LeaseManager) loadLease(key string) (*LeaseRecord, string) {
+	hash, err := m.store.Hash(PlanNS, key)
+	if err != nil {
+		return nil, ""
+	}
+	data, err := m.store.Get(PlanNS, key)
+	if err != nil {
+		return nil, hash
+	}
+	var rec LeaseRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, hash
+	}
+	return &rec, hash
+}
+
+// LoadLeases returns every lease record in the store, sorted by cell
+// label — the read side /healthz and `spsys store leases` derive their
+// distributed-progress views from, with no coordination state beyond
+// the records themselves.
+func LoadLeases(store *storage.Store) []LeaseRecord {
+	var out []LeaseRecord
+	for _, key := range store.List(PlanNS) {
+		if !strings.HasPrefix(key, LeaseKeyPrefix) {
+			continue
+		}
+		data, err := store.Get(PlanNS, key)
+		if err != nil {
+			continue
+		}
+		var rec LeaseRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}
+
+// LeaseSummary aggregates the lease records into the counters operators
+// watch during a distributed campaign.
+type LeaseSummary struct {
+	// Held counts live unexpired claims.
+	Held int `json:"held"`
+	// Expired counts held claims past their deadline — cells whose
+	// worker presumably died, waiting to be stolen.
+	Expired int `json:"expired"`
+	// Done counts completed cells.
+	Done int `json:"done"`
+	// Released counts voluntarily handed-back claims.
+	Released int `json:"released"`
+	// Steals sums expiry take-overs across all leases.
+	Steals int `json:"steals"`
+	// Workers maps worker ID to cells completed by it.
+	Workers map[string]int `json:"workers,omitempty"`
+}
+
+// Total returns the number of lease records summarized.
+func (s LeaseSummary) Total() int { return s.Held + s.Expired + s.Done + s.Released }
+
+// SummarizeLeases folds lease records into the operator counters.
+// Expiry is judged against the supplied instant.
+func SummarizeLeases(recs []LeaseRecord, now time.Time) LeaseSummary {
+	sum := LeaseSummary{}
+	for _, r := range recs {
+		sum.Steals += r.Steals
+		switch {
+		case r.State == LeaseDone:
+			sum.Done++
+			if sum.Workers == nil {
+				sum.Workers = make(map[string]int)
+			}
+			sum.Workers[r.Worker]++
+		case r.State == LeaseReleased:
+			sum.Released++
+		case r.Expired(now):
+			sum.Expired++
+		default:
+			sum.Held++
+		}
+	}
+	return sum
+}

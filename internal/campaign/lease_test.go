@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// fakeClock is the lease tests' clock seam: expiry is driven by
+// advancing it, never by sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+const testDigest = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+
+// The lease lifecycle against one store: claim wins once, renewals keep
+// a live holder safe, expiry lets a second worker steal with a bumped
+// fencing epoch, and the stale holder's completion loses.
+func TestLeaseClaimRenewExpireSteal(t *testing.T) {
+	store := storage.NewStore()
+	clk := newFakeClock()
+	a := NewLeaseManager(store, "worker-a", time.Minute, clk.Now)
+	b := NewLeaseManager(store, "worker-b", time.Minute, clk.Now)
+
+	leaseA, st, rec, err := a.Claim(testDigest, "H1|SL5|CERNLIB")
+	if err != nil || st != ClaimWon {
+		t.Fatalf("first claim: status %v err %v", st, err)
+	}
+	if rec.Epoch != 1 || rec.Worker != "worker-a" || rec.State != LeaseHeld {
+		t.Fatalf("claim record %+v", rec)
+	}
+
+	// While held and unexpired, every other claimant is busy.
+	if _, st, rec, err := b.Claim(testDigest, "H1|SL5|CERNLIB"); err != nil || st != ClaimBusy || rec.Worker != "worker-a" {
+		t.Fatalf("claim over live lease: status %v rec %+v err %v", st, rec, err)
+	}
+
+	// Renewals through 3×TTL keep the holder alive...
+	for i := 0; i < 3; i++ {
+		clk.Advance(45 * time.Second)
+		if err := a.Renew(leaseA); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		if _, st, _, _ := b.Claim(testDigest, "H1|SL5|CERNLIB"); st != ClaimBusy {
+			t.Fatalf("renewed lease stolen at renewal %d", i)
+		}
+	}
+	if leaseA.Record.Renews != 3 {
+		t.Fatalf("renews %d, want 3", leaseA.Record.Renews)
+	}
+
+	// ...then the worker "crashes": no more renewals, deadline passes,
+	// and the steal succeeds with a bumped epoch and steal count.
+	clk.Advance(2 * time.Minute)
+	leaseB, st, rec, err := b.Claim(testDigest, "H1|SL5|CERNLIB")
+	if err != nil || st != ClaimWon {
+		t.Fatalf("steal: status %v err %v", st, err)
+	}
+	if !leaseB.Stole || rec.Epoch != 2 || rec.Steals != 1 || rec.Worker != "worker-b" {
+		t.Fatalf("steal record %+v stole=%v", rec, leaseB.Stole)
+	}
+
+	// The fencing epoch does its job: the zombie's renew and complete
+	// both lose against the thief's record.
+	if err := a.Renew(leaseA); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie renew: %v, want ErrLeaseLost", err)
+	}
+	if err := a.Complete(leaseA, "run-0001", true); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie complete: %v, want ErrLeaseLost", err)
+	}
+
+	// The thief completes; from then on the cell is done for everyone.
+	if err := b.Complete(leaseB, "run-0002", true); err != nil {
+		t.Fatalf("thief complete: %v", err)
+	}
+	if _, st, rec, _ := a.Claim(testDigest, "H1|SL5|CERNLIB"); st != ClaimDone || rec.RunID != "run-0002" || !rec.Passed {
+		t.Fatalf("claim after done: status %v rec %+v", st, rec)
+	}
+}
+
+// A released lease is immediately claimable — no expiry wait — which is
+// what keeps clean worker shutdown from stalling the queue.
+func TestLeaseReleaseReclaim(t *testing.T) {
+	store := storage.NewStore()
+	clk := newFakeClock()
+	a := NewLeaseManager(store, "worker-a", time.Minute, clk.Now)
+	b := NewLeaseManager(store, "worker-b", time.Minute, clk.Now)
+
+	leaseA, st, _, err := a.Claim(testDigest, "cell")
+	if err != nil || st != ClaimWon {
+		t.Fatalf("claim: %v %v", st, err)
+	}
+	if err := a.Release(leaseA); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	// No clock advance: claimable right now, epoch fencing continues,
+	// and a voluntary hand-back is not a steal.
+	leaseB, st, rec, err := b.Claim(testDigest, "cell")
+	if err != nil || st != ClaimWon {
+		t.Fatalf("re-claim after release: %v %v", st, err)
+	}
+	if leaseB.Stole || rec.Epoch != 2 || rec.Steals != 0 {
+		t.Fatalf("re-claim record %+v stole=%v", rec, leaseB.Stole)
+	}
+}
+
+// Concurrent claims over one digest: exactly one winner, everyone else
+// busy — the CAS race decided inside the backend.
+func TestLeaseClaimRace(t *testing.T) {
+	store := storage.NewStore()
+	clk := newFakeClock()
+	const racers = 12
+	var wg sync.WaitGroup
+	wins := make(chan string, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := NewLeaseManager(store, string(rune('a'+i)), time.Minute, clk.Now)
+			_, st, _, err := m.Claim(testDigest, "cell")
+			if err != nil {
+				t.Errorf("racer %d: %v", i, err)
+			}
+			if st == ClaimWon {
+				wins <- string(rune('a' + i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d racers won one lease, want exactly 1", n)
+	}
+}
+
+// SummarizeLeases folds records into the /healthz counters, judging
+// expiry against the supplied instant.
+func TestSummarizeLeases(t *testing.T) {
+	clk := newFakeClock()
+	now := clk.Now()
+	recs := []LeaseRecord{
+		{State: LeaseHeld, Worker: "a", Deadline: now.Add(time.Minute).Unix()},
+		{State: LeaseHeld, Worker: "b", Deadline: now.Add(-time.Minute).Unix(), Steals: 1},
+		{State: LeaseDone, Worker: "a", Steals: 2},
+		{State: LeaseDone, Worker: "c"},
+		{State: LeaseReleased, Worker: "b"},
+	}
+	sum := SummarizeLeases(recs, now)
+	want := LeaseSummary{Held: 1, Expired: 1, Done: 2, Released: 1, Steals: 3,
+		Workers: map[string]int{"a": 1, "c": 1}}
+	if sum.Held != want.Held || sum.Expired != want.Expired || sum.Done != want.Done ||
+		sum.Released != want.Released || sum.Steals != want.Steals ||
+		sum.Workers["a"] != 1 || sum.Workers["c"] != 1 || sum.Total() != 5 {
+		t.Fatalf("summary %+v, want %+v", sum, want)
+	}
+}

@@ -24,6 +24,10 @@ type cacheEntry struct {
 	ctype   string
 	etag    string
 	gzipped bool
+	// immutable marks a body that can never change for its URL (per-run
+	// pages): served with the blob route's long-lived Cache-Control
+	// instead of no-cache, so downstream caches stop revalidating it.
+	immutable bool
 }
 
 // renderCache is a bounded LRU of rendered bodies. Invalidation is

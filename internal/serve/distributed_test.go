@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/runner"
+	"repro/internal/simclock"
+	"repro/internal/storage"
+	"repro/internal/valtest"
+)
+
+// The broadcaster's replay ring: publishes are numbered, a subscriber
+// carrying a Last-Event-ID gets exactly the events after it, and the
+// ring stays bounded for clients arbitrarily far behind.
+func TestBroadcasterReplayRing(t *testing.T) {
+	b := newBroadcaster()
+	total := eventReplayLimit + 44
+	for i := 0; i < total; i++ {
+		b.publish(Event{Type: EventRunRecorded, Data: EventData{TotalRuns: i + 1}})
+	}
+
+	// A fresh connection (no Last-Event-ID) replays nothing.
+	ch, replay := b.subscribe(0)
+	defer b.unsubscribe(ch)
+	if len(replay) != 0 {
+		t.Fatalf("fresh subscriber got %d replayed events, want 0", len(replay))
+	}
+
+	// A client that saw event N resumes at N+1.
+	last := uint64(total - 3)
+	ch2, replay2 := b.subscribe(last)
+	defer b.unsubscribe(ch2)
+	if len(replay2) != 3 {
+		t.Fatalf("resume from %d replayed %d events, want 3", last, len(replay2))
+	}
+	for i, ev := range replay2 {
+		if ev.ID != last+uint64(i)+1 {
+			t.Fatalf("replay[%d].ID = %d, want %d", i, ev.ID, last+uint64(i)+1)
+		}
+	}
+
+	// A client further behind than the ring gets the whole bounded ring,
+	// oldest retained event first — never more than the limit.
+	ch3, replay3 := b.subscribe(1)
+	defer b.unsubscribe(ch3)
+	if len(replay3) != eventReplayLimit {
+		t.Fatalf("deep resume replayed %d events, want the ring bound %d", len(replay3), eventReplayLimit)
+	}
+	if first := replay3[0].ID; first != uint64(total-eventReplayLimit+1) {
+		t.Fatalf("deep resume starts at ID %d, want %d", first, total-eventReplayLimit+1)
+	}
+
+	// Replay and live delivery don't overlap: an event published after
+	// the subscription arrives on the channel, not in the slice.
+	b.publish(Event{Type: EventPlanRecorded})
+	select {
+	case ev := <-ch2:
+		if ev.ID != uint64(total+1) {
+			t.Fatalf("live event ID %d, want %d", ev.ID, total+1)
+		}
+	default:
+		t.Fatal("post-subscribe publish not delivered live")
+	}
+}
+
+// TestSSEResume drives the HTTP surface: events carry id: fields, and a
+// reconnect with Last-Event-ID receives the missed events before
+// anything else — the EventSource auto-reconnect contract.
+func TestSSEResume(t *testing.T) {
+	store := storage.NewStore()
+	srv, err := New(store, "sse-resume", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.newHeartbeat = func() waitFunc {
+		return func(stop <-chan struct{}) bool {
+			<-stop
+			return false
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	openStream := func(lastID string) (*http.Response, func(want string) string, context.CancelFunc) {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := make(chan string, 64)
+		go func() {
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				lines <- sc.Text()
+			}
+			close(lines)
+		}()
+		waitLine := func(want string) string {
+			t.Helper()
+			for {
+				select {
+				case ln, ok := <-lines:
+					if !ok {
+						t.Fatalf("stream closed waiting for %q", want)
+					}
+					if strings.Contains(ln, want) {
+						return ln
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatalf("timed out waiting for %q", want)
+				}
+			}
+		}
+		return resp, waitLine, cancel
+	}
+
+	// First connection: watch three live events go by, numbered.
+	resp, waitLine, cancel := openStream("")
+	waitLine(": stream open")
+	for i := 1; i <= 3; i++ {
+		srv.events.publish(Event{Type: EventRunRecorded, Data: EventData{TotalRuns: i}})
+	}
+	if ln := waitLine("id: "); ln != "id: 1" {
+		t.Fatalf("first event line %q, want id: 1", ln)
+	}
+	waitLine("id: 2")
+	waitLine("id: 3")
+	cancel()
+	resp.Body.Close()
+
+	// The connection drops after event 1: the reconnect replays 2 and 3
+	// immediately, before any live traffic or heartbeat.
+	resp2, waitLine2, cancel2 := openStream("1")
+	defer cancel2()
+	defer resp2.Body.Close()
+	waitLine2(": stream open")
+	if ln := waitLine2("id: "); ln != "id: 2" {
+		t.Fatalf("resumed stream starts at %q, want id: 2", ln)
+	}
+	waitLine2("id: 3")
+	data := waitLine2("data: ")
+	if !strings.Contains(data, `"total_runs":3`) {
+		t.Fatalf("replayed payload %q, want the original event data", data)
+	}
+}
+
+// Per-run pages are immutable resources: served (and 304-revalidated)
+// with the blob route's long-lived immutable Cache-Control, while the
+// mutable matrix stays no-cache (pinned in cache_test).
+func TestRunPageImmutableCacheControl(t *testing.T) {
+	store := storage.NewStore()
+	rn := runner.New(store, simclock.New())
+	rec := record(t, store, rn, "H1", "immutable page", valtest.OutcomePass)
+	srv, err := New(store, "imm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, hdr := get(t, ts, "/runs/"+rec.RunID)
+	if code != 200 {
+		t.Fatalf("GET run page = %d", code)
+	}
+	cc := hdr.Get("Cache-Control")
+	if !strings.Contains(cc, "immutable") || !strings.Contains(cc, "max-age=") || !strings.Contains(cc, "public") {
+		t.Fatalf("run page Cache-Control = %q, want public, max-age, immutable", cc)
+	}
+	// Revalidation (a client that cached before the header changed, or
+	// past max-age) stays immutable too.
+	code304, _, hdr304 := condGet(t, ts, "/runs/"+rec.RunID, map[string]string{"If-None-Match": hdr.Get("ETag")})
+	if code304 != http.StatusNotModified {
+		t.Fatalf("conditional GET run page = %d, want 304", code304)
+	}
+	if cc := hdr304.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Fatalf("304 Cache-Control = %q, want immutable", cc)
+	}
+}
+
+// /healthz surfaces the distributed campaign's lease ledger: held and
+// expired counts, steal totals, and per-worker live progress — derived
+// from the same records the workers coordinate through.
+func TestHealthzLeases(t *testing.T) {
+	store := storage.NewStore()
+	srv, err := New(store, "leases", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No leases: the block is absent entirely.
+	code, body, _ := get(t, ts, "/healthz")
+	if code != 200 {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	if strings.Contains(body, `"leases"`) {
+		t.Fatalf("lease-free store reports a leases block: %s", body)
+	}
+
+	// One worker holds a cell, another has completed one.
+	digestA := strings.Repeat("a", 64)
+	digestB := strings.Repeat("b", 64)
+	m1 := campaign.NewLeaseManager(store, "w1", time.Hour, nil)
+	if _, st, _, err := m1.Claim(digestA, "cell-a"); err != nil || st != campaign.ClaimWon {
+		t.Fatalf("claim a: %v %v", st, err)
+	}
+	m2 := campaign.NewLeaseManager(store, "w2", time.Hour, nil)
+	lease, st, _, err := m2.Claim(digestB, "cell-b")
+	if err != nil || st != campaign.ClaimWon {
+		t.Fatalf("claim b: %v %v", st, err)
+	}
+	if err := m2.Complete(lease, "run-0042", true); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body, _ = get(t, ts, "/healthz")
+	if code != 200 {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	var doc struct {
+		Leases *leaseStatsDoc `json:"leases"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, body)
+	}
+	if doc.Leases == nil {
+		t.Fatalf("no leases block: %s", body)
+	}
+	if doc.Leases.Held != 1 || doc.Leases.Done != 1 || doc.Leases.Expired != 0 {
+		t.Fatalf("leases block %+v, want 1 held 1 done", doc.Leases)
+	}
+	if doc.Leases.Workers["w2"] != 1 || len(doc.Leases.Workers) != 1 {
+		t.Fatalf("per-worker progress %+v, want w2 with 1 completed", doc.Leases.Workers)
+	}
+}

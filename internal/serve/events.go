@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -29,31 +30,56 @@ type EventData struct {
 	Position *storage.Position `json:"position,omitempty"`
 }
 
-// Event is one /events emission.
+// Event is one /events emission. ID is the stream-wide sequence number
+// (1-based, assigned at publish) the SSE wire format exposes as the
+// `id:` field, which browsers echo back as Last-Event-ID on reconnect.
 type Event struct {
+	ID   uint64
 	Type string
 	Data EventData
 }
 
-// broadcaster fans events out to the live /events connections. Publish
-// never blocks: a subscriber whose buffer is full misses the event and
-// re-converges through its next conditional poll — SSE here is a nudge,
-// not a reliable log.
+// eventReplayLimit bounds the broadcaster's replay ring: a reconnecting
+// client can recover at most this many missed events. A client further
+// behind gets whatever the ring still holds and re-converges through
+// its next conditional poll — SSE here is a nudge, not a reliable log,
+// and the ring only has to cover ordinary reconnect windows.
+const eventReplayLimit = 256
+
+// broadcaster fans events out to the live /events connections and keeps
+// the bounded replay ring that makes reconnects resumable. Publish
+// never blocks: a subscriber whose buffer is full misses the event live
+// but can recover it from the ring on its next reconnect.
 type broadcaster struct {
-	mu   sync.Mutex
-	subs map[chan Event]struct{} // guarded by mu
+	mu     sync.Mutex
+	subs   map[chan Event]struct{} // guarded by mu
+	nextID uint64                  // guarded by mu; ID the next publish assigns
+	ring   []Event                 // guarded by mu; the last ≤eventReplayLimit events, oldest first
 }
 
 func newBroadcaster() *broadcaster {
-	return &broadcaster{subs: make(map[chan Event]struct{})}
+	return &broadcaster{subs: make(map[chan Event]struct{}), nextID: 1}
 }
 
-func (b *broadcaster) subscribe() chan Event {
+// subscribe registers a live subscriber. lastID carries the client's
+// Last-Event-ID (0: a fresh connection); the returned slice holds the
+// ring's events after it, to be written before any live event — the
+// registration and the replay snapshot happen under one lock, so no
+// event falls between them.
+func (b *broadcaster) subscribe(lastID uint64) (chan Event, []Event) {
 	ch := make(chan Event, 16)
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.subs[ch] = struct{}{}
-	b.mu.Unlock()
-	return ch
+	var replay []Event
+	if lastID > 0 {
+		for _, ev := range b.ring {
+			if ev.ID > lastID {
+				replay = append(replay, ev)
+			}
+		}
+	}
+	return ch, replay
 }
 
 func (b *broadcaster) unsubscribe(ch chan Event) {
@@ -65,10 +91,16 @@ func (b *broadcaster) unsubscribe(ch chan Event) {
 func (b *broadcaster) publish(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	ev.ID = b.nextID
+	b.nextID++
+	b.ring = append(b.ring, ev)
+	if len(b.ring) > eventReplayLimit {
+		b.ring = b.ring[len(b.ring)-eventReplayLimit:]
+	}
 	for ch := range b.subs {
 		select {
 		case ch <- ev:
-		default: // slow consumer: drop, the next poll re-converges
+		default: // slow consumer: drop, the ring covers its reconnect
 		}
 	}
 }
@@ -95,14 +127,34 @@ func driverHeartbeat(every time.Duration) func() waitFunc {
 	}
 }
 
-// writeSSE emits one event in the text/event-stream wire format.
+// writeSSE emits one event in the text/event-stream wire format. The
+// id field makes the stream resumable: browsers send the last seen id
+// back as Last-Event-ID when EventSource auto-reconnects.
 func writeSSE(w io.Writer, ev Event) error {
 	data, err := json.Marshal(ev.Data)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	if ev.ID > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	}
 	return err
+}
+
+// lastEventID parses the reconnecting client's Last-Event-ID header
+// (0: none, or unparseable — treated as a fresh connection).
+func lastEventID(r *http.Request) uint64 {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
 }
 
 // serveEvents is the SSE push endpoint. Each heartbeat tick drives the
@@ -127,8 +179,18 @@ func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	ch := s.events.subscribe()
+	// A reconnect carrying Last-Event-ID resumes: events it missed are
+	// replayed from the ring before anything live.
+	ch, replay := s.events.subscribe(lastEventID(r))
 	defer s.events.unsubscribe(ch)
+	for _, ev := range replay {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	if len(replay) > 0 {
+		fl.Flush()
+	}
 	stop := make(chan struct{})
 	defer close(stop)
 	ticks := make(chan struct{})

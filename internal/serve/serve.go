@@ -388,7 +388,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	if tag, ok := storage.NoneMatch(r, idTag, gzTag); ok {
 		s.notModified.Add(1)
 		w.Header().Set("ETag", tag)
-		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Cache-Control", cacheControlFor(immutable))
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -409,7 +409,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		return
 	}
 	s.renders.Add(1)
-	e := &cacheEntry{body: out.body, ctype: out.ctype, etag: idTag}
+	e := &cacheEntry{body: out.body, ctype: out.ctype, etag: idTag, immutable: immutable}
 	if wantGzip && len(out.body) >= storage.GzipMinSize {
 		if gz, err := storage.GzipBytes(out.body); err == nil && len(gz) < len(out.body) {
 			e.body, e.gzipped, e.etag = gz, true, gzTag
@@ -423,14 +423,25 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	writeRendered(w, e)
 }
 
+// cacheControlFor picks the Cache-Control policy: immutable routes
+// (per-run pages — a run ID is minted once and its record never
+// rewritten) get the blob route's year-long immutable directive, so
+// downstream caches stop revalidating entirely; everything else is
+// no-cache — hold it, but revalidate (the ETag makes that a 304).
+func cacheControlFor(immutable bool) string {
+	if immutable {
+		return "public, max-age=31536000, immutable"
+	}
+	return "no-cache"
+}
+
 // writeRendered writes one (possibly cached) body with its negotiated
-// headers. Dynamic responses are no-cache: clients may hold them but
-// must revalidate — the ETag makes revalidation a 304.
+// headers.
 func writeRendered(w http.ResponseWriter, e *cacheEntry) {
 	w.Header().Set("Content-Type", e.ctype)
 	if e.etag != "" {
 		w.Header().Set("ETag", e.etag)
-		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Cache-Control", cacheControlFor(e.immutable))
 	}
 	if e.gzipped {
 		w.Header().Set("Content-Encoding", "gzip")
@@ -710,7 +721,25 @@ type healthDoc struct {
 	Position *storage.Position `json:"position,omitempty"`
 	Follow   *FollowStatus     `json:"follow,omitempty"`
 	Cache    *cacheStatsDoc    `json:"cache,omitempty"`
+	Leases   *leaseStatsDoc    `json:"leases,omitempty"`
 	LastErr  string            `json:"last_error,omitempty"`
+}
+
+// leaseStatsDoc is the /healthz distributed-execution block, derived
+// from the store's cell lease records: how many cells are being
+// executed right now (and by whom), how many holders have gone silent
+// past their deadline, and how much stealing the campaign has needed.
+// Absent entirely when the store carries no leases (no distributed
+// campaign has touched it).
+type leaseStatsDoc struct {
+	Held     int `json:"held"`
+	Expired  int `json:"expired"`
+	Done     int `json:"done"`
+	Released int `json:"released"`
+	Steals   int `json:"steals"`
+	// Workers maps each worker to the cells it has completed — the
+	// per-worker progress view of a distributed campaign.
+	Workers map[string]int `json:"workers,omitempty"`
 }
 
 // serveHealthz is deliberately uncached and validator-free: it is the
@@ -737,6 +766,17 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 		Renders:     s.renders.Load(),
 		NotModified: s.notModified.Load(),
 		Evictions:   evictions,
+	}
+	if recs := campaign.LoadLeases(s.store); len(recs) > 0 {
+		lsum := campaign.SummarizeLeases(recs, s.now())
+		doc.Leases = &leaseStatsDoc{
+			Held:     lsum.Held,
+			Expired:  lsum.Expired,
+			Done:     lsum.Done,
+			Released: lsum.Released,
+			Steals:   lsum.Steals,
+			Workers:  lsum.Workers,
+		}
 	}
 	if s.follow != nil {
 		fs := s.follow.FollowStatus()

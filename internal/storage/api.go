@@ -37,6 +37,10 @@ import (
 //	                       the binding count — what a replica diffs
 //	                       against to decide whether it is behind.
 //
+// Write routes (PUT /blob/{hash}, POST /name, POST /counter) exist but
+// are disabled unless the serving process configured a shared token;
+// see writeapi.go for the contract and the auth model.
+//
 // The listing routes carry a strong position-keyed ETag
 // ("v1-g<gen>-o<off>", +gzip variant for the compressed
 // representation) on stores with positional history: a matching
@@ -238,11 +242,22 @@ type APIHandler struct {
 	// its throttled catch-up so API responses track a live writer
 	// without paying a re-tail per request.
 	refresh func()
+	// token, when non-empty, enables the write routes (writeapi.go)
+	// behind a constant-time bearer-token check. Read routes are never
+	// authenticated. Immutable after construction.
+	token string
 }
 
 // NewAPIHandler returns the store-level API handler. refresh may be nil.
 func NewAPIHandler(store *Store, refresh func()) *APIHandler {
 	return &APIHandler{store: store, refresh: refresh}
+}
+
+// EnableWrites returns a copy of the handler with the write routes
+// enabled behind the shared bearer token. An empty token leaves writes
+// disabled — there is no such thing as an unauthenticated write.
+func (h *APIHandler) EnableWrites(token string) *APIHandler {
+	return &APIHandler{store: h.store, refresh: h.refresh, token: token}
 }
 
 // ServeHTTP routes the store-level API paths. The mount point has been
@@ -261,6 +276,10 @@ func (h *APIHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.serveBlobs(w, r)
 	case r.URL.Path == "/position":
 		h.servePosition(w, r)
+	case r.URL.Path == "/name":
+		h.serveNameWrite(w, r)
+	case r.URL.Path == "/counter":
+		h.serveCounter(w, r)
 	default:
 		WriteAPIError(w, http.StatusNotFound, "not_found", "no such API route: "+r.URL.Path)
 	}
@@ -272,7 +291,7 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		WriteAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-			r.Method+" is not supported; the store API is read-only")
+			r.Method+" is not supported on this route")
 		return false
 	}
 	return true
@@ -282,13 +301,20 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 // immutable caching headers. The hash is validated before the backend
 // is touched, so a malformed request never costs a disk probe.
 func (h *APIHandler) serveBlob(w http.ResponseWriter, r *http.Request) {
-	if !requireGet(w, r) {
-		return
-	}
 	hash := strings.TrimPrefix(r.URL.Path, "/blob/")
 	if !ValidBlobHash(hash) {
 		WriteAPIError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("%q is not a blob hash (want 64 lowercase hex digits)", hash))
+		return
+	}
+	if r.Method == http.MethodPut {
+		h.serveBlobPut(w, r, hash)
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD, PUT")
+		WriteAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			r.Method+" is not supported on /blob/{hash}")
 		return
 	}
 	// A matching If-None-Match answers before the backend is touched:

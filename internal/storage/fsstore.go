@@ -583,6 +583,38 @@ func (b *FSBackend) BindName(name, hash string) error {
 	return b.appendLocked(append(line, '\n'))
 }
 
+// CompareAndSwapName implements Swapper: the current-value check and
+// the rebind happen under the same b.mu critical section that orders
+// every other binding mutation, so of any number of concurrent swappers
+// expecting the same prior hash exactly one wins. Like Increment, the
+// in-memory map is updated before the group-commit wait (which may
+// release the lock), so a swap that slips in during the wait already
+// observes the new value and the journal records both in map order.
+func (b *FSBackend) CompareAndSwapName(name, oldHash, newHash string) (bool, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.writableLocked(); err != nil {
+		return false, err
+	}
+	if b.names[name] != oldHash {
+		return false, nil
+	}
+	line, err := json.Marshal(journalEntry{Name: name, Hash: newHash})
+	if err != nil {
+		return false, err
+	}
+	// Same caution as BindName: the swapped-in blob may not be a counter;
+	// drop any cached value so the next Increment re-reads the binding.
+	delete(b.counters, name)
+	b.names[name] = newHash
+	if err := b.appendLocked(append(line, '\n')); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // writableLocked reports why the journal cannot accept appends, if it
 // cannot. The caller holds b.mu.
 func (b *FSBackend) writableLocked() error {

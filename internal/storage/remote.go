@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,7 +33,14 @@ import (
 //   - Every blob read is re-verified against its hash after transfer —
 //     the read-time verification the on-disk backends perform, applied
 //     to bytes that crossed a network instead of a disk.
-//   - All mutations fail with ErrReadOnly.
+//   - Without a token, all mutations fail with ErrReadOnly. With
+//     RemoteOptions.Token the backend is write-capable: every mutation
+//     (blob put, bind, counter increment, compare-and-swap) posts to
+//     the authenticated write routes (writeapi.go) and lands in the
+//     flock-holding primary's journal — how `spd -worker -store
+//     http://primary/` executes cells with no local copy. Successful
+//     writes update the local name mirror immediately, so a worker
+//     reads its own writes without a Refresh round trip.
 //
 // Like the read view's journal tailing, a names walk under a live
 // writer can only under-claim: the position is sampled before the walk
@@ -50,6 +58,7 @@ type RemoteBackend struct {
 	retries int
 	backoff time.Duration
 	sleep   func(time.Duration)
+	token   string // shared write token; "" = read-only view
 
 	mu    sync.RWMutex
 	names map[string]string // guarded by mu; mirror of the remote bindings
@@ -68,6 +77,10 @@ type RemoteOptions struct {
 	// Backoff is the first retry's delay, doubled per attempt; 0 means
 	// the default (200ms).
 	Backoff time.Duration
+	// Token enables writes: mutations are sent to the write routes of
+	// the store API with "Authorization: Bearer <token>". Empty keeps
+	// the classic read-only remote view.
+	Token string
 }
 
 // IsRemoteStore reports whether the -store argument names a remote
@@ -117,6 +130,7 @@ func OpenRemoteBackend(baseURL string, opts RemoteOptions) (*RemoteBackend, erro
 		retries: retries,
 		backoff: backoff,
 		sleep:   cron.Sleeper(),
+		token:   opts.Token,
 		names:   make(map[string]string),
 	}
 	if err := b.Refresh(); err != nil {
@@ -188,11 +202,30 @@ func remoteAPIError(resp *http.Response, body []byte) error {
 // responses are retried up to b.retries attempts with doubling backoff;
 // any 2xx/4xx answer is definitive.
 func (b *RemoteBackend) get(method, rawURL string) (status int, body []byte, err error) {
+	return b.do(method, rawURL, nil)
+}
+
+// do performs one request with retry/backoff; reqBody non-nil makes it
+// a write carrying the bearer token. The retry policy is the same as
+// reads — a write whose response was lost in transit may be retried
+// after it landed, which every write route tolerates: blob puts and
+// binds are idempotent, a re-tried counter increment can only skip an
+// ID (never reuse one), and a re-tried CAS observes its own earlier
+// win as a lost race, which lease callers treat as "not mine" — safe,
+// because an unexecuted claim simply expires.
+func (b *RemoteBackend) do(method, rawURL string, reqBody []byte) (status int, body []byte, err error) {
 	delay := b.backoff
 	for attempt := 0; ; attempt++ {
-		req, rerr := http.NewRequest(method, rawURL, nil)
+		var rd io.Reader
+		if reqBody != nil {
+			rd = bytes.NewReader(reqBody)
+		}
+		req, rerr := http.NewRequest(method, rawURL, rd)
 		if rerr != nil {
 			return 0, nil, fmt.Errorf("storage: remote request %s: %w", rawURL, rerr)
+		}
+		if reqBody != nil {
+			req.Header.Set("Authorization", "Bearer "+b.token)
 		}
 		resp, rerr := b.client.Do(req)
 		if rerr == nil {
@@ -376,19 +409,92 @@ func (b *RemoteBackend) ListNames() ([]string, error) {
 	return out, nil
 }
 
-// PutBlob fails: the remote view is read-only.
+// Writable reports whether the backend was opened with a write token.
+func (b *RemoteBackend) Writable() bool { return b.token != "" }
+
+// postJSON posts one write document and decodes the response.
+func (b *RemoteBackend) postJSON(rawURL string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	_, out, err := b.do(http.MethodPost, rawURL, body)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(out, resp); err != nil {
+		return fmt.Errorf("storage: remote store %s: malformed API response: %w", b.base, err)
+	}
+	return nil
+}
+
+// PutBlob uploads the content to the primary's write API. Without a
+// token the remote view is read-only and the call fails like the read
+// view's would.
 func (b *RemoteBackend) PutBlob(hash string, data []byte) error {
-	return fmt.Errorf("storage: PutBlob on %s: %w", b.base, ErrReadOnly)
+	if b.token == "" {
+		return fmt.Errorf("storage: PutBlob on %s: %w", b.base, ErrReadOnly)
+	}
+	_, _, err := b.do(http.MethodPut, b.apiURL("/blob/"+hash, nil), data)
+	if err != nil {
+		return fmt.Errorf("storage: remote PutBlob %s: %w", shortHash(hash), err)
+	}
+	return nil
 }
 
-// BindName fails: the remote view is read-only.
+// BindName records the binding on the primary, then mirrors it locally
+// so the worker reads its own writes without waiting for a Refresh.
 func (b *RemoteBackend) BindName(name, hash string) error {
-	return fmt.Errorf("storage: BindName %s on %s: %w", name, b.base, ErrReadOnly)
+	if b.token == "" {
+		return fmt.Errorf("storage: BindName %s on %s: %w", name, b.base, ErrReadOnly)
+	}
+	var doc NameWriteDoc
+	if err := b.postJSON(b.apiURL("/name", nil), NameWriteReq{Name: name, Hash: hash}, &doc); err != nil {
+		return fmt.Errorf("storage: remote BindName %s: %w", name, err)
+	}
+	b.mu.Lock()
+	b.names[name] = hash
+	b.mu.Unlock()
+	return nil
 }
 
-// Increment fails: the remote view is read-only.
+// CompareAndSwapName implements Swapper over the write API. The race is
+// decided on the primary — the one place that sees every contender —
+// and the local mirror is updated only on a win.
+func (b *RemoteBackend) CompareAndSwapName(name, oldHash, newHash string) (bool, error) {
+	if b.token == "" {
+		return false, fmt.Errorf("storage: CompareAndSwapName %s on %s: %w", name, b.base, ErrReadOnly)
+	}
+	var doc NameWriteDoc
+	req := NameWriteReq{Name: name, Hash: newHash, CAS: true, OldHash: oldHash}
+	if err := b.postJSON(b.apiURL("/name", nil), req, &doc); err != nil {
+		return false, fmt.Errorf("storage: remote CompareAndSwapName %s: %w", name, err)
+	}
+	if doc.Swapped {
+		b.mu.Lock()
+		b.names[name] = newHash
+		b.mu.Unlock()
+	}
+	return doc.Swapped, nil
+}
+
+// Increment asks the primary to mint the next counter value; atomicity
+// lives in the primary backend's critical section, so IDs stay unique
+// across every local and remote client of the store.
 func (b *RemoteBackend) Increment(name string) (int, error) {
-	return 0, fmt.Errorf("storage: Increment %s on %s: %w", name, b.base, ErrReadOnly)
+	if b.token == "" {
+		return 0, fmt.Errorf("storage: Increment %s on %s: %w", name, b.base, ErrReadOnly)
+	}
+	var doc CounterDoc
+	if err := b.postJSON(b.apiURL("/counter", nil), CounterReq{Name: name}, &doc); err != nil {
+		return 0, fmt.Errorf("storage: remote Increment %s: %w", name, err)
+	}
+	if ValidBlobHash(doc.Hash) {
+		b.mu.Lock()
+		b.names[name] = doc.Hash
+		b.mu.Unlock()
+	}
+	return doc.Value, nil
 }
 
 // Stats reports the mirrored binding count plus blob figures gathered
